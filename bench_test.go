@@ -1,0 +1,336 @@
+package ltree
+
+// Root benchmark suite: one testing.B benchmark per experiment table of
+// EXPERIMENTS.md (E3–E11). The cmd/ltreebench harness prints the tables
+// themselves; these benches measure the wall-clock side on the same
+// workloads so `go test -bench=. -benchmem` regenerates the timing
+// columns. Naming: Benchmark<Experiment>/<parameters>.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/ltree-db/ltree/internal/core"
+	"github.com/ltree-db/ltree/internal/document"
+	"github.com/ltree-db/ltree/internal/labeling"
+	"github.com/ltree-db/ltree/internal/ostree"
+	"github.com/ltree-db/ltree/internal/query"
+	"github.com/ltree-db/ltree/internal/reltab"
+	"github.com/ltree-db/ltree/internal/virtual"
+	"github.com/ltree-db/ltree/internal/workload"
+)
+
+// ---------------------------------------------------------------- E3 cost
+
+// BenchmarkInsert measures single-leaf insertion (E3) per distribution
+// over a pre-loaded tree of n leaves.
+func BenchmarkInsert(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		for _, dist := range []workload.Dist{workload.Uniform, workload.Append, workload.Hotspot} {
+			b.Run(fmt.Sprintf("dist=%s/n=%d", dist, n), func(b *testing.B) {
+				tr, err := core.New(core.Params{F: 8, S: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tr.Load(n); err != nil {
+					b.Fatal(err)
+				}
+				pos := workload.NewPositions(dist, 1)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					at := pos.Next(tr.Len())
+					if at == 0 {
+						_, err = tr.InsertFirst()
+					} else {
+						_, err = tr.InsertAfter(tr.LeafAt(at - 1))
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(tr.Stats().AmortizedCost(), "nodes/insert")
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------- E4 bits
+
+// BenchmarkBulkLoad measures the §2.2 bulk load that fixes the initial
+// label widths (E4's setup step).
+func BenchmarkBulkLoad(b *testing.B) {
+	for _, n := range []int{1_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr, err := core.New(core.Params{F: 8, S: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tr.Load(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ----------------------------------------------------------- E5 baselines
+
+// BenchmarkBaseline measures insertion across all labeling schemes (E5).
+// Sequential is O(n) per op by design — the paper's failure mode.
+func BenchmarkBaseline(b *testing.B) {
+	const n = 2_000
+	mk := map[string]func() (labeling.Scheme, error){
+		"ltree":      func() (labeling.Scheme, error) { return labeling.NewLTree(8, 2) },
+		"sequential": func() (labeling.Scheme, error) { return labeling.NewSequential(), nil },
+		"gap":        func() (labeling.Scheme, error) { return labeling.NewGap(16), nil },
+		"bisect":     func() (labeling.Scheme, error) { return labeling.NewBisect(), nil },
+	}
+	for _, name := range []string{"ltree", "sequential", "gap", "bisect"} {
+		b.Run(name, func(b *testing.B) {
+			sc, err := mk[name]()
+			if err != nil {
+				b.Fatal(err)
+			}
+			slots, err := sc.Load(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := sc.InsertAfter(slots[rng.Intn(len(slots))])
+				if err != nil {
+					b.Fatal(err)
+				}
+				slots = append(slots, s)
+			}
+			b.ReportMetric(float64(sc.Stats().RelabeledLeaves)/float64(b.N), "relabels/insert")
+		})
+	}
+}
+
+// ------------------------------------------------------------ E6/E7 sweep
+
+// BenchmarkParamSweep measures insertion for representative (f, s) points
+// of the §3.2 tuning sweep (E6, E7).
+func BenchmarkParamSweep(b *testing.B) {
+	for _, p := range []core.Params{{F: 4, S: 2}, {F: 8, S: 2}, {F: 12, S: 3}, {F: 16, S: 4}, {F: 32, S: 2}} {
+		b.Run(fmt.Sprintf("f=%d/s=%d", p.F, p.S), func(b *testing.B) {
+			tr, err := core.New(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tr.Load(10_000); err != nil {
+				b.Fatal(err)
+			}
+			pos := workload.NewPositions(workload.Uniform, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at := pos.Next(tr.Len())
+				if at == 0 {
+					_, err = tr.InsertFirst()
+				} else {
+					_, err = tr.InsertAfter(tr.LeafAt(at - 1))
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(tr.Stats().AmortizedCost(), "nodes/insert")
+		})
+	}
+}
+
+// -------------------------------------------------------------- E9 bulk
+
+// BenchmarkBulkInsert measures §4.1 run insertion per run size (E9);
+// b.N counts inserted leaves so rows are comparable per leaf.
+func BenchmarkBulkInsert(b *testing.B) {
+	for _, k := range []int{1, 8, 64, 512} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			tr, err := core.New(core.Params{F: 8, S: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tr.Load(4_096); err != nil {
+				b.Fatal(err)
+			}
+			pos := workload.NewPositions(workload.Uniform, 5)
+			b.ResetTimer()
+			for inserted := 0; inserted < b.N; inserted += k {
+				at := pos.Next(tr.Len() - 1)
+				if _, err := tr.InsertRunAfter(tr.LeafAt(at), k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(tr.Stats().AmortizedCost(), "nodes/leaf")
+		})
+	}
+}
+
+// ------------------------------------------------------------ E10 virtual
+
+// BenchmarkVirtualInsert measures the virtual L-Tree's insert (E10): the
+// range-count overhead §4.2 trades for storage.
+func BenchmarkVirtualInsert(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			vt, err := virtual.New(core.Params{F: 8, S: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := vt.Load(n); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(4))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x, _ := vt.LabelAt(rng.Intn(vt.Len()))
+				if _, err := vt.InsertAfter(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOSTree measures the counted B-tree primitives the virtual tree
+// is built from (E10's substrate).
+func BenchmarkOSTree(b *testing.B) {
+	const n = 100_000
+	build := func() *ostree.Tree {
+		t := ostree.New()
+		for i := 0; i < n; i++ {
+			t.Insert(uint64(i) * 7)
+		}
+		return t
+	}
+	b.Run("insert", func(b *testing.B) {
+		t := ostree.New()
+		for i := 0; i < b.N; i++ {
+			t.Insert(uint64(i))
+		}
+	})
+	t := build()
+	rng := rand.New(rand.NewSource(8))
+	b.Run("countrange", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lo := uint64(rng.Intn(n * 7))
+			t.CountRange(lo, lo+1_000)
+		}
+	})
+	b.Run("rank", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t.Rank(uint64(rng.Intn(n * 7)))
+		}
+	})
+	b.Run("select", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t.SelectK(rng.Intn(n))
+		}
+	})
+}
+
+// -------------------------------------------------------------- E11 query
+
+// BenchmarkQuery measures the three // query plans on xmark-lite (E11).
+func BenchmarkQuery(b *testing.B) {
+	x := workload.XMarkLite(40, 3)
+	d, err := document.Load(x, core.Params{F: 8, S: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := d.BuildTagIndex()
+	tbl, err := reltab.Build(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path, err := query.Parse("//site//name")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("labeljoin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res := query.Join(d, idx, path); len(res) == 0 {
+				b.Fatal("no results")
+			}
+		}
+	})
+	b.Run("navigation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res := query.Nav(d, path); len(res) == 0 {
+				b.Fatal("no results")
+			}
+		}
+	})
+	b.Run("edgejoins", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res, _ := tbl.DescendantsViaEdgeJoins("site", "name"); len(res) == 0 {
+				b.Fatal("no results")
+			}
+		}
+	})
+	b.Run("containment-test", func(b *testing.B) {
+		items := d.Elements("item")
+		names := d.Elements("name")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := items[i%len(items)]
+			x := names[i%len(names)]
+			if _, err := d.IsAncestor(a, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ------------------------------------------------------- E13 delete/store
+
+// BenchmarkStore measures the public facade end to end: labeled updates
+// and containment queries through Store (the README quickstart workload).
+func BenchmarkStore(b *testing.B) {
+	b.Run("insert-element", func(b *testing.B) {
+		st, err := OpenString(`<r><a/></r>`, DefaultParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parent := st.Root()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.InsertElement(parent, i%(parent.NumChildren()+1), "x"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("insert-xml-subtree", func(b *testing.B) {
+		st, err := OpenString(`<r><a/></r>`, DefaultParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parent := st.Root()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.InsertXML(parent, 0, `<s><t>v</t></s>`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("query-cached-index", func(b *testing.B) {
+		x := workload.XMarkLite(20, 1)
+		st, err := OpenString(x.String(), DefaultParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Query("//item/name"); err != nil { // warm the index
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Query("//item/name"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

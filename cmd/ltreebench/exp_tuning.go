@@ -1,0 +1,192 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/ltree-db/ltree/internal/analysis"
+	"github.com/ltree-db/ltree/internal/core"
+	"github.com/ltree-db/ltree/internal/stats"
+	"github.com/ltree-db/ltree/internal/workload"
+)
+
+// expTune reproduces §3.2 model 1: sweep the feasible (f, s) lattice,
+// measure the real amortized cost, and compare the analytic optimum (and
+// the continuous ∂cost/∂f = ∂cost/∂s = 0 solution) with the empirical one.
+func expTune(c config) {
+	n := 50_000
+	if c.quick {
+		n = 10_000
+	}
+	if c.n > 0 {
+		n = c.n
+	}
+	fmt.Printf("n = %d (load n, insert n uniform)\n\n", n)
+	type row struct {
+		f, s                int
+		predicted, measured float64
+	}
+	var rows []row
+	for s := 2; s <= 4; s++ {
+		for r := 2; r*s <= 32; r++ {
+			f := r * s
+			measured, _, err := measureInserts(core.Params{F: f, S: s}, n, workload.Uniform, 5)
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			rows = append(rows, row{f, s, analysis.UpdateCost(float64(f), float64(s), float64(2*n)), measured})
+		}
+	}
+	bestPred, bestMeas := rows[0], rows[0]
+	tbl := stats.NewTable(os.Stdout, "f", "s", "r", "predicted", "measured")
+	for _, r := range rows {
+		tbl.Row(r.f, r.s, r.f/r.s, r.predicted, r.measured)
+		if r.predicted < bestPred.predicted {
+			bestPred = r
+		}
+		if r.measured < bestMeas.measured {
+			bestMeas = r
+		}
+	}
+	tbl.Flush()
+	fCont, sCont, cCont := analysis.ContinuousMin(float64(2 * n))
+	fmt.Printf("\ncontinuous optimum (∂cost=0): f*=%.1f s*=%.1f cost %.1f\n", fCont, sCont, cCont)
+	fmt.Printf("lattice analytic optimum:     f=%d s=%d (predicted %.1f)\n", bestPred.f, bestPred.s, bestPred.predicted)
+	fmt.Printf("empirical optimum:            f=%d s=%d (measured %.2f)\n", bestMeas.f, bestMeas.s, bestMeas.measured)
+	// The analytic winner should be near-optimal empirically (within 40%).
+	var analyticMeasured float64
+	for _, r := range rows {
+		if r.f == bestPred.f && r.s == bestPred.s {
+			analyticMeasured = r.measured
+		}
+	}
+	verdict(analyticMeasured <= 1.4*bestMeas.measured,
+		"the model's argmin is near-optimal when measured (crossover structure matches)")
+}
+
+// expBudget reproduces §3.2 model 2: the Lagrange/boundary solution under
+// label-width budgets, then verifies the chosen parameters really fit.
+func expBudget(c config) {
+	n := 50_000
+	if c.quick {
+		n = 10_000
+	}
+	if c.n > 0 {
+		n = c.n
+	}
+	nFinal := float64(2 * n)
+	tbl := stats.NewTable(os.Stdout, "budget bits", "chosen f", "chosen s", "predicted cost", "predicted bits", "measured bits", "measured cost")
+	ok := true
+	for _, budget := range []float64{16, 24, 32, 48, 64} {
+		choice, err := analysis.MinimizeCostUnderBits(nFinal, budget, 256)
+		if err != nil {
+			tbl.Row(budget, "-", "-", "-", "-", "-", "infeasible")
+			continue
+		}
+		measured, bits, err := measureInserts(core.Params{F: choice.F, S: choice.S}, n, workload.Uniform, 5)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		tbl.Row(budget, choice.F, choice.S, choice.Cost, choice.Bits, bits, measured)
+		if float64(bits) > budget {
+			ok = false
+		}
+	}
+	tbl.Flush()
+	fmt.Println()
+	verdict(ok, "every constrained choice keeps measured labels within its bit budget")
+	// Costs must decrease as the budget loosens.
+	loose, _ := analysis.MinimizeCostUnderBits(nFinal, 64, 256)
+	tight, err := analysis.MinimizeCostUnderBits(nFinal, 16, 256)
+	if err == nil {
+		verdict(loose.Cost <= tight.Cost,
+			"looser budgets buy lower update cost (the paper's bits-for-cost trade)")
+	}
+}
+
+// expMix reproduces §3.2 model 3: the combined query+update optimum shifts
+// toward narrower labels as the workload becomes query-heavy (with a small
+// machine word making label width expensive).
+func expMix(c config) {
+	n := 100_000
+	if c.n > 0 {
+		n = c.n
+	}
+	word := 16.0 // a small word makes the effect visible at bench scale
+	tbl := stats.NewTable(os.Stdout, "query fraction", "f", "s", "bits", "update cost", "query cost/cmp", "combined")
+	var prevBits float64 = -1
+	monotone := true
+	for _, q := range []float64{0.0, 0.10, 0.50, 0.90, 0.99} {
+		choice := analysis.MinimizeMixed(float64(n), q, word, 256)
+		u := analysis.UpdateCost(float64(choice.F), float64(choice.S), float64(n))
+		qc := analysis.QueryCompareCost(choice.Bits, word)
+		tbl.Row(q, choice.F, choice.S, choice.Bits, u, qc, (1-q)*u+q*qc)
+		if prevBits >= 0 && choice.Bits > prevBits+12 {
+			monotone = false // label width should not explode as q grows
+		}
+		prevBits = choice.Bits
+	}
+	tbl.Flush()
+	fmt.Println()
+	q0 := analysis.MinimizeMixed(float64(n), 0, word, 256)
+	q99 := analysis.MinimizeMixed(float64(n), 0.99, word, 256)
+	verdict(q99.Bits <= q0.Bits && monotone,
+		"query-heavy workloads choose narrower labels (cheaper comparisons) at higher update cost")
+}
+
+// expBulk reproduces §4.1: the amortized per-leaf cost of inserting runs
+// of k leaves falls roughly logarithmically with k.
+func expBulk(c config) {
+	n := 4_096
+	total := 1 << 16
+	if c.quick {
+		total = 1 << 13
+	}
+	p := core.Params{F: 8, S: 2}
+	fmt.Printf("f=%d s=%d, base tree %d leaves, %d leaves inserted per row\n\n", p.F, p.S, n, total)
+	tbl := stats.NewTable(os.Stdout, "run size k", "measured cost/leaf", "paper bound", "speedup vs k=1")
+	var base float64
+	ok := true
+	var prev float64
+	for _, k := range []int{1, 2, 4, 8, 16, 64, 256, 1024, 3000} {
+		tr, err := core.New(p)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if _, err := tr.Load(n); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		pos := workload.NewPositions(workload.Uniform, 13)
+		for inserted := 0; inserted < total; inserted += k {
+			at := pos.Next(tr.Len())
+			if at == 0 {
+				_, err = tr.InsertRunFirst(k)
+			} else {
+				_, err = tr.InsertRunAfter(tr.LeafAt(at-1), k)
+			}
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+		}
+		measured := tr.Stats().AmortizedCost()
+		bound := analysis.BulkCost(float64(p.F), float64(p.S), float64(n+total), float64(k))
+		if k == 1 {
+			base = measured
+		}
+		tbl.Row(k, measured, bound, base/measured)
+		if prev > 0 && measured > prev*1.15 {
+			ok = false // must be (weakly) decreasing in k
+		}
+		prev = measured
+	}
+	tbl.Flush()
+	fmt.Println()
+	verdict(ok, "per-leaf cost falls monotonically with run size")
+	verdict(base/prev > 3,
+		"large runs are several times cheaper per leaf — but the gain is logarithmic, not linear (§4.1)")
+}

@@ -1,0 +1,139 @@
+// Command ltreebench regenerates every figure and analytic table of the
+// paper as a measured experiment (the E1–E13 index of DESIGN.md §4).
+//
+// Usage:
+//
+//	ltreebench -exp all            # run everything (default)
+//	ltreebench -exp cost -n 200000 # one experiment, custom size
+//	ltreebench -quick              # reduced sizes for smoke runs
+//
+// Output is plain text tables; EXPERIMENTS.md archives a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// experiment is one reproducible unit: id, paper item, and a runner.
+type experiment struct {
+	id    string
+	paper string
+	run   func(c config)
+}
+
+// config carries the global knobs into experiments.
+type config struct {
+	quick bool
+	n     int // 0 = experiment default
+}
+
+var experiments = []experiment{
+	{"fig1", "Figure 1: begin/end labeling and containment queries", expFig1},
+	{"fig2", "Figure 2: L-Tree bulk load and insertions (f=4, s=2)", expFig2},
+	{"cost", "§3.1: amortized update cost vs n, measured vs bound", expCost},
+	{"bits", "§3.1: label width vs n, measured vs bound", expBits},
+	{"baselines", "§1/§5: L-Tree vs sequential, gap, bisection", expBaselines},
+	{"tune", "§3.2 model 1: (f,s) sweep, analytic vs empirical optimum", expTune},
+	{"budget", "§3.2 model 2: optimal (f,s) under a bit budget", expBudget},
+	{"mix", "§3.2 model 3: combined query+update optimization", expMix},
+	{"bulk", "§4.1: amortized cost vs subtree (run) size", expBulk},
+	{"virtual", "§4.2: virtual vs materialized L-Tree", expVirtual},
+	{"query", "§1: // queries — label self-join vs navigation vs edge joins", expQuery},
+	{"props", "Propositions 2–3: structural invariants, measured", expProps},
+	{"delete", "§2.3: deletions relabel nothing; compaction", expDelete},
+	{"disk", "§3.1 cost unit: simulated disk accesses under an LRU pool", expDisk},
+	{"radix", "ablation: tight radix f−1 vs the paper's printed f+1", expRadix},
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment id (all, "+ids()+")")
+	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
+	n := flag.Int("n", 0, "override the main size parameter (0 = default)")
+	flag.Parse()
+
+	c := config{quick: *quick, n: *n}
+	want := strings.Split(*expFlag, ",")
+	ran := 0
+	for _, e := range experiments {
+		if *expFlag != "all" && !contains(want, e.id) {
+			continue
+		}
+		fmt.Printf("══ %s — %s\n\n", strings.ToUpper(e.id), e.paper)
+		e.run(c)
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: all, %s\n", *expFlag, ids())
+		os.Exit(2)
+	}
+}
+
+func ids() string {
+	out := make([]string, len(experiments))
+	for i, e := range experiments {
+		out[i] = e.id
+	}
+	return strings.Join(out, ", ")
+}
+
+func contains(hay []string, needle string) bool {
+	for _, h := range hay {
+		if strings.TrimSpace(h) == needle {
+			return true
+		}
+	}
+	return false
+}
+
+// verdict prints a PASS/FAIL reproduction verdict for a claim.
+func verdict(ok bool, claim string) {
+	mark := "PASS"
+	if !ok {
+		mark = "FAIL"
+	}
+	fmt.Printf("[%s] %s\n", mark, claim)
+}
+
+// sizes returns the experiment's n series honoring -quick and -n.
+func (c config) sizes(def []int) []int {
+	if c.n > 0 {
+		return []int{c.n}
+	}
+	if c.quick {
+		out := []int{}
+		for _, n := range def {
+			if n <= def[0]*10 {
+				out = append(out, n)
+			}
+		}
+		if len(out) == 0 {
+			out = def[:1]
+		}
+		return out
+	}
+	return def
+}
+
+// fmtU64s renders a label slice compactly.
+func fmtU64s(v []uint64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// sortedKeys returns map keys sorted (for deterministic output).
+func sortedKeys[K ~string, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

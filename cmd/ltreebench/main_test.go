@@ -1,0 +1,65 @@
+package main
+
+import "testing"
+
+func TestConfigSizes(t *testing.T) {
+	def := []int{1000, 10000, 100000}
+	if got := (config{}).sizes(def); len(got) != 3 {
+		t.Fatalf("default sizes = %v", got)
+	}
+	if got := (config{quick: true}).sizes(def); len(got) != 2 || got[1] != 10000 {
+		t.Fatalf("quick sizes = %v", got)
+	}
+	if got := (config{n: 42}).sizes(def); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("override sizes = %v", got)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if !contains([]string{"a", " b"}, "b") {
+		t.Fatal("contains should trim")
+	}
+	if contains([]string{"a"}, "z") {
+		t.Fatal("contains false positive")
+	}
+	if got := fmtU64s([]uint64{1, 2, 3}); got != "[1 2 3]" {
+		t.Fatalf("fmtU64s = %q", got)
+	}
+	if got := fmtU64s(nil); got != "[]" {
+		t.Fatalf("fmtU64s(nil) = %q", got)
+	}
+	keys := sortedKeys(map[string]int{"b": 1, "a": 2})
+	if len(keys) != 2 || keys[0] != "a" {
+		t.Fatalf("sortedKeys = %v", keys)
+	}
+	if ids() == "" {
+		t.Fatal("ids empty")
+	}
+}
+
+// TestEveryExperimentRuns smoke-runs each experiment at tiny size; any
+// panic or FAIL verdict in the core golden experiments is a regression.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke is not short")
+	}
+	c := config{quick: true, n: 0}
+	for _, e := range experiments {
+		// The heavyweight sweeps get an even smaller n.
+		ec := c
+		switch e.id {
+		case "cost", "bits", "tune", "budget", "virtual", "props", "radix":
+			ec.n = 2000
+		case "baselines", "disk":
+			ec.n = 400
+		}
+		t.Run(e.id, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("experiment %s panicked: %v", e.id, r)
+				}
+			}()
+			e.run(ec)
+		})
+	}
+}

@@ -1,0 +1,88 @@
+// Command lttune is the §3.2 tuning calculator: given an expected
+// document size and optional constraints, it prints the recommended
+// L-Tree parameters under all three of the paper's optimization models
+// and, with -verify, measures the recommendation empirically.
+//
+// Usage:
+//
+//	lttune -n 1000000
+//	lttune -n 1000000 -bits 32
+//	lttune -n 1000000 -queryfrac 0.9 -word 32
+//	lttune -n 100000 -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ltree-db/ltree"
+	"github.com/ltree-db/ltree/internal/core"
+	"github.com/ltree-db/ltree/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 1_000_000, "expected number of tags (2× elements)")
+	bits := flag.Int("bits", 0, "label bit budget (0 = unconstrained)")
+	queryFrac := flag.Float64("queryfrac", -1, "query fraction for the mixed model (-1 = skip)")
+	word := flag.Int("word", 64, "machine word size in bits for the mixed model")
+	verify := flag.Bool("verify", false, "measure the recommendation on a synthetic run")
+	flag.Parse()
+
+	fmt.Printf("document size n = %d tags\n\n", *n)
+
+	s := ltree.SuggestParams(*n)
+	fmt.Printf("model 1 (min update cost):        f=%-3d s=%-2d  predicted cost %.1f, %0.f bits/label\n",
+		s.Params.F, s.Params.S, s.Cost, s.Bits)
+
+	if *bits > 0 {
+		c, err := ltree.SuggestParamsUnderBits(*n, *bits)
+		if err != nil {
+			fmt.Printf("model 2 (≤ %d bits):             infeasible: %v\n", *bits, err)
+		} else {
+			fmt.Printf("model 2 (≤ %d bits):             f=%-3d s=%-2d  predicted cost %.1f, %.0f bits/label\n",
+				*bits, c.Params.F, c.Params.S, c.Cost, c.Bits)
+			s = c // verify the constrained choice if asked
+		}
+	}
+	if *queryFrac >= 0 {
+		c := ltree.SuggestParamsMixed(*n, *queryFrac, *word)
+		fmt.Printf("model 3 (q=%.2f, %d-bit word):   f=%-3d s=%-2d  predicted cost %.1f, %.0f bits/label\n",
+			*queryFrac, *word, c.Params.F, c.Params.S, c.Cost, c.Bits)
+	}
+
+	if !*verify {
+		return
+	}
+	fmt.Printf("\nverifying f=%d s=%d on a synthetic run ...\n", s.Params.F, s.Params.S)
+	size := *n / 2
+	if size > 500_000 {
+		size = 500_000
+		fmt.Printf("(capped at %d loads + %d inserts)\n", size, size)
+	}
+	tr, err := core.New(core.Params{F: s.Params.F, S: s.Params.S})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lttune:", err)
+		os.Exit(1)
+	}
+	if _, err := tr.Load(size); err != nil {
+		fmt.Fprintln(os.Stderr, "lttune:", err)
+		os.Exit(1)
+	}
+	pos := workload.NewPositions(workload.Uniform, 1)
+	for i := 0; i < size; i++ {
+		at := pos.Next(tr.Len())
+		if at == 0 {
+			_, err = tr.InsertFirst()
+		} else {
+			_, err = tr.InsertAfter(tr.LeafAt(at - 1))
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lttune:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("measured: %.2f nodes touched/insert (bound %.1f), %d bits/label (predicted %.0f)\n",
+		tr.Stats().AmortizedCost(), ltree.PredictCost(s.Params, 2*size),
+		tr.BitsPerLabel(), ltree.PredictBits(s.Params, 2*size))
+}

@@ -1,0 +1,287 @@
+// Command xmltool loads an XML document, labels it with an L-Tree, and
+// lets you inspect labels, run path queries, and apply update scripts
+// while watching the maintenance cost counters.
+//
+// Usage:
+//
+//	xmltool -in doc.xml -labels
+//	xmltool -gen xmark:5 -query "//item/name"
+//	xmltool -in doc.xml -edits script.txt -stats -out updated.xml
+//
+// Edit scripts are line-oriented:
+//
+//	insert <path> <idx> <xml fragment>   # e.g. insert 0.2 1 <note>hi</note>
+//	text   <path> <idx> <text...>
+//	delete <path>
+//	move   <path> <target-path> <idx>
+//
+// where <path> is a dot-separated child-index path from the root ("" or
+// "." = the root itself). -save/-load persist the exact label state
+// (snapshot format; no relabeling on reload).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/ltree-db/ltree"
+	"github.com/ltree-db/ltree/internal/workload"
+)
+
+func main() {
+	in := flag.String("in", "", "input XML file (default: stdin unless -gen)")
+	gen := flag.String("gen", "", "generate input instead: xmark:<scale> or random:<elements>")
+	params := flag.String("params", "8,2", "L-Tree parameters f,s")
+	queryExpr := flag.String("query", "", "path query to evaluate (e.g. //item/name)")
+	labels := flag.Bool("labels", false, "print the element label table")
+	edits := flag.String("edits", "", "edit script file to apply")
+	showStats := flag.Bool("stats", false, "print maintenance counters at the end")
+	out := flag.String("out", "", "write the resulting document to this file")
+	save := flag.String("save", "", "write a label-preserving snapshot to this file")
+	load := flag.String("load", "", "restore from a snapshot file instead of parsing XML")
+	flag.Parse()
+
+	p, err := parseParams(*params)
+	if err != nil {
+		fatal(err)
+	}
+	var st *ltree.Store
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		st, err = ltree.Restore(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else if st, err = open(*in, *gen, p); err != nil {
+		fatal(err)
+	}
+
+	if *edits != "" {
+		if err := applyEdits(st, *edits); err != nil {
+			fatal(err)
+		}
+	}
+	if *labels {
+		printLabels(st)
+	}
+	if *queryExpr != "" {
+		res, err := st.Query(*queryExpr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d matches\n", *queryExpr, len(res))
+		for i, n := range res {
+			lab, _ := st.Label(n)
+			fmt.Printf("  %3d. <%s> label (%d,%d)\n", i+1, n.Tag(), lab.Begin, lab.End)
+			if i == 24 && len(res) > 26 {
+				fmt.Printf("  ... and %d more\n", len(res)-25)
+				break
+			}
+		}
+	}
+	if *showStats {
+		s := st.Stats()
+		fmt.Printf("stats: %s\n", s.String())
+		fmt.Printf("labels: %d bits/label, %d live tags\n", st.BitsPerLabel(), len(st.Elements("*")))
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := st.Write(f); err != nil {
+			fatal(err)
+		}
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := st.Snapshot(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if !*labels && *queryExpr == "" && !*showStats && *out == "" && *save == "" {
+		fmt.Println(st.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmltool:", err)
+	os.Exit(1)
+}
+
+func parseParams(s string) (ltree.Params, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return ltree.Params{}, fmt.Errorf("bad -params %q, want f,s", s)
+	}
+	f, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+	sv, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err1 != nil || err2 != nil {
+		return ltree.Params{}, fmt.Errorf("bad -params %q", s)
+	}
+	p := ltree.Params{F: f, S: sv}
+	return p, p.Validate()
+}
+
+func open(in, gen string, p ltree.Params) (*ltree.Store, error) {
+	switch {
+	case gen != "":
+		kind, arg, _ := strings.Cut(gen, ":")
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -gen %q", gen)
+		}
+		switch kind {
+		case "xmark":
+			doc := workload.XMarkLite(n, 1)
+			return ltree.OpenString(doc.String(), p)
+		case "random":
+			doc := workload.GenerateDoc(workload.DocConfig{Elements: n, MaxDepth: 10, MaxFanout: 8, TextProb: 0.3}, 1)
+			return ltree.OpenString(doc.String(), p)
+		default:
+			return nil, fmt.Errorf("unknown generator %q", kind)
+		}
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ltree.Open(f, p)
+	default:
+		return ltree.Open(os.Stdin, p)
+	}
+}
+
+func printLabels(st *ltree.Store) {
+	fmt.Printf("%-28s %12s %12s %6s\n", "element", "begin", "end", "level")
+	for _, n := range st.Elements("*") {
+		lab, err := st.Label(n)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("%-28s %12d %12d %6d\n", strings.Repeat("  ", n.Level())+"<"+n.Tag()+">", lab.Begin, lab.End, n.Level())
+	}
+}
+
+// resolvePath walks a dot-separated child-index path from the root.
+func resolvePath(st *ltree.Store, path string) (*ltree.Elem, error) {
+	cur := st.Root()
+	path = strings.TrimSpace(path)
+	if path == "" || path == "." {
+		return cur, nil
+	}
+	for _, part := range strings.Split(path, ".") {
+		i, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad path element %q", part)
+		}
+		next := cur.Child(i)
+		if next == nil {
+			return nil, fmt.Errorf("path %q: no child %d under <%s>", path, i, cur.Tag())
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func applyEdits(st *ltree.Store, file string) error {
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		cmdErr := func(err error) error { return fmt.Errorf("%s:%d: %w", file, line, err) }
+		switch fields[0] {
+		case "insert":
+			if len(fields) < 4 {
+				return cmdErr(fmt.Errorf("usage: insert <path> <idx> <xml>"))
+			}
+			target, err := resolvePath(st, fields[1])
+			if err != nil {
+				return cmdErr(err)
+			}
+			idx, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return cmdErr(err)
+			}
+			frag := strings.Join(fields[3:], " ")
+			if _, err := st.InsertXML(target, idx, frag); err != nil {
+				return cmdErr(err)
+			}
+		case "text":
+			if len(fields) < 4 {
+				return cmdErr(fmt.Errorf("usage: text <path> <idx> <text>"))
+			}
+			target, err := resolvePath(st, fields[1])
+			if err != nil {
+				return cmdErr(err)
+			}
+			idx, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return cmdErr(err)
+			}
+			if _, err := st.InsertText(target, idx, strings.Join(fields[3:], " ")); err != nil {
+				return cmdErr(err)
+			}
+		case "delete":
+			if len(fields) != 2 {
+				return cmdErr(fmt.Errorf("usage: delete <path>"))
+			}
+			target, err := resolvePath(st, fields[1])
+			if err != nil {
+				return cmdErr(err)
+			}
+			if err := st.Delete(target); err != nil {
+				return cmdErr(err)
+			}
+		case "move":
+			if len(fields) != 4 {
+				return cmdErr(fmt.Errorf("usage: move <path> <target-path> <idx>"))
+			}
+			src, err := resolvePath(st, fields[1])
+			if err != nil {
+				return cmdErr(err)
+			}
+			dst, err := resolvePath(st, fields[2])
+			if err != nil {
+				return cmdErr(err)
+			}
+			idx, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return cmdErr(err)
+			}
+			if err := st.Move(src, dst, idx); err != nil {
+				return cmdErr(err)
+			}
+		default:
+			return cmdErr(fmt.Errorf("unknown command %q", fields[0]))
+		}
+	}
+	return sc.Err()
+}

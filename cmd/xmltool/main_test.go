@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ltree-db/ltree"
+)
+
+func TestParseParams(t *testing.T) {
+	cases := []struct {
+		in   string
+		f, s int
+		err  bool
+	}{
+		{"8,2", 8, 2, false},
+		{" 12 , 3 ", 12, 3, false},
+		{"4", 0, 0, true},
+		{"a,b", 0, 0, true},
+		{"5,2", 0, 0, true}, // invalid per paper constraints
+		{"8,2,1", 0, 0, true},
+	}
+	for _, c := range cases {
+		p, err := parseParams(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseParams(%q) should fail", c.in)
+			}
+			continue
+		}
+		if err != nil || p.F != c.f || p.S != c.s {
+			t.Errorf("parseParams(%q) = %+v, %v", c.in, p, err)
+		}
+	}
+}
+
+func TestResolvePath(t *testing.T) {
+	st, err := ltree.OpenString(`<r><a><x/></a><b/></r>`, ltree.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := resolvePath(st, ".")
+	if err != nil || root.Tag() != "r" {
+		t.Fatalf("root: %v %v", root, err)
+	}
+	if n, err := resolvePath(st, ""); err != nil || n.Tag() != "r" {
+		t.Fatalf("empty path: %v", err)
+	}
+	x, err := resolvePath(st, "0.0")
+	if err != nil || x.Tag() != "x" {
+		t.Fatalf("0.0: %v %v", x, err)
+	}
+	if _, err := resolvePath(st, "5"); err == nil {
+		t.Fatal("out of range should fail")
+	}
+	if _, err := resolvePath(st, "a.b"); err == nil {
+		t.Fatal("non-numeric should fail")
+	}
+}
+
+func TestApplyEdits(t *testing.T) {
+	st, err := ltree.OpenString(`<r><a/><b/></r>`, ltree.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := filepath.Join(t.TempDir(), "edits.txt")
+	content := `
+# comment line
+
+insert . 0 <new><kid/></new>
+text 0 1 hello world
+move 0.0 2 0
+delete 1
+`
+	if err := os.WriteFile(script, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := applyEdits(st, script); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Expected end state: <r><new>hello world</new><b><kid/></b></r>
+	// (insert new at 0, text into new, move kid under b(index shifts), delete a).
+	if got := st.String(); got != `<r><new>hello world</new><b><kid/></b></r>` {
+		t.Fatalf("end state: %s", got)
+	}
+	// Bad scripts report position.
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("explode . 0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := applyEdits(st, bad); err == nil {
+		t.Fatal("unknown command should fail")
+	}
+}

@@ -1,0 +1,34 @@
+// Package ltree is a dynamic, order-preserving labeling library for
+// ordered XML data — a full reproduction of Chen, Mihaila, Bordawekar and
+// Padmanabhan, "L-Tree: a Dynamic Labeling Structure for Ordered XML
+// Data" (EDBT 2004 Workshops, LNCS 3268).
+//
+// An L-Tree assigns every XML tag an integer label such that document
+// order is label order and element nesting is interval containment, so
+// ancestor/descendant queries ("book//title") become label comparisons —
+// one self-join in a relational embedding. Unlike static begin/end
+// numbering, the L-Tree keeps labels valid under insertions with O(log n)
+// amortized relabelings and O(log n)-bit labels, tunable through the
+// parameters (f, s).
+//
+// # Quickstart
+//
+//	st, err := ltree.OpenString(`<book><title>L-Trees</title></book>`, ltree.DefaultParams)
+//	if err != nil { ... }
+//	titles, _ := st.Query("book//title")
+//	ch, _ := st.InsertElement(st.Root(), 1, "chapter")   // labels stay valid
+//	lab, _ := st.Label(ch)                               // (begin, end) interval
+//
+// # Layers
+//
+//   - Store: concurrency-safe labeled document with cached query indexes
+//     (this file's API; start here).
+//   - Tree / Node: the raw materialized L-Tree over abstract list slots
+//     (paper §2), for embedding in other systems.
+//   - Virtual: the B-tree-backed virtual L-Tree (paper §4.2) that stores
+//     only the labels.
+//   - Document / Elem / Label: the XML binding used by Store.
+//
+// The experiment harness reproducing the paper's figures and analytic
+// tables lives in cmd/ltreebench; see EXPERIMENTS.md for results.
+package ltree

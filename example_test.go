@@ -1,0 +1,98 @@
+package ltree_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"github.com/ltree-db/ltree"
+)
+
+// The basic workflow: open, query by containment, update, re-query.
+func Example() {
+	st, err := ltree.OpenString(
+		`<book><chapter><title>One</title></chapter><title>Main</title></book>`,
+		ltree.DefaultParams)
+	if err != nil {
+		log.Fatal(err)
+	}
+	titles, _ := st.Query("book//title")
+	fmt.Println("titles:", len(titles))
+
+	if _, err := st.InsertXML(st.Root(), 1, `<chapter><title>Two</title></chapter>`); err != nil {
+		log.Fatal(err)
+	}
+	titles, _ = st.Query("book//title")
+	fmt.Println("titles after insert:", len(titles))
+	// Output:
+	// titles: 2
+	// titles after insert: 3
+}
+
+// Labels are intervals; ancestry is containment (paper Figure 1).
+func ExampleStore_IsAncestor() {
+	st, _ := ltree.OpenString(`<a><b><c/></b></a>`, ltree.DefaultParams)
+	b := st.Elements("b")[0]
+	c := st.Elements("c")[0]
+	ancestor, _ := st.IsAncestor(b, c)
+	sibling, _ := st.IsAncestor(c, b)
+	fmt.Println(ancestor, sibling)
+	// Output: true false
+}
+
+// The raw list-labeling API reproduces the paper's Figure 2 exactly.
+func ExampleTree() {
+	tr, _ := ltree.New(ltree.Params{F: 4, S: 2})
+	leaves, _ := tr.Load(8)
+	fmt.Print("labels:")
+	for _, lf := range leaves {
+		fmt.Print(" ", lf.Num())
+	}
+	fmt.Println()
+	// Output: labels: 0 1 3 4 9 10 12 13
+}
+
+// Attribute predicates narrow steps.
+func ExampleStore_Query() {
+	st, _ := ltree.OpenString(
+		`<users><u id="1" role="admin"/><u id="2"/><u id="3" role="admin"/></users>`,
+		ltree.DefaultParams)
+	admins, _ := st.Query("//u[@role='admin']")
+	for _, u := range admins {
+		id, _ := u.Attr("id")
+		fmt.Println("admin", id)
+	}
+	// Output:
+	// admin 1
+	// admin 3
+}
+
+// Snapshots persist the exact label state: restores never relabel.
+func ExampleStore_Snapshot() {
+	st, _ := ltree.OpenString(`<r><a/><b/></r>`, ltree.DefaultParams)
+	a := st.Elements("a")[0]
+	before, _ := st.Label(a)
+
+	var buf bytes.Buffer
+	if err := st.Snapshot(&buf); err != nil {
+		log.Fatal(err)
+	}
+	restored, err := ltree.Restore(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, _ := restored.Label(restored.Elements("a")[0])
+	fmt.Println(before == after)
+	// Output: true
+}
+
+// The §3.2 tuning models pick parameters for a workload profile.
+func ExampleSuggestParams() {
+	s := ltree.SuggestParams(1_000_000)
+	fmt.Printf("f=%d s=%d valid=%v\n", s.Params.F, s.Params.S, s.Params.Validate() == nil)
+	constrained, _ := ltree.SuggestParamsUnderBits(1_000_000, 32)
+	fmt.Println("fits 32 bits:", constrained.Bits <= 32)
+	// Output:
+	// f=18 s=6 valid=true
+	// fits 32 bits: true
+}

@@ -1,0 +1,120 @@
+// Editor: a simulated collaborative XML editing session — interleaved
+// single-node edits, subtree pastes (bulk insertion, paper §4.1) and
+// deletions — comparing the L-Tree against the naive schemes it replaces.
+// The same edit positions are replayed against every labeling scheme.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/ltree-db/ltree/internal/labeling"
+	"github.com/ltree-db/ltree/internal/workload"
+)
+
+const (
+	initial = 2000
+	edits   = 2000
+)
+
+func main() {
+	fmt.Printf("replaying %d edits on a %d-tag document against each scheme\n\n", edits, initial)
+	fmt.Printf("%-12s %18s %14s %12s\n", "scheme", "total relabels", "per edit", "bits/label")
+
+	lt, err := labeling.NewLTree(8, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schemes := []labeling.Scheme{lt, labeling.NewGap(16), labeling.NewSequential(), labeling.NewBisect()}
+	for _, sc := range schemes {
+		run(sc)
+	}
+
+	// The L-Tree's paste advantage: one §4.1 run insertion per paste is
+	// cheaper per node than pasting node by node.
+	fmt.Println("\nsubtree paste (64 tags each), L-Tree run insertion vs node-by-node:")
+	runCost, singleCost := pasteComparison()
+	fmt.Printf("  run insertion:   %.2f nodes touched per pasted tag\n", runCost)
+	fmt.Printf("  node-by-node:    %.2f nodes touched per pasted tag\n", singleCost)
+	fmt.Printf("  speedup:         %.1fx (the §4.1 effect)\n", singleCost/runCost)
+}
+
+// run replays the deterministic edit session against one scheme.
+func run(sc labeling.Scheme) {
+	slots, err := sc.Load(initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	pos := workload.NewPositions(workload.Hotspot, 7)
+	for i := 0; i < edits; i++ {
+		at := pos.Next(len(slots))
+		var s labeling.Slot
+		if at == 0 {
+			s, err = sc.InsertFirst()
+		} else {
+			s, err = sc.InsertAfter(slots[at-1])
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		slots = append(slots, nil)
+		copy(slots[at+1:], slots[at:])
+		slots[at] = s
+		// Occasionally tombstone something (free in every scheme).
+		if rng.Intn(10) == 0 {
+			_ = sc.Delete(slots[rng.Intn(len(slots))])
+		}
+	}
+	st := sc.Stats()
+	fmt.Printf("%-12s %18d %14.2f %12d\n",
+		sc.Name(), st.RelabeledLeaves, float64(st.RelabeledLeaves)/float64(edits), sc.Bits())
+}
+
+// pasteComparison measures §4.1 bulk insertion against single insertions
+// for 64-tag pastes.
+func pasteComparison() (runCost, singleCost float64) {
+	const pastes = 200
+	const size = 64
+
+	lt, err := labeling.NewLTree(8, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := lt.T
+	if _, err := tr.Load(initial); err != nil {
+		log.Fatal(err)
+	}
+	pos := workload.NewPositions(workload.Uniform, 9)
+	for i := 0; i < pastes; i++ {
+		at := pos.Next(tr.Len() - 1)
+		if _, err := tr.InsertRunAfter(tr.LeafAt(at), size); err != nil {
+			log.Fatal(err)
+		}
+	}
+	runCost = tr.Stats().AmortizedCost()
+
+	lt2, err := labeling.NewLTree(8, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr2 := lt2.T
+	if _, err := tr2.Load(initial); err != nil {
+		log.Fatal(err)
+	}
+	pos2 := workload.NewPositions(workload.Uniform, 9)
+	for i := 0; i < pastes; i++ {
+		at := pos2.Next(tr2.Len() - 1)
+		anchor := tr2.LeafAt(at)
+		for j := 0; j < size; j++ {
+			next, err := tr2.InsertAfter(anchor)
+			if err != nil {
+				log.Fatal(err)
+			}
+			anchor = next
+		}
+	}
+	singleCost = tr2.Stats().AmortizedCost()
+	return runCost, singleCost
+}

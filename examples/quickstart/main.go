@@ -1,0 +1,55 @@
+// Quickstart: label an XML document, query it by containment, update it,
+// and watch the labels stay valid.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ltree-db/ltree"
+)
+
+func main() {
+	// Open labels every begin/end tag with an L-Tree number; an element's
+	// label is its (begin, end) interval.
+	st, err := ltree.OpenString(
+		`<book year="2004"><chapter><title>Labeling</title></chapter><title>L-Tree</title></book>`,
+		ltree.DefaultParams)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's motivating query: descendant-axis via label containment.
+	titles, err := st.Query("book//title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("book//title -> %d matches\n", len(titles))
+	for _, n := range titles {
+		lab, _ := st.Label(n)
+		fmt.Printf("  <title> labeled (%d,%d)\n", lab.Begin, lab.End)
+	}
+
+	// Ancestry is a pure label comparison — no tree walk.
+	root := st.Root()
+	anc, _ := st.IsAncestor(root, titles[0])
+	fmt.Printf("book contains first title (by labels alone): %v\n", anc)
+
+	// Insert a whole chapter as one bulk run (paper §4.1); existing labels
+	// adjust only locally.
+	before, _ := st.Label(titles[0])
+	if _, err := st.InsertXML(root, 1, `<chapter><title>Updates</title><para>cheap</para></chapter>`); err != nil {
+		log.Fatal(err)
+	}
+	after, _ := st.Label(titles[0])
+	fmt.Printf("first title label before/after insert: (%d,%d) -> (%d,%d)\n",
+		before.Begin, before.End, after.Begin, after.End)
+
+	titles, _ = st.Query("book//title")
+	fmt.Printf("book//title now -> %d matches\n", len(titles))
+
+	st2 := st.Stats()
+	fmt.Printf("maintenance: %d relabeled labels over %d updates (amortized %.1f nodes/insert)\n",
+		st2.RelabeledLeaves, st2.Ops(), st2.AmortizedCost())
+	fmt.Printf("labels fit in %d bits\n", st.BitsPerLabel())
+}

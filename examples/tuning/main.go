@@ -1,0 +1,70 @@
+// Tuning: pick L-Tree parameters for an application profile with the
+// paper's §3.2 models, then verify the choice empirically — an end-to-end
+// run of the "Tuning the L-Tree" section.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ltree-db/ltree"
+	"github.com/ltree-db/ltree/internal/core"
+	"github.com/ltree-db/ltree/internal/workload"
+)
+
+func main() {
+	const n = 200_000 // expected document size in tags
+
+	fmt.Printf("profile: ~%d tags\n\n", n)
+
+	// Model 1: update-heavy workload, no constraints.
+	m1 := ltree.SuggestParams(n)
+	fmt.Printf("model 1 (min update cost):   f=%-3d s=%d  cost≈%.0f  bits≈%.0f\n",
+		m1.Params.F, m1.Params.S, m1.Cost, m1.Bits)
+
+	// Model 2: labels must fit a 32-bit column.
+	m2, err := ltree.SuggestParamsUnderBits(n, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model 2 (labels ≤ 32 bits):  f=%-3d s=%d  cost≈%.0f  bits≈%.0f\n",
+		m2.Params.F, m2.Params.S, m2.Cost, m2.Bits)
+
+	// Model 3: 90% queries on a 32-bit machine word.
+	m3 := ltree.SuggestParamsMixed(n, 0.9, 32)
+	fmt.Printf("model 3 (90%% queries, w=32): f=%-3d s=%d  cost≈%.0f  bits≈%.0f\n\n",
+		m3.Params.F, m3.Params.S, m3.Cost, m3.Bits)
+
+	// Empirical verification of the constrained choice against a
+	// deliberately mistuned baseline.
+	fmt.Println("verifying model-2 choice vs a mistuned (f=4,s=2) baseline:")
+	for _, p := range []ltree.Params{m2.Params, {F: 4, S: 2}} {
+		cost, bits := measure(p, n/4)
+		fmt.Printf("  f=%-3d s=%d: measured %.2f nodes/insert, %d bits/label (bound %.0f / %.0f)\n",
+			p.F, p.S, cost, bits, ltree.PredictCost(p, n/2), ltree.PredictBits(p, n/2))
+	}
+}
+
+// measure loads n tags and inserts n more uniformly, returning amortized
+// cost and final label width.
+func measure(p ltree.Params, n int) (float64, int) {
+	tr, err := core.New(core.Params{F: p.F, S: p.S})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tr.Load(n); err != nil {
+		log.Fatal(err)
+	}
+	pos := workload.NewPositions(workload.Uniform, 3)
+	for i := 0; i < n; i++ {
+		at := pos.Next(tr.Len())
+		if at == 0 {
+			if _, err := tr.InsertFirst(); err != nil {
+				log.Fatal(err)
+			}
+		} else if _, err := tr.InsertAfter(tr.LeafAt(at - 1)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return tr.Stats().AmortizedCost(), tr.BitsPerLabel()
+}

@@ -1,0 +1,340 @@
+package ltree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestStoreEndToEnd exercises the full public surface the way the README
+// quickstart does.
+func TestStoreEndToEnd(t *testing.T) {
+	st, err := OpenString(`<book year="2004"><chapter><title>One</title></chapter><title>Main</title></book>`, DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	titles, err := st.Query("book//title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(titles) != 2 {
+		t.Fatalf("book//title: %d", len(titles))
+	}
+	direct, err := st.Query("/book/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != 1 {
+		t.Fatalf("/book/title: %d", len(direct))
+	}
+	// Insert a chapter with a nested title (bulk run) and re-query.
+	ch, err := st.InsertXML(st.Root(), 1, `<chapter><title>Two</title><para>text</para></chapter>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	titles, _ = st.Query("book//title")
+	if len(titles) != 3 {
+		t.Fatalf("after insert: %d titles", len(titles))
+	}
+	// Label semantics.
+	lab, err := st.Label(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootLab, _ := st.Label(st.Root())
+	if !rootLab.Contains(lab) {
+		t.Fatal("root must contain the new chapter")
+	}
+	anc, _ := st.IsAncestor(st.Root(), ch)
+	if !anc {
+		t.Fatal("IsAncestor broken")
+	}
+	if cmp, _ := st.Compare(st.Root(), ch); cmp != -1 {
+		t.Fatalf("root should precede chapter: %d", cmp)
+	}
+	// Delete and compact.
+	if err := st.Delete(ch); err != nil {
+		t.Fatal(err)
+	}
+	titles, _ = st.Query("book//title")
+	if len(titles) != 2 {
+		t.Fatalf("after delete: %d titles", len(titles))
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Serialization still parses.
+	if _, err := OpenString(st.String(), DefaultParams); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+// TestStoreConcurrentReaders runs queries from many goroutines while a
+// writer inserts, exercising the RWMutex discipline under the race
+// detector.
+func TestStoreConcurrentReaders(t *testing.T) {
+	st, err := OpenString(`<r><a/><a/><a/></r>`, DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := st.Query("//a"); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = st.BitsPerLabel()
+				_ = st.Stats()
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := st.InsertElement(st.Root(), i%3, "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	res, _ := st.Query("//a")
+	if len(res) != 203 {
+		t.Fatalf("got %d a's", len(res))
+	}
+}
+
+// TestTreeFacade drives the raw list-labeling API.
+func TestTreeFacade(t *testing.T) {
+	tr, err := New(Params{F: 4, S: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves, err := tr.Load(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 2 golden values through the public API.
+	want := []uint64{0, 1, 3, 4, 9, 10, 12, 13}
+	for i, lf := range leaves {
+		if lf.Num() != want[i] {
+			t.Fatalf("leaf %d = %d, want %d", i, lf.Num(), want[i])
+		}
+	}
+	if _, err := New(Params{F: 5, S: 2}); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("bad params: %v", err)
+	}
+}
+
+// TestVirtualFacade checks the virtual tree through the public API.
+func TestVirtualFacade(t *testing.T) {
+	vt, err := NewVirtual(Params{F: 4, S: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := vt.Load(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[4] != 9 {
+		t.Fatalf("virtual bulk load diverged: %v", labels)
+	}
+	if _, err := vt.InsertAfter(labels[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := vt.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTuningFacade sanity-checks the §3.2 helpers.
+func TestTuningFacade(t *testing.T) {
+	s := SuggestParams(1e6)
+	if err := s.Params.Validate(); err != nil {
+		t.Fatalf("suggested params invalid: %v", err)
+	}
+	if s.Cost <= 0 || s.Bits <= 0 {
+		t.Fatalf("degenerate suggestion %+v", s)
+	}
+	constrained, err := SuggestParamsUnderBits(1e6, int(s.Bits)-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constrained.Bits > s.Bits-4 {
+		t.Fatalf("budget ignored: %+v", constrained)
+	}
+	mixed := SuggestParamsMixed(1e6, 0.9, 8)
+	if mixed.Bits > s.Bits {
+		t.Fatalf("query-heavy suggestion wider than update-optimal: %+v vs %+v", mixed, s)
+	}
+	if PredictCost(s.Params, 1e6) != s.Cost {
+		t.Fatal("PredictCost inconsistent with SuggestParams")
+	}
+	if PredictBulkCost(s.Params, 1e6, 64) >= PredictBulkCost(s.Params, 1e6, 1) {
+		t.Fatal("bulk prediction should fall with k")
+	}
+}
+
+// TestStoreSnapshotRestore round-trips a mutated store through the
+// persistence layer and verifies labels survive bit-exactly.
+func TestStoreSnapshotRestore(t *testing.T) {
+	st, err := OpenString(`<lib><book id="1"><title>A</title></book></lib>`, DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.InsertXML(st.Root(), 1, `<book id="2"><title>B</title></book>`); err != nil {
+		t.Fatal(err)
+	}
+	victim, _ := st.Query("//book[@id='1']")
+	if len(victim) != 1 {
+		t.Fatal("setup query failed")
+	}
+	titleBefore, _ := st.Query("//title")
+	lab0, _ := st.Label(titleBefore[0])
+
+	var buf bytes.Buffer
+	if err := st.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Check(); err != nil {
+		t.Fatal(err)
+	}
+	titleAfter, err := st2.Query("//title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(titleAfter) != len(titleBefore) {
+		t.Fatalf("%d titles after restore", len(titleAfter))
+	}
+	lab1, _ := st2.Label(titleAfter[0])
+	if lab0 != lab1 {
+		t.Fatalf("labels changed across restore: %v vs %v", lab0, lab1)
+	}
+	// The restored store accepts updates.
+	if _, err := st2.InsertElement(st2.Root(), 0, "shelf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreMove exercises subtree relocation through the facade.
+func TestStoreMove(t *testing.T) {
+	st, err := OpenString(`<r><a><x/></a><b/></r>`, DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := st.Elements("x")[0]
+	b := st.Elements("b")[0]
+	if err := st.Move(x, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := st.IsAncestor(b, x); !ok {
+		t.Fatal("move did not relocate labels")
+	}
+	res, _ := st.Query("//b/x")
+	if len(res) != 1 {
+		t.Fatalf("//b/x = %d", len(res))
+	}
+	if err := st.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreQueryPredicates covers the attribute-predicate extension at the
+// facade level.
+func TestStoreQueryPredicates(t *testing.T) {
+	st, err := OpenString(`<r><u id="1" role="admin"/><u id="2"/><u id="3" role="admin"/></r>`, DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admins, err := st.Query("//u[@role='admin']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(admins) != 2 {
+		t.Fatalf("admins = %d", len(admins))
+	}
+	one, err := st.Query("//u[@role='admin'][@id='3']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 {
+		t.Fatalf("combined predicates = %d", len(one))
+	}
+	if _, err := st.Query("//u[bad"); err == nil {
+		t.Fatal("malformed predicate should error")
+	}
+}
+
+// TestStoreLargeRandom drives a bigger random session end to end and
+// verifies invariants plus label-order agreement with document order.
+func TestStoreLargeRandom(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&sb, "<s%d><x/></s%d>", i%5, i%5)
+	}
+	sb.WriteString("</root>")
+	st, err := OpenString(sb.String(), Params{F: 6, S: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 500; i++ {
+		els := st.Elements("*")
+		parent := els[rng.Intn(len(els))]
+		switch rng.Intn(4) {
+		case 0:
+			if _, err := st.InsertText(parent, rng.Intn(parent.NumChildren()+1), "t"); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			frag := "<frag><a/><b>t</b></frag>"
+			if _, err := st.InsertXML(parent, rng.Intn(parent.NumChildren()+1), frag); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if _, err := st.InsertElement(parent, rng.Intn(parent.NumChildren()+1), "el"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%100 == 99 {
+			if err := st.Check(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if err := st.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Query results must come back in document order.
+	res, err := st.Query("//el")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res); i++ {
+		if cmp, _ := st.Compare(res[i-1], res[i]); cmp != -1 {
+			t.Fatalf("result order broken at %d", i)
+		}
+	}
+}

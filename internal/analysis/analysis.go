@@ -1,0 +1,224 @@
+// Package analysis implements the paper's §3 cost model and the three
+// §3.2 tuning problems:
+//
+//  1. minimize the amortized update cost cost(f,s,n);
+//  2. minimize it subject to a label-size budget bits(f,s,n) ≤ B (the
+//     paper solves this with a Lagrange multiplier on the boundary; we
+//     search the same boundary numerically and verify it against an
+//     exhaustive feasible-grid scan);
+//  3. minimize a combined query+update cost for a given workload mix,
+//     where a label comparison costs one unit per machine word once
+//     labels outgrow the hardware word (§3.2 "Minimize the Overall Cost").
+//
+// The formulas (DESIGN.md §2.2, reconstructed from the paper):
+//
+//	cost(f,s,n) = (1 + 2f/(s−1)) · log n / log(f/s) + f
+//	bits(f,s,n) = log2(f−1) · log n / log(f/s)
+//
+// All functions treat f and s as continuous for calculus and then snap to
+// the feasible integer lattice (s ≥ 2 and f = r·s for integer r ≥ 2).
+package analysis
+
+import (
+	"errors"
+	"math"
+)
+
+// UpdateCost returns the §3.1 amortized insertion cost bound in node
+// accesses: (1 + 2f/(s−1))·log_{f/s}(n) + f.
+func UpdateCost(f, s, n float64) float64 {
+	if n < 2 {
+		n = 2
+	}
+	return (1+2*f/(s-1))*math.Log(n)/math.Log(f/s) + f
+}
+
+// LabelBits returns the asymptotic label width log2(f−1)·log_{f/s}(n),
+// using the tight radix f−1 (DESIGN.md §2.1).
+func LabelBits(f, s, n float64) float64 {
+	if n < 2 {
+		n = 2
+	}
+	return math.Log2(f-1) * math.Log(n) / math.Log(f/s)
+}
+
+// PaperLabelBits returns the bound with the looser radix the paper's text
+// prints (f+1); reported alongside for fidelity.
+func PaperLabelBits(f, s, n float64) float64 {
+	if n < 2 {
+		n = 2
+	}
+	return math.Log2(f+1) * math.Log(n) / math.Log(f/s)
+}
+
+// LabelBitsExact returns the label width an actual tree of n leaves uses:
+// H = ⌈log_{f/s} n⌉ levels at radix f−1.
+func LabelBitsExact(f, s, n int) int {
+	if n < 2 {
+		n = 2
+	}
+	r := f / s
+	h := 1
+	p := r
+	for p < n {
+		h++
+		p *= r
+	}
+	space := math.Pow(float64(f-1), float64(h))
+	return int(math.Ceil(math.Log2(space)))
+}
+
+// BulkCost returns the §4.1 amortized per-leaf cost of inserting runs of
+// k leaves into a tree of n: log n/(k·log r) + f/k + (2f/(s−1))·(1 +
+// log(n/k)/log r).
+func BulkCost(f, s, n, k float64) float64 {
+	if k < 1 {
+		k = 1
+	}
+	if n < 2 {
+		n = 2
+	}
+	r := f / s
+	logr := math.Log(r)
+	cost := math.Log(n)/(k*logr) + f/k
+	ratio := n / k
+	if ratio < 1 {
+		ratio = 1
+	}
+	cost += (2 * f / (s - 1)) * (1 + math.Log(ratio)/logr)
+	return cost
+}
+
+// QueryCompareCost returns the §3.2 per-comparison query cost model: one
+// unit while a label fits the machine word, one unit per word beyond.
+func QueryCompareCost(bits, wordBits float64) float64 {
+	if wordBits <= 0 {
+		wordBits = 64
+	}
+	return math.Max(1, math.Ceil(bits/wordBits))
+}
+
+// MixedCost combines update and query cost for a workload with the given
+// fraction of queries (model 3): each update pays UpdateCost, each query
+// pays QueryCompareCost per label comparison.
+func MixedCost(f, s, n, queryFrac, wordBits float64) float64 {
+	u := UpdateCost(f, s, n)
+	q := QueryCompareCost(LabelBits(f, s, n), wordBits)
+	return (1-queryFrac)*u + queryFrac*q
+}
+
+// Choice is a parameter selection with its predicted characteristics.
+type Choice struct {
+	F, S int
+	Cost float64 // predicted amortized update cost
+	Bits float64 // predicted label width
+}
+
+// ErrInfeasible reports that no feasible parameters satisfy a constraint.
+var ErrInfeasible = errors.New("analysis: no feasible (f, s) under the constraint")
+
+// feasible enumerates the integer lattice s ≥ 2, r ≥ 2, f = r·s ≤ fmax.
+func feasible(fmax int, visit func(f, s int)) {
+	if fmax < 4 {
+		fmax = 4
+	}
+	for s := 2; 2*s <= fmax; s++ {
+		for r := 2; r*s <= fmax; r++ {
+			visit(r*s, s)
+		}
+	}
+}
+
+// MinimizeCost solves §3.2 problem 1 on the integer lattice with f ≤ fmax.
+func MinimizeCost(n float64, fmax int) Choice {
+	best := Choice{Cost: math.Inf(1)}
+	feasible(fmax, func(f, s int) {
+		c := UpdateCost(float64(f), float64(s), n)
+		if c < best.Cost {
+			best = Choice{F: f, S: s, Cost: c, Bits: LabelBits(float64(f), float64(s), n)}
+		}
+	})
+	return best
+}
+
+// MinimizeCostUnderBits solves §3.2 problem 2: the cheapest parameters
+// whose predicted label width fits the budget. The result of the interior
+// optimum is used when it already fits (the Kuhn-Tucker case split of the
+// paper); otherwise the feasible boundary is scanned.
+func MinimizeCostUnderBits(n float64, budgetBits float64, fmax int) (Choice, error) {
+	interior := MinimizeCost(n, fmax)
+	if interior.Bits <= budgetBits {
+		return interior, nil
+	}
+	best := Choice{Cost: math.Inf(1)}
+	feasible(fmax, func(f, s int) {
+		b := LabelBits(float64(f), float64(s), n)
+		if b > budgetBits {
+			return
+		}
+		c := UpdateCost(float64(f), float64(s), n)
+		if c < best.Cost {
+			best = Choice{F: f, S: s, Cost: c, Bits: b}
+		}
+	})
+	if math.IsInf(best.Cost, 1) {
+		return Choice{}, ErrInfeasible
+	}
+	return best, nil
+}
+
+// MinimizeMixed solves §3.2 problem 3 for a query fraction in [0, 1].
+func MinimizeMixed(n, queryFrac, wordBits float64, fmax int) Choice {
+	best := Choice{Cost: math.Inf(1)}
+	feasible(fmax, func(f, s int) {
+		c := MixedCost(float64(f), float64(s), n, queryFrac, wordBits)
+		if c < best.Cost {
+			best = Choice{F: f, S: s, Cost: c, Bits: LabelBits(float64(f), float64(s), n)}
+		}
+	})
+	return best
+}
+
+// ContinuousMin solves problem 1 on the continuous relaxation by nested
+// golden-section search over s ∈ [2, smax] and r = f/s ∈ [2, rmax] — the
+// numeric counterpart of the paper's ∂cost/∂f = ∂cost/∂s = 0 system. It
+// returns real-valued (f*, s*) for comparison with the lattice optimum.
+func ContinuousMin(n float64) (fStar, sStar, cost float64) {
+	costRS := func(r, s float64) float64 { return UpdateCost(r*s, s, n) }
+	bestR, bestS, bestC := 2.0, 2.0, math.Inf(1)
+	// The surface is unimodal in each coordinate on the region of
+	// interest; alternate golden-section sweeps until movement stalls.
+	r, s := 3.0, 3.0
+	for iter := 0; iter < 40; iter++ {
+		r2 := goldenMin(func(x float64) float64 { return costRS(x, s) }, 2, 64)
+		s2 := goldenMin(func(x float64) float64 { return costRS(r2, x) }, 2, 64)
+		if math.Abs(r2-r) < 1e-9 && math.Abs(s2-s) < 1e-9 {
+			r, s = r2, s2
+			break
+		}
+		r, s = r2, s2
+	}
+	if c := costRS(r, s); c < bestC {
+		bestR, bestS, bestC = r, s, c
+	}
+	return bestR * bestS, bestS, bestC
+}
+
+// goldenMin minimizes a unimodal function on [lo, hi].
+func goldenMin(fn func(float64) float64, lo, hi float64) float64 {
+	const phi = 1.618033988749895
+	invPhi := 1 / phi
+	a, b := lo, hi
+	c := b - (b-a)*invPhi
+	d := a + (b-a)*invPhi
+	for i := 0; i < 80 && b-a > 1e-10; i++ {
+		if fn(c) < fn(d) {
+			b = d
+		} else {
+			a = c
+		}
+		c = b - (b-a)*invPhi
+		d = a + (b-a)*invPhi
+	}
+	return (a + b) / 2
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestUpdateCostShape(t *testing.T) {
+	// Grows logarithmically with n.
+	c1 := UpdateCost(8, 2, 1e3)
+	c2 := UpdateCost(8, 2, 1e6)
+	if !(c2 > c1 && c2 < 2.2*c1) {
+		t.Fatalf("cost should grow ≈2x from 1e3 to 1e6: %.2f -> %.2f", c1, c2)
+	}
+	// Exploding f dominates through the +f term.
+	if UpdateCost(4096, 2, 1e6) < UpdateCost(64, 2, 1e6) {
+		t.Fatal("huge f should not be cheaper")
+	}
+	// s close to 1 explodes via 2f/(s−1)... s is ≥ 2 by the lattice, but
+	// the continuous function must blow up toward s → 1.
+	if UpdateCost(8, 1.01, 1e6) < UpdateCost(8, 2, 1e6) {
+		t.Fatal("s→1 must explode")
+	}
+}
+
+func TestLabelBits(t *testing.T) {
+	// f=4, s=2, n=8: exact H=3, radix 3 → ceil(log2 27) = 5 bits.
+	if got := LabelBitsExact(4, 2, 8); got != 5 {
+		t.Fatalf("exact bits = %d, want 5", got)
+	}
+	// Asymptotic close to exact for large n.
+	asym := LabelBits(4, 2, 1<<20)
+	exact := float64(LabelBitsExact(4, 2, 1<<20))
+	if math.Abs(asym-exact) > 3 {
+		t.Fatalf("asymptotic %f vs exact %f drifted", asym, exact)
+	}
+	// Paper's variant is looser.
+	if PaperLabelBits(4, 2, 1e6) <= LabelBits(4, 2, 1e6) {
+		t.Fatal("paper bound should exceed the tight bound")
+	}
+}
+
+func TestBulkCostDecreases(t *testing.T) {
+	prev := math.Inf(1)
+	for _, k := range []float64{1, 4, 16, 64, 256} {
+		c := BulkCost(8, 2, 1e6, k)
+		if c >= prev {
+			t.Fatalf("bulk cost should fall with k: k=%v gives %.2f ≥ %.2f", k, c, prev)
+		}
+		prev = c
+	}
+	// But the decrease is logarithmic, not linear: doubling k far from
+	// halves the cost at large k.
+	c64 := BulkCost(8, 2, 1e6, 64)
+	c128 := BulkCost(8, 2, 1e6, 128)
+	if c128 < 0.5*c64 {
+		t.Fatal("decrease should be roughly logarithmic")
+	}
+}
+
+func TestMinimizeCost(t *testing.T) {
+	for _, n := range []float64{1e3, 1e5, 1e7} {
+		best := MinimizeCost(n, 128)
+		if best.F < 4 || best.S < 2 || best.F%best.S != 0 || best.F/best.S < 2 {
+			t.Fatalf("infeasible optimum %+v", best)
+		}
+		// No feasible point beats it.
+		feasible(128, func(f, s int) {
+			if c := UpdateCost(float64(f), float64(s), n); c < best.Cost-1e-9 {
+				t.Fatalf("grid point (%d,%d)=%.3f beats reported optimum %.3f", f, s, c, best.Cost)
+			}
+		})
+	}
+}
+
+func TestMinimizeCostUnderBits(t *testing.T) {
+	n := 1e6
+	// Loose budget returns the interior optimum.
+	interior := MinimizeCost(n, 128)
+	loose, err := MinimizeCostUnderBits(n, interior.Bits+10, 128)
+	if err != nil || loose.F != interior.F || loose.S != interior.S {
+		t.Fatalf("loose budget: %+v vs %+v (%v)", loose, interior, err)
+	}
+	// Tight budget forces a different choice that satisfies it.
+	tight, err := MinimizeCostUnderBits(n, interior.Bits-5, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Bits > interior.Bits-5 {
+		t.Fatalf("budget violated: %+v", tight)
+	}
+	if tight.Cost < interior.Cost {
+		t.Fatal("constrained optimum cannot beat the interior optimum")
+	}
+	// Impossible budget errors.
+	if _, err := MinimizeCostUnderBits(n, 1, 128); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("1-bit budget = %v", err)
+	}
+}
+
+func TestMinimizeMixed(t *testing.T) {
+	n := 1e6
+	// With word-size labels the query term is flat at 1, so the pure
+	// update optimum wins at q=0 and stays optimal for small q.
+	upd := MinimizeMixed(n, 0, 64, 128)
+	pure := MinimizeCost(n, 128)
+	if upd.F != pure.F || upd.S != pure.S {
+		t.Fatalf("q=0 mixed %+v != pure %+v", upd, pure)
+	}
+	// With a tiny machine word, query-heavy workloads must pick smaller
+	// labels even at higher update cost.
+	queryHeavy := MinimizeMixed(n, 0.95, 8, 128)
+	if queryHeavy.Bits > upd.Bits {
+		t.Fatalf("query-heavy choice has wider labels: %+v vs %+v", queryHeavy, upd)
+	}
+	mixedCostAtPure := MixedCost(float64(pure.F), float64(pure.S), n, 0.95, 8)
+	mixedCostAtChoice := MixedCost(float64(queryHeavy.F), float64(queryHeavy.S), n, 0.95, 8)
+	if mixedCostAtChoice > mixedCostAtPure+1e-9 {
+		t.Fatal("mixed optimizer returned a worse point than the pure optimum")
+	}
+}
+
+func TestContinuousMinMatchesLattice(t *testing.T) {
+	for _, n := range []float64{1e4, 1e6} {
+		f, s, c := ContinuousMin(n)
+		if s < 2 || f < 2*s {
+			t.Fatalf("continuous optimum infeasible: f=%.2f s=%.2f", f, s)
+		}
+		lattice := MinimizeCost(n, 256)
+		// The continuous optimum lower-bounds the lattice optimum and
+		// should be close (the lattice rounds it).
+		if c > lattice.Cost+1e-6 {
+			t.Fatalf("continuous %.3f worse than lattice %.3f", c, lattice.Cost)
+		}
+		if lattice.Cost > 1.35*c {
+			t.Fatalf("lattice %.3f too far above continuous %.3f", lattice.Cost, c)
+		}
+	}
+}
+
+func TestQueryCompareCost(t *testing.T) {
+	if QueryCompareCost(32, 64) != 1 || QueryCompareCost(64, 64) != 1 {
+		t.Fatal("word-size labels cost 1")
+	}
+	if QueryCompareCost(65, 64) != 2 || QueryCompareCost(129, 64) != 3 {
+		t.Fatal("beyond-word labels cost per word")
+	}
+	if QueryCompareCost(100, 0) != 2 {
+		t.Fatal("default word size should be 64")
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+// This file contains bulk loading (§2.2) and the shared renumbering
+// machinery: building complete r-ary subtrees over a leaf sequence and
+// assigning positional numbers.
+
+// Load bulk-loads n fresh leaves into an empty tree, building a complete
+// r-ary tree of height H = min{h ≥ 1 : r^h ≥ n} (§2.2) and numbering it.
+// It returns the leaves in order. Load does not charge the maintenance
+// counters: bulk loading is the baseline state that later insertions are
+// amortized against.
+func (t *Tree) Load(n int) ([]*Node, error) {
+	if n < 0 {
+		return nil, ErrBadCount
+	}
+	if t.n != 0 {
+		return nil, ErrNotEmpty
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	h := t.minHeight(n)
+	if err := t.ensurePow(h); err != nil {
+		return nil, err
+	}
+	leaves := make([]*Node, n)
+	for i := range leaves {
+		leaves[i] = &Node{height: 0, leaves: 1, num: invalidNum}
+	}
+	t.root = t.buildComplete(leaves, h)
+	t.root.num = invalidNum
+	t.assign(t.root, 0)
+	t.n = n
+	t.live = n
+	t.st.Reset()
+	return leaves, nil
+}
+
+// buildComplete builds a subtree of height h over the given leaf sequence,
+// reusing the leaf nodes and creating fresh internal nodes. The leaf count
+// must satisfy len(leaves) ≤ r^h; leaves are distributed as evenly as
+// possible, so every descendant at height h' holds ≤ r^h' leaves. Numbers
+// are left unassigned (invalidNum) for a later assign pass.
+func (t *Tree) buildComplete(leaves []*Node, h int) *Node {
+	if h == 0 {
+		if len(leaves) != 1 {
+			panic("ltree: internal error: height-0 build needs exactly one leaf")
+		}
+		return leaves[0]
+	}
+	capacity := int(t.rpow[h-1])
+	k := (len(leaves) + capacity - 1) / capacity // ≤ r children
+	node := &Node{height: h, leaves: len(leaves), num: invalidNum}
+	node.children = make([]*Node, 0, k)
+	base, extra := len(leaves)/k, len(leaves)%k
+	idx := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		child := t.buildComplete(leaves[idx:idx+size], h-1)
+		child.parent = node
+		child.pos = i
+		node.children = append(node.children, child)
+		idx += size
+	}
+	return node
+}
+
+// assign sets num(v) = num and renumbers v's subtree positionally. If the
+// node already carries the requested number, the whole subtree is already
+// consistent (positional numbering is a function of the root number and
+// the shape, which only changes together with numbers) and the walk stops.
+// Changed numbers are charged to the maintenance counters.
+func (t *Tree) assign(v *Node, num uint64) {
+	if v.num == num {
+		return
+	}
+	v.num = num
+	if v.height == 0 {
+		t.st.RelabeledLeaves++
+		return
+	}
+	t.st.RelabeledInternal++
+	spacing := t.pow[v.height-1]
+	for i, c := range v.children {
+		c.pos = i
+		t.assign(c, num+uint64(i)*spacing)
+	}
+}
+
+// relabelChildrenFrom renumbers the children of v starting at index from
+// (and, transitively, any subtree whose root number changes). This is the
+// paper's relabel(v, num(v), i) call used both after a plain insertion
+// (renumber the new leaf and its right siblings) and after a split
+// (renumber the s new subtrees and the split node's right siblings).
+func (t *Tree) relabelChildrenFrom(v *Node, from int) {
+	spacing := t.pow[v.height-1]
+	for i := from; i < len(v.children); i++ {
+		c := v.children[i]
+		c.pos = i
+		t.assign(c, v.num+uint64(i)*spacing)
+	}
+}
+
+// appendLeaves collects the leaves below v in order.
+func appendLeaves(dst []*Node, v *Node) []*Node {
+	if v.height == 0 {
+		return append(dst, v)
+	}
+	for _, c := range v.children {
+		dst = appendLeaves(dst, c)
+	}
+	return dst
+}
+
+// Leaves returns all leaves (including tombstones) in label order.
+func (t *Tree) Leaves() []*Node {
+	if t.n == 0 {
+		return nil
+	}
+	return appendLeaves(make([]*Node, 0, t.n), t.root)
+}
+
+// Compact physically rebuilds the tree over the live (non-tombstoned)
+// leaves, restoring bulk-load density and the minimal height for the live
+// count. Leaf node identities are preserved. This is an extension beyond
+// the paper (which only marks deletions); see DESIGN.md §2.3.
+func (t *Tree) Compact() error {
+	all := t.Leaves()
+	liveLeaves := all[:0]
+	for _, lf := range all {
+		if !lf.deleted {
+			liveLeaves = append(liveLeaves, lf)
+		}
+	}
+	n := len(liveLeaves)
+	if n == 0 {
+		t.root = &Node{height: 1, num: 0}
+		t.n, t.live = 0, 0
+		return nil
+	}
+	h := t.minHeight(n)
+	if err := t.ensurePow(h); err != nil {
+		return err
+	}
+	for _, lf := range liveLeaves {
+		lf.parent = nil
+		lf.num = invalidNum
+	}
+	t.root = t.buildComplete(liveLeaves, h)
+	t.root.num = invalidNum
+	t.assign(t.root, 0)
+	t.n = n
+	t.live = n
+	t.st.Rebuilds++
+	return nil
+}

@@ -1,0 +1,172 @@
+package core
+
+// This file implements multiple-node (run) insertion, paper §4.1: a whole
+// subtree of the XML document contributes a contiguous run of k tags, and
+// inserting the run at once amortizes the ancestor accounting and the
+// sibling renumbering over all k leaves.
+
+// InsertRunAfter inserts k fresh leaves as a contiguous run immediately
+// after leaf p and returns them in order. Ancestor counts are updated once
+// (+k); if the highest ancestor v with l(v) ≥ lmax(v) exists, its subtree
+// is rebuilt into ⌈l(v)/r^h⌉ complete r-ary trees (for k = 1 this is
+// exactly the paper's s-way split). If that many trees would overflow the
+// parent's fanout, the rebuild escalates to the parent (DESIGN.md §2.3).
+func (t *Tree) InsertRunAfter(p *Node, k int) ([]*Node, error) {
+	if p == nil || p.height != 0 || p.parent == nil {
+		return nil, ErrNotLeaf
+	}
+	return t.insertRunAt(p.parent, p.pos+1, k)
+}
+
+// InsertRunBefore inserts a run of k fresh leaves immediately before p.
+func (t *Tree) InsertRunBefore(p *Node, k int) ([]*Node, error) {
+	if p == nil || p.height != 0 || p.parent == nil {
+		return nil, ErrNotLeaf
+	}
+	return t.insertRunAt(p.parent, p.pos, k)
+}
+
+// InsertRunFirst inserts a run of k fresh leaves at the front of the label
+// order (this is also how an empty tree receives its first run).
+func (t *Tree) InsertRunFirst(k int) ([]*Node, error) {
+	if t.n == 0 {
+		return t.insertRunAt(t.leftmostBottom(), 0, k)
+	}
+	first := t.First()
+	return t.insertRunAt(first.parent, 0, k)
+}
+
+// insertRunAt splices k new leaves under parent starting at child index
+// idx and rebalances.
+func (t *Tree) insertRunAt(parent *Node, idx, k int) ([]*Node, error) {
+	if k < 0 {
+		return nil, ErrBadCount
+	}
+	if k == 0 {
+		return nil, nil
+	}
+	if k == 1 {
+		x, err := t.insertAt(parent, idx)
+		if err != nil {
+			return nil, err
+		}
+		return []*Node{x}, nil
+	}
+
+	// Pass 1 (read-only): find the highest ancestor that would reach or
+	// exceed its occupancy limit and pre-check label-space growth. A bulk
+	// rebuild at the root may raise the height by more than one.
+	var target *Node
+	for a := parent; a != nil; a = a.parent {
+		if a.leaves+k >= t.lmax(a.height) {
+			target = a
+		}
+	}
+	if target != nil {
+		// A rebuild can escalate up to the root (fanout overflow), which
+		// re-loads the tree at the minimal sufficient height; reserve the
+		// label space up front so no mutation happens on overflow.
+		if err := t.ensurePow(t.minHeight(t.n + k)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pass 2: splice the run.
+	run := make([]*Node, k)
+	for i := range run {
+		run[i] = &Node{height: 0, leaves: 1, num: invalidNum, parent: parent}
+	}
+	grown := make([]*Node, 0, len(parent.children)+k)
+	grown = append(grown, parent.children[:idx]...)
+	grown = append(grown, run...)
+	grown = append(grown, parent.children[idx:]...)
+	parent.children = grown
+	for i := idx; i < len(parent.children); i++ {
+		parent.children[i].pos = i
+	}
+	for a := parent; a != nil; a = a.parent {
+		a.leaves += k
+		t.st.AncestorUpdates++
+	}
+	t.n += k
+	t.live += k
+	t.st.BulkInserts++
+	t.st.BulkLeaves += uint64(k)
+
+	if target == nil {
+		t.relabelChildrenFrom(parent, idx)
+		return run, nil
+	}
+	t.rebuild(target)
+	return run, nil
+}
+
+// rebuild replaces v's subtree with m = ⌈l(v)/r^h⌉ complete r-ary trees of
+// height h over the same leaf sequence. When m children cannot fit next to
+// v's siblings (fanout would exceed f−1), the rebuild escalates to v's
+// parent; at the root the whole tree is rebuilt at the minimal sufficient
+// height. Single-insert splits are the m = s special case and never
+// escalate (Proposition 3 and the fanout bound, DESIGN.md §2.2).
+func (t *Tree) rebuild(v *Node) {
+	for {
+		if v == t.root {
+			t.rebuildRoot()
+			return
+		}
+		h := v.height
+		capacity := int(t.rpow[h])
+		m := (v.leaves + capacity - 1) / capacity
+		if m < 1 {
+			m = 1
+		}
+		parent := v.parent
+		if len(parent.children)-1+m > t.params.F-1 {
+			// The paper's analysis never needs this branch (single inserts
+			// split into exactly s pieces that provably fit); very large
+			// runs may not, so grow the rebuild scope instead.
+			v = parent
+			continue
+		}
+		leaves := appendLeaves(make([]*Node, 0, v.leaves), v)
+		subs := make([]*Node, m)
+		base, extra := len(leaves)/m, len(leaves)%m
+		at := 0
+		for i := range subs {
+			size := base
+			if i < extra {
+				size++
+			}
+			subs[i] = t.buildComplete(leaves[at:at+size], h)
+			subs[i].parent = parent
+			at += size
+		}
+		t.st.Splits++
+		grown := make([]*Node, 0, len(parent.children)+m-1)
+		grown = append(grown, parent.children[:v.pos]...)
+		grown = append(grown, subs...)
+		grown = append(grown, parent.children[v.pos+1:]...)
+		pos := v.pos
+		parent.children = grown
+		t.relabelChildrenFrom(parent, pos)
+		return
+	}
+}
+
+// rebuildRoot rebuilds the entire tree as a bulk load of the current leaf
+// sequence at the minimal sufficient height (which is strictly larger than
+// the old height whenever the root hit its occupancy limit).
+func (t *Tree) rebuildRoot() {
+	leaves := t.Leaves()
+	h := t.minHeight(len(leaves))
+	if h < 1 {
+		h = 1
+	}
+	// ensurePow was called in pass 1; heights only shrink below the old
+	// root height after explicit Compact calls.
+	t.root = t.buildComplete(leaves, h)
+	t.root.parent = nil
+	t.root.num = invalidNum
+	t.assign(t.root, 0)
+	t.st.Rebuilds++
+	t.st.RootSplits++
+}

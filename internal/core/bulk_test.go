@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestInsertRunBasic(t *testing.T) {
+	tr := mustNew(t, 4, 2)
+	leaves := mustLoad(t, tr, 4)
+	run, err := tr.InsertRunAfter(leaves[1], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run) != 3 {
+		t.Fatalf("run length %d", len(run))
+	}
+	checkTree(t, tr)
+	// Sequence: leaves[0], leaves[1], run..., leaves[2], leaves[3].
+	got := tr.Leaves()
+	wantOrder := []*Node{leaves[0], leaves[1], run[0], run[1], run[2], leaves[2], leaves[3]}
+	for i, lf := range wantOrder {
+		if got[i] != lf {
+			t.Fatalf("order mismatch at %d", i)
+		}
+	}
+}
+
+func TestInsertRunEdgeCases(t *testing.T) {
+	tr := mustNew(t, 4, 2)
+	if _, err := tr.InsertRunFirst(0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("k=0 must be a no-op")
+	}
+	if _, err := tr.InsertRunFirst(-1); !errors.Is(err, ErrBadCount) {
+		t.Fatalf("negative k: %v", err)
+	}
+	// k=1 takes the single-insert path, including its split rule.
+	run, err := tr.InsertRunFirst(1)
+	if err != nil || len(run) != 1 {
+		t.Fatalf("k=1: %v", err)
+	}
+	if tr.Stats().Inserts != 1 {
+		t.Fatal("k=1 should be accounted as a single insert")
+	}
+	if _, err := tr.InsertRunAfter(nil, 2); !errors.Is(err, ErrNotLeaf) {
+		t.Fatalf("nil anchor: %v", err)
+	}
+	checkTree(t, tr)
+}
+
+// TestInsertRunIntoEmpty covers run sizes that force an immediate rebuild
+// of a fresh tree, including sizes far above the root's limit.
+func TestInsertRunIntoEmpty(t *testing.T) {
+	for _, p := range []Params{{F: 4, S: 2}, {F: 6, S: 3}, {F: 8, S: 2}} {
+		for _, k := range []int{1, 2, 3, 5, 8, 16, 50, 200, 1000} {
+			tr, _ := New(p)
+			run, err := tr.InsertRunFirst(k)
+			if err != nil {
+				t.Fatalf("%v k=%d: %v", p, k, err)
+			}
+			if len(run) != k || tr.Len() != k {
+				t.Fatalf("%v k=%d: got %d leaves", p, k, len(run))
+			}
+			if err := tr.Check(); err != nil {
+				t.Fatalf("%v k=%d: %v", p, k, err)
+			}
+		}
+	}
+}
+
+// TestInsertRunLarge stresses run insertion into a populated tree at many
+// positions and sizes, including sizes larger than the whole tree.
+func TestInsertRunLarge(t *testing.T) {
+	for _, p := range []Params{{F: 4, S: 2}, {F: 8, S: 4}, {F: 12, S: 2}} {
+		tr, _ := New(p)
+		mustLoad(t, tr, 100)
+		rng := rand.New(rand.NewSource(7))
+		for _, k := range []int{2, 7, 31, 64, 128, 999} {
+			pos := rng.Intn(tr.Len())
+			if _, err := tr.InsertRunAfter(tr.LeafAt(pos), k); err != nil {
+				t.Fatalf("%v k=%d: %v", p, k, err)
+			}
+			if err := tr.Check(); err != nil {
+				t.Fatalf("%v k=%d: %v", p, k, err)
+			}
+		}
+	}
+}
+
+// TestInsertRunPreservesNeighbors verifies that a run insertion keeps the
+// anchor's label ≤ its old value ordering with the run and the successor.
+func TestInsertRunPreservesNeighbors(t *testing.T) {
+	tr := mustNew(t, 4, 2)
+	leaves := mustLoad(t, tr, 32)
+	anchor := leaves[10]
+	succ := leaves[11]
+	run, err := tr.InsertRunAfter(anchor, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevNum := anchor.Num()
+	for _, lf := range run {
+		if lf.Num() <= prevNum {
+			t.Fatalf("run not ordered after anchor: %d then %d", prevNum, lf.Num())
+		}
+		prevNum = lf.Num()
+	}
+	if succ.Num() <= prevNum {
+		t.Fatalf("successor %d not after run end %d", succ.Num(), prevNum)
+	}
+	checkTree(t, tr)
+}
+
+// TestBulkAmortizedImprovement reproduces the qualitative §4.1 claim: the
+// amortized per-leaf cost decreases as the run size grows.
+func TestBulkAmortizedImprovement(t *testing.T) {
+	cost := func(k int) float64 {
+		tr := mustNew(t, 8, 2)
+		mustLoad(t, tr, 64)
+		rng := rand.New(rand.NewSource(3))
+		const total = 32768
+		for inserted := 0; inserted < total; inserted += k {
+			pos := rng.Intn(tr.Len())
+			if _, err := tr.InsertRunAfter(tr.LeafAt(pos), k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr.Stats().AmortizedCost()
+	}
+	c1 := cost(1)
+	c16 := cost(16)
+	c256 := cost(256)
+	if !(c16 < c1 && c256 < c16) {
+		t.Fatalf("amortized cost should fall with run size: k=1:%.2f k=16:%.2f k=256:%.2f", c1, c16, c256)
+	}
+}

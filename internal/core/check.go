@@ -1,0 +1,108 @@
+package core
+
+import "fmt"
+
+// Check validates every structural and numbering invariant of the L-Tree
+// (Propositions 1 and 2 of the paper plus the derived fanout bound). It is
+// O(n) and intended for tests and the experiment harness, not hot paths.
+//
+// Verified invariants:
+//  1. link consistency: parent/pos/height bookkeeping;
+//  2. leaf counts: l(v) equals the number of leaf descendants;
+//  3. occupancy: l(v) < lmax(v) = s·r^h for every internal node;
+//  4. fanout: 1 ≤ c(v) ≤ f−1 for internal nodes (root may be emptier);
+//  5. all leaves at the same depth (height 0 exactly at depth H);
+//  6. numbering: num(child i of v) = num(v) + i·(f−1)^height(child),
+//     num(root) = 0, and therefore strictly increasing leaf labels
+//     bounded by the label space (Proposition 1).
+func (t *Tree) Check() error {
+	if t.root == nil {
+		return fmt.Errorf("ltree: nil root")
+	}
+	if t.root.parent != nil {
+		return fmt.Errorf("ltree: root has a parent")
+	}
+	if t.root.height < 1 {
+		return fmt.Errorf("ltree: root height %d < 1", t.root.height)
+	}
+	if t.n > 0 && t.root.num != 0 {
+		return fmt.Errorf("ltree: root num = %d, want 0", t.root.num)
+	}
+	if t.root.leaves != t.n {
+		return fmt.Errorf("ltree: root leaf count %d != tree size %d", t.root.leaves, t.n)
+	}
+	live := 0
+	var prev *Node
+	first := true
+	var walk func(v *Node) (int, error)
+	walk = func(v *Node) (int, error) {
+		if v.height == 0 {
+			if len(v.children) != 0 {
+				return 0, fmt.Errorf("ltree: leaf %d has children", v.num)
+			}
+			if v.leaves != 1 {
+				return 0, fmt.Errorf("ltree: leaf %d has leaf count %d", v.num, v.leaves)
+			}
+			if !v.deleted {
+				live++
+			}
+			if !first && prev.num >= v.num {
+				return 0, fmt.Errorf("ltree: leaf labels not increasing: %d then %d", prev.num, v.num)
+			}
+			if v.num >= t.pow[t.root.height] {
+				return 0, fmt.Errorf("ltree: label %d outside label space %d", v.num, t.pow[t.root.height])
+			}
+			first = false
+			prev = v
+			return 1, nil
+		}
+		if len(v.children) == 0 && v != t.root {
+			return 0, fmt.Errorf("ltree: empty internal node (height %d, num %d)", v.height, v.num)
+		}
+		if len(v.children) > t.params.F-1 {
+			return 0, fmt.Errorf("ltree: fanout %d exceeds f−1 = %d at height %d",
+				len(v.children), t.params.F-1, v.height)
+		}
+		if v.leaves >= t.lmax(v.height) {
+			return 0, fmt.Errorf("ltree: occupancy l=%d ≥ lmax=%d at height %d (num %d)",
+				v.leaves, t.lmax(v.height), v.height, v.num)
+		}
+		total := 0
+		spacing := t.pow[v.height-1]
+		for i, c := range v.children {
+			if c.parent != v {
+				return 0, fmt.Errorf("ltree: broken parent link below num %d", v.num)
+			}
+			if c.pos != i {
+				return 0, fmt.Errorf("ltree: child pos %d, want %d (below num %d)", c.pos, i, v.num)
+			}
+			if c.height != v.height-1 {
+				return 0, fmt.Errorf("ltree: child height %d under height %d", c.height, v.height)
+			}
+			want := v.num + uint64(i)*spacing
+			if c.num != want {
+				return 0, fmt.Errorf("ltree: num(child %d of %d) = %d, want %d", i, v.num, c.num, want)
+			}
+			sub, err := walk(c)
+			if err != nil {
+				return 0, err
+			}
+			total += sub
+		}
+		if total != v.leaves {
+			return 0, fmt.Errorf("ltree: leaf count %d, counted %d (num %d)", v.leaves, total, v.num)
+		}
+		return total, nil
+	}
+	n, err := walk(t.root)
+	if err != nil {
+		return err
+	}
+	if n != t.n {
+		return fmt.Errorf("ltree: counted %d leaves, tree says %d", n, t.n)
+	}
+	if live != t.live {
+		return fmt.Errorf("ltree: counted %d live leaves, tree says %d", live, t.live)
+	}
+	return nil
+}

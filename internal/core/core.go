@@ -1,0 +1,234 @@
+// Package core implements the materialized L-Tree of Chen, Mihaila,
+// Bordawekar and Padmanabhan, "L-Tree: a Dynamic Labeling Structure for
+// Ordered XML Data" (EDBT 2004 Workshops).
+//
+// An L-Tree is an ordered, balanced tree whose leaves stand for the tags of
+// an XML document in document order (begin tag, end tag, or text section).
+// Every node v carries a number num(v); the number of a leaf is the label
+// of its tag. Numbers are assigned positionally,
+//
+//	num(root) = 0
+//	num(i-th child c of v) = num(v) + i·(f−1)^height(c)
+//
+// so that leaf numbers are strictly increasing in document order
+// (Proposition 1 of the paper). Two parameters govern the shape:
+//
+//	s ≥ 2         — how many pieces an overfull node splits into
+//	r = f/s ≥ 2   — the arity of freshly built subtrees
+//
+// Each internal node v tolerates at most lmax(v) = s·r^height(v) leaf
+// descendants. An insertion that drives the highest such node v to
+// l(v) = lmax(v) splits v into s complete r-ary subtrees over the same
+// leaf sequence, renumbering only those subtrees and v's right siblings.
+// This yields O(log n) amortized renumberings per insertion and
+// O(log n)-bit labels (paper §3).
+//
+// The label radix is f−1, which Figure 2 of the paper pins down and which
+// is tight: the maximum fanout reachable between splits is exactly f−1
+// (see DESIGN.md §2.2).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ltree-db/ltree/internal/stats"
+)
+
+// invalidNum marks nodes that have never been numbered. Valid labels are
+// < 1<<62, so the sentinel can never collide with a real number.
+const invalidNum = ^uint64(0)
+
+// maxLabelSpace bounds the root interval (f−1)^H so that all labels fit
+// comfortably in uint64 arithmetic, leaving headroom for intermediate sums.
+const maxLabelSpace = uint64(1) << 62
+
+// Errors reported by the L-Tree. They are sentinel values so callers can
+// match them with errors.Is.
+var (
+	ErrBadParams     = errors.New("ltree: invalid parameters: need s ≥ 2 and f a multiple of s with f/s ≥ 2")
+	ErrNotLeaf       = errors.New("ltree: reference node is not a leaf of this tree")
+	ErrNotEmpty      = errors.New("ltree: bulk load requires an empty tree")
+	ErrEmpty         = errors.New("ltree: tree has no leaves")
+	ErrLabelOverflow = errors.New("ltree: label space exceeds 2^62; choose larger f or s")
+	ErrBadCount      = errors.New("ltree: leaf count must be non-negative")
+)
+
+// Params selects the shape of an L-Tree. F must be a positive multiple of
+// S with F/S ≥ 2 and S ≥ 2; the paper writes the pair as (f, s).
+type Params struct {
+	F int // split threshold scale; max fanout is F−1, label radix is F−1
+	S int // number of pieces an overfull node splits into
+
+	// WideRadix spaces labels with radix F+1 — the constant the paper's
+	// printed formulas use — instead of the tight F−1 that Figure 2
+	// exhibits and DESIGN.md §2.2 proves sufficient. Splitting and
+	// relabeling behaviour is bit-for-bit identical; only label values
+	// (and therefore label width) change. Exists for the radix ablation
+	// experiment; leave false in production.
+	WideRadix bool
+}
+
+// Validate reports whether the parameters satisfy the paper's constraints.
+func (p Params) Validate() error {
+	if p.S < 2 || p.F < 2*p.S || p.F%p.S != 0 {
+		return fmt.Errorf("%w (got f=%d, s=%d)", ErrBadParams, p.F, p.S)
+	}
+	return nil
+}
+
+// R returns the rebuild arity r = f/s.
+func (p Params) R() int { return p.F / p.S }
+
+// Radix returns the label radix: children of a height-(h+1) node are
+// spaced Radix^h apart. The default is the tight f−1 (DESIGN.md §2.2);
+// WideRadix selects the paper text's looser f+1.
+func (p Params) Radix() int {
+	if p.WideRadix {
+		return p.F + 1
+	}
+	return p.F - 1
+}
+
+// Node is a node of the L-Tree. Leaves (Height()==0) represent XML tags;
+// internal nodes exist only to organise the label space. Nodes are created
+// and owned by a Tree; callers hold *Node values as stable identities for
+// leaves (a leaf pointer survives every split and renumbering).
+type Node struct {
+	parent   *Node
+	children []*Node // nil for leaves
+	pos      int     // index in parent.children
+	height   int     // 0 for leaves
+	leaves   int     // l(v): leaf descendants (a leaf counts itself: 1)
+	num      uint64  // the paper's num(v); the label, for leaves
+	deleted  bool    // tombstone mark (leaves only)
+	payload  any     // caller-owned reference, e.g. the XML node
+}
+
+// Num returns the node's current number; for leaves this is the label.
+func (n *Node) Num() uint64 { return n.num }
+
+// Height returns the node's height (0 for leaves).
+func (n *Node) Height() int { return n.height }
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.height == 0 }
+
+// Deleted reports whether the leaf carries a tombstone mark.
+func (n *Node) Deleted() bool { return n.deleted }
+
+// Payload returns the caller-attached value (nil if none).
+func (n *Node) Payload() any { return n.payload }
+
+// SetPayload attaches a caller-owned value to the node, typically the XML
+// tag the leaf stands for.
+func (n *Node) SetPayload(v any) { n.payload = v }
+
+// Fanout returns the number of children (0 for leaves).
+func (n *Node) Fanout() int { return len(n.children) }
+
+// Tree is a materialized L-Tree. The zero value is not usable; construct
+// with New. A Tree is not safe for concurrent mutation; wrap it with a
+// mutex if shared (the public facade offers that).
+type Tree struct {
+	params Params
+	r      int    // f/s
+	s      int    // s
+	radix  uint64 // f−1
+	root   *Node
+	n      int      // total leaves including tombstones (label slots in use)
+	live   int      // leaves not marked deleted
+	pow    []uint64 // pow[h] = radix^h, maintained ≤ maxLabelSpace
+	rpow   []uint64 // rpow[h] = r^h (as uint64; bounded by pow growth)
+	st     stats.Counters
+}
+
+// New returns an empty L-Tree with the given parameters.
+func New(p Params) (*Tree, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		params: p,
+		r:      p.R(),
+		s:      p.S,
+		radix:  uint64(p.Radix()),
+		pow:    []uint64{1},
+		rpow:   []uint64{1},
+	}
+	if err := t.ensurePow(1); err != nil {
+		return nil, err
+	}
+	t.root = &Node{height: 1, num: 0}
+	return t, nil
+}
+
+// Params returns the tree's parameters.
+func (t *Tree) Params() Params { return t.params }
+
+// Len returns the number of label slots in use: all leaves, including
+// tombstoned ones (deleted labels keep occupying their slot, paper §2.3).
+func (t *Tree) Len() int { return t.n }
+
+// Live returns the number of leaves not marked deleted.
+func (t *Tree) Live() int { return t.live }
+
+// Height returns the height of the tree (root height; ≥ 1).
+func (t *Tree) Height() int { return t.root.height }
+
+// LabelSpace returns the size of the current root interval (f−1)^H; every
+// label is < LabelSpace.
+func (t *Tree) LabelSpace() uint64 { return t.pow[t.root.height] }
+
+// BitsPerLabel returns the number of bits needed to store any current
+// label, ⌈log2 LabelSpace⌉ — the paper's bits(f,s,n).
+func (t *Tree) BitsPerLabel() int {
+	space := t.LabelSpace()
+	bits := 0
+	for v := space - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return bits
+}
+
+// Stats returns a copy of the maintenance cost counters.
+func (t *Tree) Stats() stats.Counters { return t.st }
+
+// ResetStats zeroes the maintenance cost counters.
+func (t *Tree) ResetStats() { t.st.Reset() }
+
+// lmax returns the paper's occupancy limit s·r^h for a node of height h.
+func (t *Tree) lmax(h int) int {
+	// rpow is maintained alongside pow; heights present in the tree always
+	// have their powers precomputed.
+	return t.s * int(t.rpow[h])
+}
+
+// ensurePow extends the radix and r power tables up to height h,
+// returning ErrLabelOverflow if the label space would exceed maxLabelSpace.
+func (t *Tree) ensurePow(h int) error {
+	for len(t.pow) <= h {
+		last := t.pow[len(t.pow)-1]
+		if last > maxLabelSpace/t.radix {
+			return ErrLabelOverflow
+		}
+		t.pow = append(t.pow, last*t.radix)
+		t.rpow = append(t.rpow, t.rpow[len(t.rpow)-1]*uint64(t.r))
+	}
+	return nil
+}
+
+// minHeight returns the smallest height H ≥ 1 with r^H ≥ n — the bulk
+// loading height of §2.2.
+func (t *Tree) minHeight(n int) int {
+	h := 1
+	p := uint64(t.r)
+	for p < uint64(n) {
+		h++
+		p *= uint64(t.r)
+	}
+	return h
+}

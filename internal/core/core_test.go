@@ -1,0 +1,472 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustNew(t *testing.T, f, s int) *Tree {
+	t.Helper()
+	tr, err := New(Params{F: f, S: s})
+	if err != nil {
+		t.Fatalf("New(f=%d,s=%d): %v", f, s, err)
+	}
+	return tr
+}
+
+func mustLoad(t *testing.T, tr *Tree, n int) []*Node {
+	t.Helper()
+	leaves, err := tr.Load(n)
+	if err != nil {
+		t.Fatalf("Load(%d): %v", n, err)
+	}
+	return leaves
+}
+
+func checkTree(t *testing.T, tr *Tree) {
+	t.Helper()
+	if err := tr.Check(); err != nil {
+		t.Fatalf("invariant violation: %v", err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	valid := []Params{{F: 4, S: 2}, {F: 6, S: 2}, {F: 6, S: 3}, {F: 8, S: 2}, {F: 8, S: 4}, {F: 9, S: 3}, {F: 12, S: 3}, {F: 64, S: 4}}
+	for _, p := range valid {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Params%v should be valid: %v", p, err)
+		}
+	}
+	invalid := []Params{{F: 0, S: 0}, {F: 4, S: 1}, {F: 2, S: 2}, {F: 3, S: 2}, {F: 5, S: 2}, {F: 7, S: 3}, {F: 4, S: 3}, {F: 6, S: 4}, {F: -4, S: -2}}
+	for _, p := range invalid {
+		if err := p.Validate(); !errors.Is(err, ErrBadParams) {
+			t.Errorf("Params%v should be invalid, got %v", p, err)
+		}
+	}
+}
+
+// TestFigure2 replays the paper's worked example (Figure 2, f=4, s=2)
+// and demands the exact label sequences of all four subfigures.
+func TestFigure2(t *testing.T) {
+	tr := mustNew(t, 4, 2)
+
+	// (a) Bulk loading the 8 tags of <A><B><C/></B><D/></A>:
+	// A B C /C /B D /D /A  ->  0 1 3 4 9 10 12 13.
+	leaves := mustLoad(t, tr, 8)
+	checkTree(t, tr)
+	want := []uint64{0, 1, 3, 4, 9, 10, 12, 13}
+	got := tr.Nums()
+	if len(got) != len(want) {
+		t.Fatalf("bulk load: got %d labels, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bulk load labels = %v, want %v", got, want)
+		}
+	}
+	if h := tr.Height(); h != 3 {
+		t.Fatalf("height = %d, want 3", h)
+	}
+
+	// (c) Insert the begin tag "D" before "C" (the leaf numbered 3).
+	// No node reaches its limit; D, C, /C are renumbered 3, 4, 5.
+	c := leaves[2]
+	d, err := tr.InsertBefore(c)
+	if err != nil {
+		t.Fatalf("InsertBefore: %v", err)
+	}
+	checkTree(t, tr)
+	want = []uint64{0, 1, 3, 4, 5, 9, 10, 12, 13}
+	got = tr.Nums()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after inserting D: labels = %v, want %v", got, want)
+		}
+	}
+	if d.Num() != 3 || c.Num() != 4 {
+		t.Fatalf("D=%d C=%d, want D=3 C=4", d.Num(), c.Num())
+	}
+	if s := tr.Stats().Splits; s != 0 {
+		t.Fatalf("unexpected split count %d", s)
+	}
+
+	// (d) Insert the end tag "/D" right after "D". The height-1 node now
+	// holds l = 4 = lmax = s·(f/s)^1 leaves and splits into two complete
+	// binary trees; final element labels: A(0,13) B(1,9) D(3,4) C(6,7)
+	// D(10,12).
+	dEnd, err := tr.InsertAfter(d)
+	if err != nil {
+		t.Fatalf("InsertAfter: %v", err)
+	}
+	checkTree(t, tr)
+	want = []uint64{0, 1, 3, 4, 6, 7, 9, 10, 12, 13}
+	got = tr.Nums()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after inserting /D: labels = %v, want %v", got, want)
+		}
+	}
+	if d.Num() != 3 || dEnd.Num() != 4 || c.Num() != 6 {
+		t.Fatalf("D=(%d,%d) C=%d, want D=(3,4) C=6", d.Num(), dEnd.Num(), c.Num())
+	}
+	st := tr.Stats()
+	if st.Splits != 1 || st.RootSplits != 0 {
+		t.Fatalf("splits = %d (root %d), want 1 (0)", st.Splits, st.RootSplits)
+	}
+	// The outer elements kept their labels: A(0,13), B(1,9), D(10,12).
+	if leaves[0].Num() != 0 || leaves[7].Num() != 13 || leaves[1].Num() != 1 ||
+		leaves[4].Num() != 9 || leaves[5].Num() != 10 || leaves[6].Num() != 12 {
+		t.Fatalf("outer labels moved: %v", tr.Nums())
+	}
+}
+
+func TestBulkLoadShapes(t *testing.T) {
+	for _, p := range []Params{{F: 4, S: 2}, {F: 6, S: 2}, {F: 6, S: 3}, {F: 8, S: 4}, {F: 9, S: 3}, {F: 16, S: 2}} {
+		for n := 0; n <= 130; n++ {
+			tr, err := New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leaves, err := tr.Load(n)
+			if err != nil {
+				t.Fatalf("Load(%d) with %v: %v", n, p, err)
+			}
+			if len(leaves) != n || tr.Len() != n || tr.Live() != n {
+				t.Fatalf("Load(%d): got %d leaves", n, len(leaves))
+			}
+			if err := tr.Check(); err != nil {
+				t.Fatalf("Load(%d) with %v: %v", n, p, err)
+			}
+			if n > 0 {
+				wantH := tr.minHeight(n)
+				if tr.Height() != wantH {
+					t.Fatalf("Load(%d) with %v: height %d, want %d", n, p, tr.Height(), wantH)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	tr := mustNew(t, 4, 2)
+	if _, err := tr.Load(-1); !errors.Is(err, ErrBadCount) {
+		t.Fatalf("Load(-1) = %v, want ErrBadCount", err)
+	}
+	mustLoad(t, tr, 3)
+	if _, err := tr.Load(3); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("second Load = %v, want ErrNotEmpty", err)
+	}
+}
+
+func TestInsertIntoEmpty(t *testing.T) {
+	for _, p := range []Params{{F: 4, S: 2}, {F: 8, S: 2}, {F: 9, S: 3}} {
+		tr, _ := New(p)
+		a, err := tr.InsertFirst()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTree(t, tr)
+		if a.Num() != 0 {
+			t.Fatalf("first leaf num = %d, want 0", a.Num())
+		}
+		b, err := tr.InsertLast()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTree(t, tr)
+		if b.Num() != 1 {
+			t.Fatalf("second leaf num = %d, want 1", b.Num())
+		}
+		c, err := tr.InsertBefore(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTree(t, tr)
+		if got := tr.Rank(c); got != 1 {
+			t.Fatalf("rank of middle leaf = %d, want 1", got)
+		}
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	tr := mustNew(t, 4, 2)
+	if _, err := tr.InsertAfter(nil); !errors.Is(err, ErrNotLeaf) {
+		t.Fatalf("InsertAfter(nil) = %v", err)
+	}
+	leaves := mustLoad(t, tr, 4)
+	if _, err := tr.InsertAfter(leaves[0].parent); !errors.Is(err, ErrNotLeaf) {
+		t.Fatalf("InsertAfter(internal) = %v", err)
+	}
+	other := mustNew(t, 4, 2)
+	detached := mustLoad(t, other, 1)[0]
+	if err := other.Remove(detached); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.InsertAfter(detached); !errors.Is(err, ErrNotLeaf) {
+		t.Fatalf("InsertAfter(detached) = %v", err)
+	}
+}
+
+// TestAppendGrowth appends n leaves one by one and validates invariants,
+// monotone labels, and that the height stays logarithmic.
+func TestAppendGrowth(t *testing.T) {
+	for _, p := range []Params{{F: 4, S: 2}, {F: 6, S: 3}, {F: 8, S: 2}, {F: 12, S: 2}} {
+		tr, _ := New(p)
+		const n = 3000
+		var last *Node
+		for i := 0; i < n; i++ {
+			var err error
+			if last == nil {
+				last, err = tr.InsertFirst()
+			} else {
+				last, err = tr.InsertAfter(last)
+			}
+			if err != nil {
+				t.Fatalf("%v append %d: %v", p, i, err)
+			}
+		}
+		checkTree(t, tr)
+		if tr.Len() != n {
+			t.Fatalf("len = %d, want %d", tr.Len(), n)
+		}
+		// Height ≤ log_r(n)+2 plus slack for splits.
+		maxH := tr.minHeight(n) + 2
+		if tr.Height() > maxH {
+			t.Fatalf("%v: height %d too tall for %d leaves (max %d)", p, tr.Height(), n, maxH)
+		}
+	}
+}
+
+// TestNoCascadeSplit verifies Proposition 3: a single insertion performs at
+// most one split.
+func TestNoCascadeSplit(t *testing.T) {
+	for _, p := range []Params{{F: 4, S: 2}, {F: 6, S: 3}, {F: 8, S: 4}} {
+		tr, _ := New(p)
+		leaves := mustLoad(t, tr, 1)
+		anchor := leaves[0]
+		prevSplits := uint64(0)
+		for i := 0; i < 5000; i++ {
+			// Hammer a single point: worst case for split pressure.
+			if _, err := tr.InsertAfter(anchor); err != nil {
+				t.Fatal(err)
+			}
+			st := tr.Stats()
+			if st.Splits-prevSplits > 1 {
+				t.Fatalf("%v: insert %d caused %d splits", p, i, st.Splits-prevSplits)
+			}
+			prevSplits = st.Splits
+		}
+		checkTree(t, tr)
+	}
+}
+
+func TestDeleteTombstone(t *testing.T) {
+	tr := mustNew(t, 4, 2)
+	leaves := mustLoad(t, tr, 16)
+	before := tr.Nums()
+	if err := tr.Delete(leaves[5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete(leaves[5]); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if tr.Live() != 15 || tr.Len() != 16 {
+		t.Fatalf("live=%d len=%d", tr.Live(), tr.Len())
+	}
+	after := tr.Nums()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("deletion relabeled: %v -> %v", before, after)
+		}
+	}
+	st := tr.Stats()
+	if st.Relabelings() != 0 {
+		t.Fatalf("tombstone deletion charged %d relabelings", st.Relabelings())
+	}
+	checkTree(t, tr)
+	if err := tr.Undelete(leaves[5]); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Live() != 16 {
+		t.Fatalf("undelete: live=%d", tr.Live())
+	}
+}
+
+func TestRemovePhysical(t *testing.T) {
+	tr := mustNew(t, 4, 2)
+	leaves := mustLoad(t, tr, 32)
+	for i, lf := range leaves {
+		if i%2 == 0 {
+			if err := tr.Remove(lf); err != nil {
+				t.Fatal(err)
+			}
+			checkTree(t, tr)
+		}
+	}
+	if tr.Len() != 16 || tr.Live() != 16 {
+		t.Fatalf("len=%d live=%d, want 16", tr.Len(), tr.Live())
+	}
+	// Remaining labels still strictly increasing; right siblings of each
+	// removed slot were compacted (positional numbering restored).
+	nums := tr.Nums()
+	for i := 1; i < len(nums); i++ {
+		if nums[i-1] >= nums[i] {
+			t.Fatalf("order broken: %v", nums)
+		}
+	}
+	// Drain completely; the tree must reset to a usable empty state.
+	for _, lf := range tr.Leaves() {
+		if err := tr.Remove(lf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len=%d after drain", tr.Len())
+	}
+	checkTree(t, tr)
+	if _, err := tr.InsertFirst(); err != nil {
+		t.Fatalf("insert into drained tree: %v", err)
+	}
+	checkTree(t, tr)
+}
+
+func TestCompact(t *testing.T) {
+	tr := mustNew(t, 4, 2)
+	leaves := mustLoad(t, tr, 64)
+	for i, lf := range leaves {
+		if i%4 != 0 {
+			if err := tr.Delete(lf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tr.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	checkTree(t, tr)
+	if tr.Len() != 16 || tr.Live() != 16 {
+		t.Fatalf("after compact: len=%d live=%d", tr.Len(), tr.Live())
+	}
+	if tr.Height() != tr.minHeight(16) {
+		t.Fatalf("after compact: height=%d want %d", tr.Height(), tr.minHeight(16))
+	}
+	// Compacting an empty tree resets cleanly.
+	tr2 := mustNew(t, 4, 2)
+	lf := mustLoad(t, tr2, 1)[0]
+	if err := tr2.Delete(lf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != 0 {
+		t.Fatalf("compact empty: len=%d", tr2.Len())
+	}
+	checkTree(t, tr2)
+}
+
+func TestRankSelectNextPrev(t *testing.T) {
+	tr := mustNew(t, 6, 2)
+	mustLoad(t, tr, 500)
+	// Interleave some inserts to break the perfect shape.
+	for i := 0; i < 200; i++ {
+		lf := tr.LeafAt((i * 37) % tr.Len())
+		if _, err := tr.InsertAfter(lf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkTree(t, tr)
+	leaves := tr.Leaves()
+	for i, lf := range leaves {
+		if got := tr.Rank(lf); got != i {
+			t.Fatalf("Rank(leaf %d) = %d", i, got)
+		}
+		if got := tr.LeafAt(i); got != lf {
+			t.Fatalf("LeafAt(%d) != leaf", i)
+		}
+	}
+	if tr.LeafAt(-1) != nil || tr.LeafAt(tr.Len()) != nil {
+		t.Fatal("LeafAt out of range should be nil")
+	}
+	// Next/Prev walk the same sequence.
+	cur := tr.First()
+	for i := 0; i < len(leaves); i++ {
+		if cur != leaves[i] {
+			t.Fatalf("Next walk diverged at %d", i)
+		}
+		cur = cur.Next()
+	}
+	if cur != nil {
+		t.Fatal("Next past the end should be nil")
+	}
+	cur = tr.Last()
+	for i := len(leaves) - 1; i >= 0; i-- {
+		if cur != leaves[i] {
+			t.Fatalf("Prev walk diverged at %d", i)
+		}
+		cur = cur.Prev()
+	}
+	if cur != nil {
+		t.Fatal("Prev past the front should be nil")
+	}
+}
+
+func TestPayload(t *testing.T) {
+	tr := mustNew(t, 4, 2)
+	leaves := mustLoad(t, tr, 3)
+	leaves[1].SetPayload("begin:book")
+	if got := leaves[1].Payload(); got != "begin:book" {
+		t.Fatalf("payload = %v", got)
+	}
+	if leaves[0].Payload() != nil {
+		t.Fatal("unset payload should be nil")
+	}
+}
+
+func TestLabelSpaceAndBits(t *testing.T) {
+	tr := mustNew(t, 4, 2)
+	mustLoad(t, tr, 8)
+	if space := tr.LabelSpace(); space != 27 { // 3^3
+		t.Fatalf("label space = %d, want 27", space)
+	}
+	if bits := tr.BitsPerLabel(); bits != 5 { // ceil(log2 26) = 5
+		t.Fatalf("bits = %d, want 5", bits)
+	}
+}
+
+func TestEnsurePowOverflow(t *testing.T) {
+	tr := mustNew(t, 4, 2)
+	// radix 3: 3^h ≤ 2^62 up to h = 39; h = 40 must overflow.
+	if err := tr.ensurePow(39); err != nil {
+		t.Fatalf("ensurePow(39): %v", err)
+	}
+	if err := tr.ensurePow(40); !errors.Is(err, ErrLabelOverflow) {
+		t.Fatalf("ensurePow(40) = %v, want ErrLabelOverflow", err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	tr := mustNew(t, 4, 2)
+	mustLoad(t, tr, 8)
+	if st := tr.Stats(); st.Ops() != 0 || st.NodesTouched() != 0 {
+		t.Fatalf("load should not charge counters: %+v", st)
+	}
+	lf := tr.First()
+	if _, err := tr.InsertAfter(lf); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Inserts != 1 {
+		t.Fatalf("inserts = %d", st.Inserts)
+	}
+	if st.AncestorUpdates != uint64(tr.Height()) {
+		t.Fatalf("ancestor updates = %d, want height %d", st.AncestorUpdates, tr.Height())
+	}
+	if st.RelabeledLeaves == 0 {
+		t.Fatal("the new leaf's numbering must be charged")
+	}
+	tr.ResetStats()
+	if st := tr.Stats(); st.Ops() != 0 {
+		t.Fatalf("reset failed: %+v", st)
+	}
+}

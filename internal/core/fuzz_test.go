@@ -1,0 +1,55 @@
+package core
+
+import "testing"
+
+// FuzzOpStream interprets arbitrary bytes as an operation stream against
+// a small-parameter tree (the harshest constants) and requires every
+// invariant to hold after each operation. Run with `go test -fuzz
+// FuzzOpStream ./internal/core` to explore; the seed corpus runs in
+// normal test mode.
+func FuzzOpStream(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 250, 251, 252})
+	f.Add([]byte("hammer the same spot aaaaaaaaaaaaaaaaaaaaaa"))
+	f.Add([]byte{255, 254, 253, 0, 0, 0, 9, 9, 9, 128, 64, 32})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		tr, err := New(Params{F: 4, S: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range ops {
+			n := tr.Len()
+			switch {
+			case n == 0 || b < 140:
+				// Single insert at a byte-chosen position.
+				pos := 0
+				if n > 0 {
+					pos = int(b) % (n + 1)
+				}
+				if pos == 0 {
+					_, err = tr.InsertFirst()
+				} else {
+					_, err = tr.InsertAfter(tr.LeafAt(pos - 1))
+				}
+			case b < 180:
+				// Run insert, size from the byte.
+				k := int(b-139)%9 + 1
+				_, err = tr.InsertRunAfter(tr.LeafAt(int(b)%n), k)
+			case b < 210:
+				err = tr.Delete(tr.LeafAt(int(b) % n))
+			case b < 240:
+				err = tr.Remove(tr.LeafAt(int(b) % n))
+			default:
+				err = tr.Compact()
+			}
+			if err != nil {
+				t.Fatalf("op %d (byte %d): %v", i, b, err)
+			}
+			if err := tr.Check(); err != nil {
+				t.Fatalf("op %d (byte %d): %v", i, b, err)
+			}
+		}
+	})
+}

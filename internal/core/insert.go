@@ -1,0 +1,243 @@
+package core
+
+// This file implements Algorithm 1 of the paper: single-leaf insertion
+// with occupancy accounting, the split rule, and (tombstone) deletion.
+
+// InsertAfter inserts a fresh leaf immediately after leaf p in label order
+// and returns it. This is Algorithm 1 of the paper: the new leaf becomes
+// p's right sibling; every ancestor's leaf count grows by one; if the
+// highest ancestor v reaching l(v) = lmax(v) exists it is split into s
+// complete r-ary subtrees, otherwise only the new leaf and its right
+// siblings are renumbered.
+func (t *Tree) InsertAfter(p *Node) (*Node, error) {
+	if p == nil || p.height != 0 || p.parent == nil {
+		return nil, ErrNotLeaf
+	}
+	return t.insertAt(p.parent, p.pos+1)
+}
+
+// InsertBefore inserts a fresh leaf immediately before leaf p in label
+// order and returns it. The paper presents only right-sibling insertion;
+// left insertion is the same splice one slot earlier and shares all
+// accounting.
+func (t *Tree) InsertBefore(p *Node) (*Node, error) {
+	if p == nil || p.height != 0 || p.parent == nil {
+		return nil, ErrNotLeaf
+	}
+	return t.insertAt(p.parent, p.pos)
+}
+
+// InsertFirst inserts a fresh leaf at the very front of the label order
+// (or as the only leaf of an empty tree) and returns it.
+func (t *Tree) InsertFirst() (*Node, error) {
+	if t.n == 0 {
+		return t.insertAt(t.leftmostBottom(), 0)
+	}
+	first := t.First()
+	return t.insertAt(first.parent, 0)
+}
+
+// InsertLast appends a fresh leaf at the end of the label order.
+func (t *Tree) InsertLast() (*Node, error) {
+	if t.n == 0 {
+		return t.InsertFirst()
+	}
+	last := t.Last()
+	return t.insertAt(last.parent, last.pos+1)
+}
+
+// leftmostBottom descends leftmost to the height-1 frontier; on an empty
+// tree that is the root itself.
+func (t *Tree) leftmostBottom() *Node {
+	v := t.root
+	for v.height > 1 && len(v.children) > 0 {
+		v = v.children[0]
+	}
+	return v
+}
+
+// insertAt splices a new leaf under parent at child index idx and runs the
+// maintenance of Algorithm 1. parent must be a height-1 node (the caller
+// guarantees this: leaves' parents always are).
+func (t *Tree) insertAt(parent *Node, idx int) (*Node, error) {
+	// Pass 1 (read-only): find the highest ancestor that would reach its
+	// occupancy limit, so label-space growth can be checked before any
+	// mutation.
+	var splitTarget *Node
+	for a := parent; a != nil; a = a.parent {
+		if a.leaves+1 == t.lmax(a.height) {
+			splitTarget = a
+		}
+	}
+	if splitTarget != nil {
+		// A split may escalate to a whole-tree rebuild when removals have
+		// weakened fanouts, so reserve label space for both outcomes
+		// before any mutation.
+		need := t.root.height + 1
+		if alt := t.minHeight(t.n + 1); alt > need {
+			need = alt
+		}
+		if err := t.ensurePow(need); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pass 2: splice and account.
+	x := &Node{height: 0, leaves: 1, num: invalidNum, parent: parent}
+	parent.children = append(parent.children, nil)
+	copy(parent.children[idx+1:], parent.children[idx:])
+	parent.children[idx] = x
+	x.pos = idx
+	for i := idx + 1; i < len(parent.children); i++ {
+		parent.children[i].pos = i
+	}
+	for a := parent; a != nil; a = a.parent {
+		a.leaves++
+		t.st.AncestorUpdates++
+	}
+	t.n++
+	t.live++
+	t.st.Inserts++
+
+	if splitTarget == nil {
+		// No node reached its limit: renumber the new leaf and its right
+		// siblings (≤ f nodes).
+		t.relabelChildrenFrom(parent, idx)
+		return x, nil
+	}
+	t.split(splitTarget)
+	return x, nil
+}
+
+// split replaces v (which has exactly l(v) = lmax(v) = s·r^h leaves) with
+// s complete r-ary subtrees of height h over the same leaf sequence, then
+// renumbers the new subtrees and v's right siblings. If v is the root, a
+// new root is created first and the height grows by one; cascading splits
+// are impossible (Proposition 3) because v is the highest node at its
+// limit and its ancestors' leaf counts do not change.
+func (t *Tree) split(v *Node) {
+	if v != t.root && len(v.parent.children)-1+t.s > t.params.F-1 {
+		// Unreachable on insert-only streams (the fanout bound of
+		// DESIGN.md §2.2), but physical removals can leave the parent
+		// with many under-full children; rebuild the parent instead.
+		t.rebuild(v.parent)
+		return
+	}
+	h := v.height
+	leaves := appendLeaves(make([]*Node, 0, v.leaves), v)
+	per := len(leaves) / t.s // exactly r^h
+	subs := make([]*Node, t.s)
+	for i := range subs {
+		subs[i] = t.buildComplete(leaves[i*per:(i+1)*per], h)
+	}
+	t.st.Splits++
+
+	if v == t.root {
+		t.st.RootSplits++
+		newRoot := &Node{height: h + 1, leaves: v.leaves, num: invalidNum}
+		newRoot.children = subs
+		for i, sub := range subs {
+			sub.parent = newRoot
+			sub.pos = i
+		}
+		t.root = newRoot
+		t.assign(newRoot, 0)
+		return
+	}
+
+	parent := v.parent
+	at := v.pos
+	// Splice the s subtrees in place of v.
+	grown := make([]*Node, 0, len(parent.children)+t.s-1)
+	grown = append(grown, parent.children[:at]...)
+	grown = append(grown, subs...)
+	grown = append(grown, parent.children[at+1:]...)
+	parent.children = grown
+	for _, sub := range subs {
+		sub.parent = parent
+	}
+	// Renumber the new subtrees and every former right sibling of v
+	// (their subtree numbers all shift by (s−1)·(f−1)^h).
+	t.relabelChildrenFrom(parent, at)
+}
+
+// Delete marks the leaf as deleted without relabeling anything (§2.3): the
+// label slot stays occupied, so density accounting is unchanged and no
+// other label moves. Deleting a tombstone is a no-op.
+func (t *Tree) Delete(leaf *Node) error {
+	if leaf == nil || leaf.height != 0 || leaf.parent == nil {
+		return ErrNotLeaf
+	}
+	if leaf.deleted {
+		return nil
+	}
+	leaf.deleted = true
+	t.live--
+	t.st.Deletes++
+	return nil
+}
+
+// Undelete clears a tombstone mark, making the slot live again.
+func (t *Tree) Undelete(leaf *Node) error {
+	if leaf == nil || leaf.height != 0 || leaf.parent == nil {
+		return ErrNotLeaf
+	}
+	if leaf.deleted {
+		leaf.deleted = false
+		t.live++
+	}
+	return nil
+}
+
+// Remove physically detaches the leaf from the tree (an extension beyond
+// the paper's tombstones). Counts along the ancestor path shrink; empty
+// internal nodes are pruned; the detached slot's right siblings are
+// renumbered to restore positional numbering (the mirror image of the
+// paper's insertion relabeling, ≤ f nodes per affected level). Occupancy
+// limits keep holding since counts only shrink; fanouts may drop below r,
+// which the paper's analysis tolerates (deletions are not rebalanced).
+func (t *Tree) Remove(leaf *Node) error {
+	if leaf == nil || leaf.height != 0 || leaf.parent == nil {
+		return ErrNotLeaf
+	}
+	if !leaf.deleted {
+		t.live--
+	}
+	start := leaf.parent
+	at := leaf.pos
+	detachChild(start, at)
+	leaf.parent = nil
+	for a := start; a != nil; a = a.parent {
+		a.leaves--
+	}
+	t.relabelChildrenFrom(start, at)
+	// Prune internal nodes emptied by the removal (never the root),
+	// compacting and renumbering their right siblings level by level.
+	for v := start; v != t.root && v.leaves == 0; {
+		p := v.parent
+		pos := v.pos
+		detachChild(p, pos)
+		v.parent = nil
+		t.relabelChildrenFrom(p, pos)
+		v = p
+	}
+	t.n--
+	t.st.Deletes++
+	if t.n == 0 {
+		// Reset to the canonical empty shape so later insertions start
+		// from a height-1 root again.
+		t.root = &Node{height: 1, num: 0}
+	}
+	return nil
+}
+
+// detachChild splices child index pos out of p and refreshes sibling
+// positions.
+func detachChild(p *Node, pos int) {
+	copy(p.children[pos:], p.children[pos+1:])
+	p.children[len(p.children)-1] = nil
+	p.children = p.children[:len(p.children)-1]
+	for i := pos; i < len(p.children); i++ {
+		p.children[i].pos = i
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+// Traversal and order-statistic access over the leaf sequence. The leaf
+// counts maintained for the occupancy rule double as an order-statistic
+// index, so rank/select run in O(height·f) — this is what the experiment
+// harness uses to pick insertion positions by rank.
+
+// First returns the leftmost leaf, or nil if the tree is empty.
+func (t *Tree) First() *Node {
+	if t.n == 0 {
+		return nil
+	}
+	v := t.root
+	for v.height > 0 {
+		v = v.children[0]
+	}
+	return v
+}
+
+// Last returns the rightmost leaf, or nil if the tree is empty.
+func (t *Tree) Last() *Node {
+	if t.n == 0 {
+		return nil
+	}
+	v := t.root
+	for v.height > 0 {
+		v = v.children[len(v.children)-1]
+	}
+	return v
+}
+
+// Next returns the leaf following lf in label order, or nil at the end.
+func (lf *Node) Next() *Node {
+	v := lf
+	for v.parent != nil && v.pos == len(v.parent.children)-1 {
+		v = v.parent
+	}
+	if v.parent == nil {
+		return nil
+	}
+	v = v.parent.children[v.pos+1]
+	for v.height > 0 {
+		if len(v.children) == 0 {
+			return nil
+		}
+		v = v.children[0]
+	}
+	return v
+}
+
+// Prev returns the leaf preceding lf in label order, or nil at the front.
+func (lf *Node) Prev() *Node {
+	v := lf
+	for v.parent != nil && v.pos == 0 {
+		v = v.parent
+	}
+	if v.parent == nil {
+		return nil
+	}
+	v = v.parent.children[v.pos-1]
+	for v.height > 0 {
+		if len(v.children) == 0 {
+			return nil
+		}
+		v = v.children[len(v.children)-1]
+	}
+	return v
+}
+
+// LeafAt returns the leaf with the given rank (0-based, counting
+// tombstones), or nil if rank is out of range.
+func (t *Tree) LeafAt(rank int) *Node {
+	if rank < 0 || rank >= t.n {
+		return nil
+	}
+	v := t.root
+	for v.height > 0 {
+		for _, c := range v.children {
+			if rank < c.leaves {
+				v = c
+				break
+			}
+			rank -= c.leaves
+		}
+	}
+	return v
+}
+
+// Rank returns the 0-based rank of the leaf in the label order (counting
+// tombstones), or -1 if lf is not attached to this tree.
+func (t *Tree) Rank(lf *Node) int {
+	if lf == nil || lf.height != 0 || lf.parent == nil {
+		return -1
+	}
+	rank := 0
+	for v := lf; v.parent != nil; v = v.parent {
+		for i := 0; i < v.pos; i++ {
+			rank += v.parent.children[i].leaves
+		}
+	}
+	return rank
+}
+
+// Ascend calls fn for every leaf in label order (including tombstones)
+// until fn returns false.
+func (t *Tree) Ascend(fn func(*Node) bool) {
+	if t.n == 0 {
+		return
+	}
+	var walk func(v *Node) bool
+	walk = func(v *Node) bool {
+		if v.height == 0 {
+			return fn(v)
+		}
+		for _, c := range v.children {
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}
+
+// WalkNodes visits every node of the tree — internal nodes and leaves —
+// in depth-first document order until fn returns false. Useful for
+// structure inspection (fanout statistics, node counting).
+func (t *Tree) WalkNodes(fn func(*Node) bool) {
+	var walk func(v *Node) bool
+	walk = func(v *Node) bool {
+		if !fn(v) {
+			return false
+		}
+		for _, c := range v.children {
+			if !walk(c) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(t.root)
+}
+
+// NodeCount returns the total number of nodes (internal plus leaves) the
+// materialized tree holds — the §4.2 storage cost the virtual variant
+// avoids.
+func (t *Tree) NodeCount() int {
+	count := 0
+	t.WalkNodes(func(*Node) bool { count++; return true })
+	return count
+}
+
+// Nums returns the current label sequence (including tombstoned slots), a
+// convenience for tests and differential checks against the virtual tree.
+func (t *Tree) Nums() []uint64 {
+	out := make([]uint64, 0, t.n)
+	t.Ascend(func(lf *Node) bool {
+		out = append(out, lf.num)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// localityWindow checks the key efficiency property behind the §3.1
+// amortization: every label changed by an insertion lies inside the label
+// interval of a single ancestor of the anchor (the parent of the rebuilt
+// node), and that ancestor's pre-insert occupancy obeys the lmax bound —
+// so the blast radius of any update is one bounded subtree, never
+// scattered writes. It returns the height of the smallest covering
+// ancestor interval.
+func localityWindow(t *testing.T, tr *Tree, p Params, anchorOld uint64, oldHeight int, changedOld []uint64, oldCount func(lo, hi uint64) int) int {
+	t.Helper()
+	if len(changedOld) == 0 {
+		return 0
+	}
+	radix := uint64(p.Radix())
+	pow := make([]uint64, oldHeight+1)
+	pow[0] = 1
+	for h := 1; h <= oldHeight; h++ {
+		pow[h] = pow[h-1] * radix
+	}
+	for h := 1; h <= oldHeight; h++ {
+		lo := anchorOld - anchorOld%pow[h]
+		hi := lo + pow[h]
+		all := true
+		for _, x := range changedOld {
+			if x < lo || x >= hi {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		// Found the covering ancestor: its old occupancy must respect the
+		// invariant l < lmax = s·r^h.
+		count := oldCount(lo, hi)
+		lmax := p.S
+		r := p.R()
+		for i := 0; i < h; i++ {
+			lmax *= r
+		}
+		if count > lmax {
+			t.Fatalf("covering ancestor at height %d held %d > lmax %d leaves", h, count, lmax)
+		}
+		return h
+	}
+	t.Fatalf("changed labels not covered by any ancestor interval of the anchor")
+	return 0
+}
+
+// TestRelabelLocality verifies the bounded-blast-radius property for
+// single insertions across parameters and random positions.
+func TestRelabelLocality(t *testing.T) {
+	for _, p := range []Params{{F: 4, S: 2}, {F: 8, S: 2}, {F: 9, S: 3}} {
+		tr, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Load(512); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		for step := 0; step < 600; step++ {
+			before := map[*Node]uint64{}
+			var oldLabels []uint64
+			tr.Ascend(func(lf *Node) bool {
+				before[lf] = lf.Num()
+				oldLabels = append(oldLabels, lf.Num())
+				return true
+			})
+			oldHeight := tr.Height()
+			anchor := tr.LeafAt(rng.Intn(tr.Len()))
+			anchorOld := anchor.Num()
+			if _, err := tr.InsertAfter(anchor); err != nil {
+				t.Fatal(err)
+			}
+			var changedOld []uint64
+			tr.Ascend(func(lf *Node) bool {
+				if old, ok := before[lf]; ok && old != lf.Num() {
+					changedOld = append(changedOld, old)
+				}
+				return true
+			})
+			oldCount := func(lo, hi uint64) int {
+				n := 0
+				for _, x := range oldLabels {
+					if x >= lo && x < hi {
+						n++
+					}
+				}
+				return n
+			}
+			localityWindow(t, tr, p, anchorOld, oldHeight, changedOld, oldCount)
+		}
+	}
+}
+
+// TestRelabelLocalityBulk extends the bounded-blast-radius property to
+// §4.1 run insertions of mixed sizes.
+func TestRelabelLocalityBulk(t *testing.T) {
+	p := Params{F: 8, S: 2}
+	tr, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Load(256); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for step := 0; step < 200; step++ {
+		before := map[*Node]uint64{}
+		var oldLabels []uint64
+		tr.Ascend(func(lf *Node) bool {
+			before[lf] = lf.Num()
+			oldLabels = append(oldLabels, lf.Num())
+			return true
+		})
+		oldHeight := tr.Height()
+		k := 1 + rng.Intn(64)
+		anchor := tr.LeafAt(rng.Intn(tr.Len()))
+		anchorOld := anchor.Num()
+		if _, err := tr.InsertRunAfter(anchor, k); err != nil {
+			t.Fatal(err)
+		}
+		var changedOld []uint64
+		tr.Ascend(func(lf *Node) bool {
+			if old, ok := before[lf]; ok && old != lf.Num() {
+				changedOld = append(changedOld, old)
+			}
+			return true
+		})
+		oldCount := func(lo, hi uint64) int {
+			n := 0
+			for _, x := range oldLabels {
+				if x >= lo && x < hi {
+					n++
+				}
+			}
+			return n
+		}
+		localityWindow(t, tr, p, anchorOld, oldHeight, changedOld, oldCount)
+	}
+}
+
+// TestWalkNodesAndCount covers the structure-inspection API.
+func TestWalkNodesAndCount(t *testing.T) {
+	tr, err := New(Params{F: 4, S: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Load(8); err != nil {
+		t.Fatal(err)
+	}
+	// Complete binary over 8 leaves at height 3: 8 + 4 + 2 + 1 nodes.
+	if got := tr.NodeCount(); got != 15 {
+		t.Fatalf("node count = %d, want 15", got)
+	}
+	leaves, internals := 0, 0
+	tr.WalkNodes(func(n *Node) bool {
+		if n.IsLeaf() {
+			leaves++
+		} else {
+			internals++
+		}
+		return true
+	})
+	if leaves != 8 || internals != 7 {
+		t.Fatalf("leaves=%d internals=%d", leaves, internals)
+	}
+	// Early stop.
+	visited := 0
+	tr.WalkNodes(func(*Node) bool {
+		visited++
+		return visited < 3
+	})
+	if visited != 3 {
+		t.Fatalf("early stop visited %d", visited)
+	}
+}

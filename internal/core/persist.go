@@ -1,0 +1,143 @@
+package core
+
+import "fmt"
+
+// FromLabels reconstructs a materialized L-Tree from a label sequence —
+// the persistence counterpart of the paper's §4.2 observation that "all
+// the structural information of the L-Tree is implicit in the labels
+// themselves". The labels must be strictly increasing and form a valid
+// L-Tree image for the parameters (positional numbering with gap-free
+// child slots); deleted marks tombstoned slots (nil = none); height is
+// the root height to restore (0 = the minimal height covering the
+// labels). It returns the tree and its leaves in label order.
+func FromLabels(p Params, labels []uint64, deleted []bool, height int) (*Tree, []*Node, error) {
+	t, err := New(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if deleted != nil && len(deleted) != len(labels) {
+		return nil, nil, fmt.Errorf("ltree: %d deleted flags for %d labels", len(deleted), len(labels))
+	}
+	if len(labels) == 0 {
+		if height > 1 {
+			if err := t.ensurePow(height); err != nil {
+				return nil, nil, err
+			}
+			t.root = &Node{height: height, num: 0}
+		}
+		return t, nil, nil
+	}
+	// Infer the minimal height and honor a taller requested one.
+	maxLabel := labels[len(labels)-1]
+	h := 1
+	if err := t.ensurePow(h); err != nil {
+		return nil, nil, err
+	}
+	for t.pow[h] <= maxLabel {
+		h++
+		if err := t.ensurePow(h); err != nil {
+			return nil, nil, err
+		}
+	}
+	if height > h {
+		h = height
+		if err := t.ensurePow(h); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	root := &Node{height: h, num: 0}
+	leaves := make([]*Node, 0, len(labels))
+	var prev uint64
+	for i, label := range labels {
+		if i > 0 && label <= prev {
+			return nil, nil, fmt.Errorf("ltree: labels not strictly increasing at %d (%d after %d)", i, label, prev)
+		}
+		prev = label
+		cur := root
+		for level := h - 1; level >= 0; level-- {
+			spacing := t.pow[level]
+			slot := int((label - cur.num) / spacing)
+			if slot >= int(t.radix) {
+				return nil, nil, fmt.Errorf("ltree: label %d needs slot %d ≥ radix at height %d", label, slot, level)
+			}
+			want := cur.num + uint64(slot)*spacing
+			n := len(cur.children)
+			switch {
+			case n > 0 && cur.children[n-1].num == want:
+				// Descend the rightmost child (ascending labels only ever
+				// extend to the right).
+				cur = cur.children[n-1]
+			case slot == n:
+				child := &Node{parent: cur, pos: n, height: level, num: want}
+				cur.children = append(cur.children, child)
+				cur = child
+			default:
+				return nil, nil, fmt.Errorf("ltree: label %d leaves a gap at height %d (slot %d, have %d children)",
+					label, level, slot, n)
+			}
+		}
+		cur.leaves = 1
+		if deleted != nil && deleted[i] {
+			cur.deleted = true
+		}
+		leaves = append(leaves, cur)
+	}
+	// Fanout sanity against the structural bound.
+	var fanErr error
+	countLeaves(root, &fanErr, t.params.F-1)
+	if fanErr != nil {
+		return nil, nil, fanErr
+	}
+	t.root = root
+	t.n = len(labels)
+	t.live = len(labels)
+	if deleted != nil {
+		for _, d := range deleted {
+			if d {
+				t.live--
+			}
+		}
+	}
+	if err := t.Check(); err != nil {
+		return nil, nil, fmt.Errorf("ltree: restored tree invalid: %w", err)
+	}
+	return t, leaves, nil
+}
+
+// countLeaves fills in the occupancy counters bottom-up and checks the
+// fanout bound.
+func countLeaves(v *Node, errOut *error, maxFanout int) int {
+	if v.height == 0 {
+		return v.leaves
+	}
+	if len(v.children) > maxFanout && *errOut == nil {
+		*errOut = fmt.Errorf("ltree: restored fanout %d exceeds f−1 = %d", len(v.children), maxFanout)
+	}
+	total := 0
+	for _, c := range v.children {
+		total += countLeaves(c, errOut, maxFanout)
+	}
+	v.leaves = total
+	return total
+}
+
+// SnapshotState extracts everything needed to reconstruct the tree with
+// FromLabels: the label sequence, the tombstone flags and the height.
+func (t *Tree) SnapshotState() (labels []uint64, deleted []bool, height int) {
+	labels = make([]uint64, 0, t.n)
+	deleted = make([]bool, 0, t.n)
+	hasTombstones := false
+	t.Ascend(func(lf *Node) bool {
+		labels = append(labels, lf.num)
+		deleted = append(deleted, lf.deleted)
+		if lf.deleted {
+			hasTombstones = true
+		}
+		return true
+	})
+	if !hasTombstones {
+		deleted = nil
+	}
+	return labels, deleted, t.root.height
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestFromLabelsRoundTrip: any reachable tree state snapshots and restores
+// to bit-identical labels, heights and structure.
+func TestFromLabelsRoundTrip(t *testing.T) {
+	for _, p := range []Params{{F: 4, S: 2}, {F: 8, S: 2}, {F: 9, S: 3}} {
+		tr, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Load(200); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 500; i++ {
+			lf := tr.LeafAt(rng.Intn(tr.Len()))
+			switch rng.Intn(10) {
+			case 0:
+				if err := tr.Delete(lf); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				if _, err := tr.InsertRunAfter(lf, 1+rng.Intn(5)); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				if _, err := tr.InsertAfter(lf); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		labels, deleted, height := tr.SnapshotState()
+		restored, leaves, err := FromLabels(p, labels, deleted, height)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if restored.Height() != tr.Height() {
+			t.Fatalf("height %d, want %d", restored.Height(), tr.Height())
+		}
+		if restored.Len() != tr.Len() || restored.Live() != tr.Live() {
+			t.Fatalf("len/live %d/%d, want %d/%d", restored.Len(), restored.Live(), tr.Len(), tr.Live())
+		}
+		want := tr.Nums()
+		got := restored.Nums()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("label %d: %d, want %d", i, got[i], want[i])
+			}
+		}
+		if len(leaves) != len(want) {
+			t.Fatalf("leaves %d, want %d", len(leaves), len(want))
+		}
+		// The restored tree keeps working: hammer it and re-check.
+		for i := 0; i < 300; i++ {
+			lf := restored.LeafAt(rng.Intn(restored.Len()))
+			if _, err := restored.InsertAfter(lf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := restored.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFromLabelsEmpty(t *testing.T) {
+	tr, leaves, err := FromLabels(Params{F: 4, S: 2}, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || leaves != nil {
+		t.Fatal("empty restore wrong")
+	}
+	if _, err := tr.InsertFirst(); err != nil {
+		t.Fatal(err)
+	}
+	// Empty with preserved height.
+	tr2, _, err := FromLabels(Params{F: 4, S: 2}, nil, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Height() != 5 {
+		t.Fatalf("height %d, want 5", tr2.Height())
+	}
+}
+
+func TestFromLabelsRejectsInvalid(t *testing.T) {
+	p := Params{F: 4, S: 2}
+	cases := []struct {
+		name   string
+		labels []uint64
+	}{
+		{"unsorted", []uint64{3, 1}},
+		{"duplicate", []uint64{3, 3}},
+		{"gapped slots", []uint64{0, 2}},       // height-1 slot 1 missing
+		{"gapped subtree", []uint64{0, 1, 18}}, // height-2 slot 1 missing (radix 3)
+	}
+	for _, c := range cases {
+		if _, _, err := FromLabels(p, c.labels, nil, 0); err == nil {
+			t.Errorf("%s: FromLabels(%v) should fail", c.name, c.labels)
+		}
+	}
+	if _, _, err := FromLabels(p, []uint64{0, 1}, []bool{true}, 0); err == nil {
+		t.Error("mismatched deleted flags should fail")
+	}
+	if _, _, err := FromLabels(Params{F: 5, S: 2}, []uint64{0}, nil, 0); err == nil {
+		t.Error("bad params should fail")
+	}
+}
+
+// TestQuickSnapshotRestore: random insert streams always round-trip.
+func TestQuickSnapshotRestore(t *testing.T) {
+	prop := func(seed int64) bool {
+		p := Params{F: 6, S: 2}
+		tr, err := New(p)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			if tr.Len() == 0 {
+				if _, err := tr.InsertFirst(); err != nil {
+					return false
+				}
+				continue
+			}
+			lf := tr.LeafAt(rng.Intn(tr.Len()))
+			if rng.Intn(8) == 0 {
+				if err := tr.Delete(lf); err != nil {
+					return false
+				}
+			} else if _, err := tr.InsertAfter(lf); err != nil {
+				return false
+			}
+		}
+		labels, deleted, height := tr.SnapshotState()
+		restored, _, err := FromLabels(p, labels, deleted, height)
+		if err != nil {
+			return false
+		}
+		want, got := tr.Nums(), restored.Nums()
+		if len(want) != len(got) {
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return restored.Live() == tr.Live() && restored.Check() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWideRadixAblation: the f+1 radix changes labels and widths but not
+// the maintenance behaviour.
+func TestWideRadixAblation(t *testing.T) {
+	tight, err := New(Params{F: 4, S: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := New(Params{F: 4, S: 2, WideRadix: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tight.Load(64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wide.Load(64); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		at := rng.Intn(tight.Len())
+		if _, err := tight.InsertAfter(tight.LeafAt(at)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wide.InsertAfter(wide.LeafAt(at)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts, ws := tight.Stats(), wide.Stats()
+	if ts.RelabeledLeaves != ws.RelabeledLeaves || ts.Splits != ws.Splits || tight.Height() != wide.Height() {
+		t.Fatalf("maintenance diverged: %v vs %v", ts, ws)
+	}
+	if wide.BitsPerLabel() <= tight.BitsPerLabel() {
+		t.Fatalf("wide radix should cost bits: %d vs %d", wide.BitsPerLabel(), tight.BitsPerLabel())
+	}
+	if err := tight.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wide.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Rank-by-rank the leaf sequences coincide structurally.
+	for i := 0; i < tight.Len(); i += 97 {
+		a, b := tight.LeafAt(i), wide.LeafAt(i)
+		if (a == nil) != (b == nil) {
+			t.Fatal("structure diverged")
+		}
+	}
+}

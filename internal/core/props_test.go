@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refModel mirrors the leaf sequence with plain slices so random op
+// streams can be verified against an obviously-correct implementation.
+type refModel struct {
+	ids  []int // payload identities in order
+	next int
+}
+
+func (m *refModel) insertAt(pos int) int {
+	id := m.next
+	m.next++
+	m.ids = append(m.ids, 0)
+	copy(m.ids[pos+1:], m.ids[pos:])
+	m.ids[pos] = id
+	return id
+}
+
+func (m *refModel) removeAt(pos int) {
+	m.ids = append(m.ids[:pos], m.ids[pos+1:]...)
+}
+
+// verify checks that the tree's leaf sequence matches the model (by
+// payload identity) and that labels are strictly increasing.
+func (m *refModel) verify(t *testing.T, tr *Tree) {
+	t.Helper()
+	leaves := tr.Leaves()
+	if len(leaves) != len(m.ids) {
+		t.Fatalf("tree has %d leaves, model has %d", len(leaves), len(m.ids))
+	}
+	var prev uint64
+	for i, lf := range leaves {
+		if got := lf.Payload().(int); got != m.ids[i] {
+			t.Fatalf("leaf %d: payload %d, model %d", i, got, m.ids[i])
+		}
+		if i > 0 && lf.Num() <= prev {
+			t.Fatalf("labels not increasing at %d", i)
+		}
+		prev = lf.Num()
+	}
+}
+
+// TestRandomOpStream drives inserts (single and run), tombstones, physical
+// removals and compactions from several seeds and parameter choices,
+// validating the full invariant set and the reference model after batches.
+func TestRandomOpStream(t *testing.T) {
+	params := []Params{{F: 4, S: 2}, {F: 6, S: 2}, {F: 6, S: 3}, {F: 8, S: 4}, {F: 10, S: 2}, {F: 16, S: 4}}
+	for _, p := range params {
+		for seed := int64(1); seed <= 3; seed++ {
+			tr, err := New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			model := &refModel{}
+			const ops = 1200
+			for op := 0; op < ops; op++ {
+				switch {
+				case tr.Len() == 0 || rng.Intn(100) < 55:
+					// Single insert at a random position.
+					pos := 0
+					if tr.Len() > 0 {
+						pos = rng.Intn(tr.Len() + 1)
+					}
+					var lf *Node
+					var err error
+					if pos == 0 {
+						lf, err = tr.InsertFirst()
+					} else {
+						lf, err = tr.InsertAfter(tr.LeafAt(pos - 1))
+					}
+					if err != nil {
+						t.Fatalf("%v/%d op %d: %v", p, seed, op, err)
+					}
+					lf.SetPayload(model.insertAt(pos))
+				case rng.Intn(100) < 30:
+					// Run insert of 2..17 leaves.
+					k := 2 + rng.Intn(16)
+					pos := rng.Intn(tr.Len() + 1)
+					var run []*Node
+					var err error
+					if pos == 0 {
+						run, err = tr.InsertRunFirst(k)
+					} else {
+						run, err = tr.InsertRunAfter(tr.LeafAt(pos-1), k)
+					}
+					if err != nil {
+						t.Fatalf("%v/%d op %d: %v", p, seed, op, err)
+					}
+					for i, lf := range run {
+						lf.SetPayload(model.insertAt(pos + i))
+					}
+				case rng.Intn(100) < 60:
+					// Tombstone a random live leaf (keeps the slot).
+					lf := tr.LeafAt(rng.Intn(tr.Len()))
+					if err := tr.Delete(lf); err != nil {
+						t.Fatal(err)
+					}
+				default:
+					// Physical removal.
+					pos := rng.Intn(tr.Len())
+					if err := tr.Remove(tr.LeafAt(pos)); err != nil {
+						t.Fatal(err)
+					}
+					model.removeAt(pos)
+				}
+				if op%100 == 99 {
+					if err := tr.Check(); err != nil {
+						t.Fatalf("%v seed %d op %d: %v", p, seed, op, err)
+					}
+					model.verify(t, tr)
+				}
+			}
+			if err := tr.Check(); err != nil {
+				t.Fatalf("%v seed %d final: %v", p, seed, err)
+			}
+			model.verify(t, tr)
+		}
+	}
+}
+
+// TestQuickOrderPreservation is a testing/quick property: for any sequence
+// of (position, runLength) insertions, the leaf payloads laid down by a
+// reference list and the L-Tree agree, and labels are strictly monotone.
+func TestQuickOrderPreservation(t *testing.T) {
+	prop := func(seed int64, opsRaw uint8) bool {
+		ops := int(opsRaw)%120 + 10
+		tr, err := New(Params{F: 6, S: 2})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		model := &refModel{}
+		for i := 0; i < ops; i++ {
+			k := 1 + rng.Intn(5)
+			pos := 0
+			if tr.Len() > 0 {
+				pos = rng.Intn(tr.Len() + 1)
+			}
+			var run []*Node
+			if pos == 0 {
+				run, err = tr.InsertRunFirst(k)
+			} else {
+				run, err = tr.InsertRunAfter(tr.LeafAt(pos-1), k)
+			}
+			if err != nil {
+				return false
+			}
+			for j, lf := range run {
+				lf.SetPayload(model.insertAt(pos + j))
+			}
+		}
+		if tr.Check() != nil {
+			return false
+		}
+		leaves := tr.Leaves()
+		var prev uint64
+		for i, lf := range leaves {
+			if lf.Payload().(int) != model.ids[i] {
+				return false
+			}
+			if i > 0 && lf.Num() <= prev {
+				return false
+			}
+			prev = lf.Num()
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAmortizedBound checks the §3.1 headline on random streams: the
+// measured amortized nodes-touched cost stays below the analytic bound
+// (1 + 2f/(s−1))·log_r(n) + f with generous slack for small n.
+func TestQuickAmortizedBound(t *testing.T) {
+	for _, p := range []Params{{F: 4, S: 2}, {F: 8, S: 2}, {F: 8, S: 4}, {F: 16, S: 4}} {
+		tr, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		const n = 20000
+		if _, err := tr.Load(1); err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < n; i++ {
+			lf := tr.LeafAt(rng.Intn(tr.Len()))
+			if _, err := tr.InsertAfter(lf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := tr.Stats()
+		measured := st.AmortizedCost()
+		f, s, r := float64(p.F), float64(p.S), float64(p.R())
+		logr := logBase(float64(n), r)
+		bound := (1+2*f/(s-1))*logr + f
+		if measured > bound {
+			t.Fatalf("%v: amortized %.2f exceeds paper bound %.2f", p, measured, bound)
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func logBase(x, b float64) float64 {
+	return math.Log(x) / math.Log(b)
+}

@@ -1,0 +1,404 @@
+// Package document binds an XML document (internal/xmldom) to an L-Tree
+// (internal/core): every begin tag, end tag and text section owns one
+// L-Tree leaf, and the label of an element is the pair of its begin and
+// end leaf numbers (paper §2.1). Structural edits on the document are
+// translated into leaf (run) insertions and deletions, so subtree pastes
+// use the paper's §4.1 multiple-node insertion, and all relabeling cost is
+// accounted on the underlying tree.
+package document
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/ltree-db/ltree/internal/core"
+	"github.com/ltree-db/ltree/internal/stats"
+	"github.com/ltree-db/ltree/internal/xmldom"
+)
+
+// Errors reported by the binding layer.
+var (
+	ErrUnbound  = errors.New("document: node is not bound to this document")
+	ErrRootEdit = errors.New("document: the root element cannot be moved or deleted")
+)
+
+// Label is an element's (begin, end) interval or a text node's point label
+// (Begin == End).
+type Label struct {
+	Begin uint64
+	End   uint64
+}
+
+// Contains reports the paper's interval containment test: l strictly
+// contains d, i.e. the node labeled l is an ancestor of the one labeled d.
+func (l Label) Contains(d Label) bool {
+	return l.Begin < d.Begin && d.End < l.End
+}
+
+// binding holds the leaves an XML node owns.
+type binding struct {
+	begin *core.Node
+	end   *core.Node // == begin for text nodes
+}
+
+// Doc is a labeled XML document.
+type Doc struct {
+	X    *xmldom.Document
+	tree *core.Tree
+	bind map[*xmldom.Node]binding
+}
+
+// Load labels an entire XML document via bulk loading (§2.2).
+func Load(x *xmldom.Document, p core.Params) (*Doc, error) {
+	if err := x.Check(); err != nil {
+		return nil, err
+	}
+	tree, err := core.New(p)
+	if err != nil {
+		return nil, err
+	}
+	tokens := x.Tokens()
+	leaves, err := tree.Load(len(tokens))
+	if err != nil {
+		return nil, err
+	}
+	d := &Doc{X: x, tree: tree, bind: make(map[*xmldom.Node]binding, len(tokens)/2+1)}
+	d.bindTokens(tokens, leaves)
+	return d, nil
+}
+
+// Parse reads and labels an XML document in one step.
+func Parse(r io.Reader, p core.Params, opts ...xmldom.ParseOptions) (*Doc, error) {
+	x, err := xmldom.Parse(r, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return Load(x, p)
+}
+
+// bindTokens associates a token run with a leaf run of equal length.
+func (d *Doc) bindTokens(tokens []xmldom.Token, leaves []*core.Node) {
+	for i, tok := range tokens {
+		lf := leaves[i]
+		b := d.bind[tok.Node]
+		switch tok.Kind {
+		case xmldom.Begin:
+			b.begin = lf
+			lf.SetPayload(tok.Node)
+		case xmldom.End:
+			b.end = lf
+			lf.SetPayload(tok.Node)
+		case xmldom.TextTok:
+			b.begin, b.end = lf, lf
+			lf.SetPayload(tok.Node)
+		}
+		d.bind[tok.Node] = b
+	}
+}
+
+// Tree exposes the underlying L-Tree (read-mostly: stats, checks, params).
+func (d *Doc) Tree() *core.Tree { return d.tree }
+
+// Stats returns the accumulated maintenance cost counters.
+func (d *Doc) Stats() stats.Counters { return d.tree.Stats() }
+
+// Label returns the node's current label.
+func (d *Doc) Label(n *xmldom.Node) (Label, error) {
+	b, ok := d.bind[n]
+	if !ok {
+		return Label{}, ErrUnbound
+	}
+	return Label{Begin: b.begin.Num(), End: b.end.Num()}, nil
+}
+
+// IsAncestor reports whether a is a proper ancestor of x, decided purely
+// by label comparison (the paper's containment test, §1).
+func (d *Doc) IsAncestor(a, x *xmldom.Node) (bool, error) {
+	la, err := d.Label(a)
+	if err != nil {
+		return false, err
+	}
+	lx, err := d.Label(x)
+	if err != nil {
+		return false, err
+	}
+	return la.Contains(lx), nil
+}
+
+// Compare orders two nodes by document order using only their labels.
+func (d *Doc) Compare(a, b *xmldom.Node) (int, error) {
+	la, err := d.Label(a)
+	if err != nil {
+		return 0, err
+	}
+	lb, err := d.Label(b)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case la.Begin < lb.Begin:
+		return -1, nil
+	case la.Begin > lb.Begin:
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}
+
+// InsertSubtree splices the detached subtree rooted at sub as the idx-th
+// child of parent, labeling all of its tokens with one §4.1 run insertion.
+func (d *Doc) InsertSubtree(parent *xmldom.Node, idx int, sub *xmldom.Node) error {
+	pb, ok := d.bind[parent]
+	if !ok {
+		return ErrUnbound
+	}
+	// The leaf after which the subtree's token run starts: the begin leaf
+	// of the parent when inserting first, otherwise the last leaf of the
+	// preceding sibling's subtree.
+	anchor := pb.begin
+	if idx > 0 {
+		prev := parent.Child(idx - 1)
+		if prev == nil {
+			return xmldom.ErrRange
+		}
+		b, ok := d.bind[prev]
+		if !ok {
+			return ErrUnbound
+		}
+		anchor = b.end
+	}
+	if err := parent.InsertChildAt(idx, sub); err != nil {
+		return err
+	}
+	tokens := xmldom.SubtreeTokens(sub)
+	run, err := d.tree.InsertRunAfter(anchor, len(tokens))
+	if err != nil {
+		sub.Detach()
+		return err
+	}
+	d.bindTokens(tokens, run)
+	return nil
+}
+
+// AppendSubtree splices sub as parent's last child.
+func (d *Doc) AppendSubtree(parent, sub *xmldom.Node) error {
+	return d.InsertSubtree(parent, parent.NumChildren(), sub)
+}
+
+// InsertElement creates, splices and labels a fresh empty element.
+func (d *Doc) InsertElement(parent *xmldom.Node, idx int, tag string, attrs ...xmldom.Attr) (*xmldom.Node, error) {
+	el := xmldom.NewElement(tag, attrs...)
+	if err := d.InsertSubtree(parent, idx, el); err != nil {
+		return nil, err
+	}
+	return el, nil
+}
+
+// InsertText creates, splices and labels a fresh text node.
+func (d *Doc) InsertText(parent *xmldom.Node, idx int, data string) (*xmldom.Node, error) {
+	txt := xmldom.NewText(data)
+	if err := d.InsertSubtree(parent, idx, txt); err != nil {
+		return nil, err
+	}
+	return txt, nil
+}
+
+// DeleteSubtree detaches the subtree rooted at n from the document and
+// tombstones its leaves — the paper's deletion: no relabeling at all
+// (§2.3). The label slots stay occupied until CompactLabels.
+func (d *Doc) DeleteSubtree(n *xmldom.Node) error {
+	if n == d.X.Root {
+		return ErrRootEdit
+	}
+	if _, ok := d.bind[n]; !ok {
+		return ErrUnbound
+	}
+	var err error
+	n.Walk(func(v *xmldom.Node) bool {
+		b := d.bind[v]
+		if e := d.tree.Delete(b.begin); e != nil {
+			err = e
+			return false
+		}
+		if b.end != b.begin {
+			if e := d.tree.Delete(b.end); e != nil {
+				err = e
+				return false
+			}
+		}
+		delete(d.bind, v)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	n.Detach()
+	return nil
+}
+
+// CompactLabels rebuilds the L-Tree without tombstones (extension beyond
+// the paper; see core.Compact).
+func (d *Doc) CompactLabels() error { return d.tree.Compact() }
+
+// Move relocates the subtree rooted at n to become parent's idx-th child,
+// preserving XML node identities. The old leaves are tombstoned (free,
+// §2.3) and the subtree's tokens are relabeled at the target with one
+// §4.1 run insertion.
+func (d *Doc) Move(n, parent *xmldom.Node, idx int) error {
+	if n == d.X.Root {
+		return ErrRootEdit
+	}
+	if _, ok := d.bind[n]; !ok {
+		return ErrUnbound
+	}
+	if _, ok := d.bind[parent]; !ok {
+		return ErrUnbound
+	}
+	for v := parent; v != nil; v = v.Parent() {
+		if v == n {
+			return xmldom.ErrCycle
+		}
+	}
+	// Tombstone the old labels before detaching (order irrelevant: marks
+	// never relabel).
+	var err error
+	n.Walk(func(v *xmldom.Node) bool {
+		b := d.bind[v]
+		if e := d.tree.Delete(b.begin); e != nil {
+			err = e
+			return false
+		}
+		if b.end != b.begin {
+			if e := d.tree.Delete(b.end); e != nil {
+				err = e
+				return false
+			}
+		}
+		delete(d.bind, v)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	n.Detach()
+	return d.InsertSubtree(parent, idx, n)
+}
+
+// Elements returns all elements with the given tag in document order
+// ("*" matches every element).
+func (d *Doc) Elements(tag string) []*xmldom.Node {
+	var out []*xmldom.Node
+	d.X.Root.Walk(func(n *xmldom.Node) bool {
+		if n.Kind() == xmldom.Element && (tag == "*" || n.Tag() == tag) {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// Entry is one tag-index posting: an element with its interval label and
+// depth, the unit the query processor's structural joins consume.
+type Entry struct {
+	Node  *xmldom.Node
+	Label Label
+	Level int
+}
+
+// TagIndex maps each element tag to its postings sorted by begin label —
+// the per-tag clustering the paper assumes for query processing (§3.1).
+type TagIndex map[string][]Entry
+
+// BuildTagIndex snapshots the current labels into a tag index. It must be
+// rebuilt (or resynced via reltab) after updates that relabel.
+func (d *Doc) BuildTagIndex() TagIndex {
+	idx := make(TagIndex)
+	level := 0
+	var walk func(n *xmldom.Node)
+	walk = func(n *xmldom.Node) {
+		if n.Kind() == xmldom.Element {
+			b := d.bind[n]
+			idx[n.Tag()] = append(idx[n.Tag()], Entry{
+				Node:  n,
+				Label: Label{Begin: b.begin.Num(), End: b.end.Num()},
+				Level: level,
+			})
+			level++
+			for _, c := range n.Children() {
+				walk(c)
+			}
+			level--
+		}
+	}
+	walk(d.X.Root)
+	for _, posts := range idx {
+		sort.Slice(posts, func(i, j int) bool { return posts[i].Label.Begin < posts[j].Label.Begin })
+	}
+	return idx
+}
+
+// Check validates the binding: every token has a live leaf, token order
+// matches leaf order, and element intervals nest properly.
+func (d *Doc) Check() error {
+	if err := d.X.Check(); err != nil {
+		return err
+	}
+	if err := d.tree.Check(); err != nil {
+		return err
+	}
+	tokens := d.X.Tokens()
+	var prev uint64
+	first := true
+	for i, tok := range tokens {
+		b, ok := d.bind[tok.Node]
+		if !ok {
+			return fmt.Errorf("document: token %d unbound", i)
+		}
+		lf := b.begin
+		if tok.Kind == xmldom.End {
+			lf = b.end
+		}
+		if lf == nil {
+			return fmt.Errorf("document: token %d missing leaf", i)
+		}
+		if lf.Deleted() {
+			return fmt.Errorf("document: token %d bound to tombstone", i)
+		}
+		if !first && lf.Num() <= prev {
+			return fmt.Errorf("document: label order broken at token %d (%d after %d)", i, lf.Num(), prev)
+		}
+		prev = lf.Num()
+		first = false
+	}
+	if live := d.tree.Live(); live != len(tokens) {
+		return fmt.Errorf("document: %d live leaves for %d tokens", live, len(tokens))
+	}
+	// Interval nesting: parent strictly contains child.
+	var nest func(n *xmldom.Node) error
+	nest = func(n *xmldom.Node) error {
+		ln, err := d.Label(n)
+		if err != nil {
+			return err
+		}
+		if n.Kind() == xmldom.Element && ln.Begin >= ln.End {
+			return fmt.Errorf("document: element <%s> has degenerate interval (%d,%d)", n.Tag(), ln.Begin, ln.End)
+		}
+		for _, c := range n.Children() {
+			lc, err := d.Label(c)
+			if err != nil {
+				return err
+			}
+			if !ln.Contains(lc) {
+				return fmt.Errorf("document: <%s>(%d,%d) does not contain child (%d,%d)",
+					n.Tag(), ln.Begin, ln.End, lc.Begin, lc.End)
+			}
+			if err := nest(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return nest(d.X.Root)
+}

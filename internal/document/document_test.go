@@ -1,0 +1,262 @@
+package document
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/ltree-db/ltree/internal/core"
+	"github.com/ltree-db/ltree/internal/xmldom"
+)
+
+var p42 = core.Params{F: 4, S: 2}
+
+// figure2XML is the document of the paper's Figure 2: <A><B><C/></B><D/></A>.
+const figure2XML = `<A><B><C/></B><D/></A>`
+
+func loadString(t *testing.T, src string, p core.Params) *Doc {
+	t.Helper()
+	d, err := Parse(strings.NewReader(src), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFigure2Document(t *testing.T) {
+	d := loadString(t, figure2XML, p42)
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	a := d.X.Root
+	b := a.Child(0)
+	c := b.Child(0)
+	dd := a.Child(1)
+	want := map[*xmldom.Node]Label{
+		a:  {0, 13},
+		b:  {1, 9},
+		c:  {3, 4},
+		dd: {10, 12},
+	}
+	for n, w := range want {
+		got, err := d.Label(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Fatalf("<%s> label = %v, want %v", n.Tag(), got, w)
+		}
+	}
+	// Paper's containment semantics.
+	if anc, _ := d.IsAncestor(a, c); !anc {
+		t.Fatal("A should contain C")
+	}
+	if anc, _ := d.IsAncestor(b, dd); anc {
+		t.Fatal("B should not contain D")
+	}
+	if cmp, _ := d.Compare(b, dd); cmp != -1 {
+		t.Fatalf("B before D, got %d", cmp)
+	}
+
+	// Figure 2(c)+(d): insert <D/> before <C/> under B — two leaf inserts.
+	dNew, err := d.InsertElement(b, 0, "D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	lab, _ := d.Label(dNew)
+	if lab != (Label{3, 4}) {
+		t.Fatalf("new D label = %v, want {3 4}", lab)
+	}
+	labC, _ := d.Label(c)
+	if labC != (Label{6, 7}) {
+		t.Fatalf("C label = %v, want {6 7} (post split)", labC)
+	}
+	labB, _ := d.Label(b)
+	if labB != (Label{1, 9}) {
+		t.Fatalf("B label moved: %v", labB)
+	}
+}
+
+func TestInsertSubtreeRun(t *testing.T) {
+	d := loadString(t, `<root><a/><b/></root>`, p42)
+	sub := xmldom.NewElement("sub")
+	for i := 0; i < 5; i++ {
+		el := xmldom.NewElement("x")
+		if err := sub.AppendChild(el); err != nil {
+			t.Fatal(err)
+		}
+		if err := el.AppendChild(xmldom.NewText("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.InsertSubtree(d.X.Root, 1, sub); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.BulkInserts != 1 {
+		t.Fatalf("bulk inserts = %d, want 1 (one §4.1 run)", st.BulkInserts)
+	}
+	if st.BulkLeaves != uint64(sub.CountTokens()) {
+		t.Fatalf("bulk leaves = %d, want %d", st.BulkLeaves, sub.CountTokens())
+	}
+	// Order: a < sub < b.
+	labA, _ := d.Label(d.X.Root.Child(0))
+	labS, _ := d.Label(sub)
+	labB, _ := d.Label(d.X.Root.Child(2))
+	if !(labA.End < labS.Begin && labS.End < labB.Begin) {
+		t.Fatalf("subtree order wrong: %v %v %v", labA, labS, labB)
+	}
+}
+
+func TestDeleteSubtreeTombstones(t *testing.T) {
+	d := loadString(t, `<root><a><x/><y/></a><b/></root>`, p42)
+	a := d.X.Root.Child(0)
+	before := d.Stats().Relabelings()
+	if err := d.DeleteSubtree(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().Relabelings(); got != before {
+		t.Fatalf("deletion relabeled %d nodes; the paper promises zero", got-before)
+	}
+	if d.Tree().Live() != d.X.CountTokens() {
+		t.Fatalf("live %d != tokens %d", d.Tree().Live(), d.X.CountTokens())
+	}
+	if _, err := d.Label(a); !errors.Is(err, ErrUnbound) {
+		t.Fatalf("deleted node still labeled: %v", err)
+	}
+	// Root cannot be deleted.
+	if err := d.DeleteSubtree(d.X.Root); !errors.Is(err, ErrRootEdit) {
+		t.Fatalf("root delete = %v", err)
+	}
+	// Compaction reclaims slots and keeps the binding valid.
+	if err := d.CompactLabels(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Tree().Len() != d.X.CountTokens() {
+		t.Fatalf("after compact: %d slots for %d tokens", d.Tree().Len(), d.X.CountTokens())
+	}
+}
+
+func TestUnboundErrors(t *testing.T) {
+	d := loadString(t, `<root><a/></root>`, p42)
+	stranger := xmldom.NewElement("s")
+	if _, err := d.Label(stranger); !errors.Is(err, ErrUnbound) {
+		t.Fatalf("Label(stranger) = %v", err)
+	}
+	if err := d.InsertSubtree(stranger, 0, xmldom.NewElement("x")); !errors.Is(err, ErrUnbound) {
+		t.Fatalf("InsertSubtree(unbound parent) = %v", err)
+	}
+	if err := d.DeleteSubtree(stranger); !errors.Is(err, ErrUnbound) {
+		t.Fatalf("DeleteSubtree(stranger) = %v", err)
+	}
+}
+
+// TestRandomEditsAgainstDOM performs random structural edits and verifies
+// after each batch that label-derived ancestry and order agree with the
+// DOM ground truth.
+func TestRandomEditsAgainstDOM(t *testing.T) {
+	for _, p := range []core.Params{{F: 4, S: 2}, {F: 8, S: 2}, {F: 6, S: 3}} {
+		d := loadString(t, `<root><a/></root>`, p)
+		rng := rand.New(rand.NewSource(77))
+		elements := []*xmldom.Node{d.X.Root, d.X.Root.Child(0)}
+		for i := 0; i < 300; i++ {
+			parent := elements[rng.Intn(len(elements))]
+			idx := rng.Intn(parent.NumChildren() + 1)
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4, 5:
+				el, err := d.InsertElement(parent, idx, "e")
+				if err != nil {
+					t.Fatal(err)
+				}
+				elements = append(elements, el)
+			case 6, 7:
+				if _, err := d.InsertText(parent, idx, "txt"); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				sub := xmldom.NewElement("s")
+				for j := 0; j < rng.Intn(4)+1; j++ {
+					if err := sub.AppendChild(xmldom.NewElement("c")); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := d.InsertSubtree(parent, idx, sub); err != nil {
+					t.Fatal(err)
+				}
+				elements = append(elements, sub)
+			}
+			if i%50 == 49 {
+				if err := d.Check(); err != nil {
+					t.Fatalf("%v edit %d: %v", p, i, err)
+				}
+				verifyAncestry(t, d)
+			}
+		}
+		if err := d.Check(); err != nil {
+			t.Fatal(err)
+		}
+		verifyAncestry(t, d)
+	}
+}
+
+// verifyAncestry cross-checks label containment against DOM parent links
+// for a sample of node pairs.
+func verifyAncestry(t *testing.T, d *Doc) {
+	t.Helper()
+	nodes := d.Elements("*")
+	rng := rand.New(rand.NewSource(int64(len(nodes))))
+	isAncestorDOM := func(a, x *xmldom.Node) bool {
+		for v := x.Parent(); v != nil; v = v.Parent() {
+			if v == a {
+				return true
+			}
+		}
+		return false
+	}
+	for trial := 0; trial < 200; trial++ {
+		a := nodes[rng.Intn(len(nodes))]
+		x := nodes[rng.Intn(len(nodes))]
+		byLabel, err := d.IsAncestor(a, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if byLabel != isAncestorDOM(a, x) {
+			la, _ := d.Label(a)
+			lx, _ := d.Label(x)
+			t.Fatalf("ancestry mismatch: labels %v vs %v, DOM says %v", la, lx, isAncestorDOM(a, x))
+		}
+	}
+}
+
+func TestTagIndex(t *testing.T) {
+	d := loadString(t, `<r><a/><b><a/></b><a/></r>`, p42)
+	idx := d.BuildTagIndex()
+	if len(idx["a"]) != 3 || len(idx["b"]) != 1 || len(idx["r"]) != 1 {
+		t.Fatalf("index sizes wrong: %d a, %d b", len(idx["a"]), len(idx["b"]))
+	}
+	for i := 1; i < len(idx["a"]); i++ {
+		if idx["a"][i-1].Label.Begin >= idx["a"][i].Label.Begin {
+			t.Fatal("postings not begin-sorted")
+		}
+	}
+	if idx["b"][0].Level != 1 {
+		t.Fatalf("b level = %d", idx["b"][0].Level)
+	}
+	inner := idx["a"][1]
+	if inner.Level != 2 {
+		t.Fatalf("nested a level = %d", inner.Level)
+	}
+}

@@ -1,0 +1,134 @@
+package document
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/ltree-db/ltree/internal/core"
+	"github.com/ltree-db/ltree/internal/xmldom"
+)
+
+// snapshot is the on-wire representation: the DOM (structurally, so token
+// boundaries survive exactly — textual XML would merge adjacent text
+// nodes on reparse) plus the exact L-Tree state (labels, tombstones,
+// height). Nothing else is needed: the tree structure is implicit in the
+// labels (paper §4.2).
+type snapshot struct {
+	Format  int // format version
+	F, S    int
+	Wide    bool
+	Height  int
+	Labels  []uint64
+	Deleted []bool
+	Root    nodeRec
+}
+
+// snapshotFormat is the current wire version.
+const snapshotFormat = 1
+
+// nodeRec is the gob-friendly recursive DOM image.
+type nodeRec struct {
+	Kind     int
+	Tag      string
+	Data     string
+	Attrs    []xmldom.Attr
+	Children []nodeRec
+}
+
+func toRec(n *xmldom.Node) nodeRec {
+	rec := nodeRec{
+		Kind: int(n.Kind()),
+		Tag:  n.Tag(),
+		Data: n.Data(),
+	}
+	if attrs := n.Attrs(); len(attrs) > 0 {
+		rec.Attrs = append([]xmldom.Attr(nil), attrs...)
+	}
+	for _, c := range n.Children() {
+		rec.Children = append(rec.Children, toRec(c))
+	}
+	return rec
+}
+
+func fromRec(rec nodeRec) (*xmldom.Node, error) {
+	var n *xmldom.Node
+	switch xmldom.Kind(rec.Kind) {
+	case xmldom.Element:
+		n = xmldom.NewElement(rec.Tag, rec.Attrs...)
+	case xmldom.Text:
+		n = xmldom.NewText(rec.Data)
+	default:
+		return nil, fmt.Errorf("document: restore: unknown node kind %d", rec.Kind)
+	}
+	for _, cr := range rec.Children {
+		c, err := fromRec(cr)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.AppendChild(c); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Snapshot serializes the labeled document so Restore can bring it back
+// with bit-identical labels — no relabeling on restart.
+func (d *Doc) Snapshot(w io.Writer) error {
+	labels, deleted, height := d.tree.SnapshotState()
+	p := d.tree.Params()
+	return gob.NewEncoder(w).Encode(snapshot{
+		Format:  snapshotFormat,
+		F:       p.F,
+		S:       p.S,
+		Wide:    p.WideRadix,
+		Height:  height,
+		Labels:  labels,
+		Deleted: deleted,
+		Root:    toRec(d.X.Root),
+	})
+}
+
+// Restore reconstructs a labeled document from a Snapshot stream. Labels,
+// tombstone slots and the tree height come back exactly as saved.
+func Restore(r io.Reader) (*Doc, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("document: restore: %w", err)
+	}
+	if snap.Format != snapshotFormat {
+		return nil, fmt.Errorf("document: restore: unsupported format %d", snap.Format)
+	}
+	root, err := fromRec(snap.Root)
+	if err != nil {
+		return nil, err
+	}
+	x, err := xmldom.NewDocument(root)
+	if err != nil {
+		return nil, fmt.Errorf("document: restore: %w", err)
+	}
+	p := core.Params{F: snap.F, S: snap.S, WideRadix: snap.Wide}
+	tree, leaves, err := core.FromLabels(p, snap.Labels, snap.Deleted, snap.Height)
+	if err != nil {
+		return nil, fmt.Errorf("document: restore: %w", err)
+	}
+	// Bind the document's tokens to the live (non-tombstoned) leaves in
+	// order; tombstoned slots have no XML token by construction.
+	tokens := x.Tokens()
+	live := make([]*core.Node, 0, len(tokens))
+	for _, lf := range leaves {
+		if !lf.Deleted() {
+			live = append(live, lf)
+		}
+	}
+	if len(live) != len(tokens) {
+		return nil, fmt.Errorf("document: restore: %d live labels for %d tokens", len(live), len(tokens))
+	}
+	d := &Doc{X: x, tree: tree, bind: make(map[*xmldom.Node]binding, len(tokens)/2+1)}
+	d.bindTokens(tokens, live)
+	if err := d.Check(); err != nil {
+		return nil, fmt.Errorf("document: restore: %w", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,190 @@
+package labeling
+
+import (
+	"math/big"
+
+	"github.com/ltree-db/ltree/internal/stats"
+)
+
+// Bisect is the persistent-labels baseline: labels are binary fractions in
+// (0, 1) and an insertion takes the midpoint of its neighbours, so no
+// label ever changes. The price is label width: a hostile insertion point
+// grows labels by one bit per insertion, the Ω(n) bits-per-label regime
+// that Cohen, Kaplan and Milo proved unavoidable for relabeling-free
+// schemes (paper reference [5]). Experiment E4/E5 uses it to show the
+// other side of the trade-off the L-Tree balances.
+type Bisect struct {
+	head, tail *bisSlot
+	n          int
+	maxLen     int
+	st         stats.Counters
+}
+
+type bisSlot struct {
+	m          *big.Int // mantissa: the label is m / 2^length, m odd
+	length     int
+	prev, next *bisSlot
+	owner      *Bisect
+	deleted    bool
+}
+
+// NewBisect returns an empty bisection scheme.
+func NewBisect() *Bisect { return &Bisect{} }
+
+// Name implements Scheme.
+func (b *Bisect) Name() string { return "bisect" }
+
+// Load implements Scheme: n slots get the n shortest distinct fractions
+// (i+1)/2^L for the minimal L with 2^L > n.
+func (b *Bisect) Load(n int) ([]Slot, error) {
+	if n < 0 {
+		return nil, ErrBadSlot
+	}
+	length := 1
+	for (1 << length) <= n {
+		length++
+	}
+	slots := make([]Slot, n)
+	for i := 0; i < n; i++ {
+		m := big.NewInt(int64(i + 1))
+		s := &bisSlot{owner: b, prev: b.tail}
+		s.m, s.length = normalize(m, length)
+		if b.tail != nil {
+			b.tail.next = s
+		} else {
+			b.head = s
+		}
+		b.tail = s
+		slots[i] = s
+		if s.length > b.maxLen {
+			b.maxLen = s.length
+		}
+	}
+	b.n = n
+	return slots, nil
+}
+
+// normalize strips trailing zero bits so the mantissa is odd (labels have
+// a unique representation and lexicographic bitstring order is correct).
+func normalize(m *big.Int, length int) (*big.Int, int) {
+	if m.Sign() == 0 {
+		return m, 0
+	}
+	for m.Bit(0) == 0 {
+		m.Rsh(m, 1)
+		length--
+	}
+	return m, length
+}
+
+// midpoint returns a fraction strictly between a and b (a < b), where nil
+// bounds stand for 0 and 1 respectively.
+func midpoint(a, b *bisSlot) (*big.Int, int) {
+	am, al := big.NewInt(0), 0
+	if a != nil {
+		am, al = a.m, a.length
+	}
+	bm, bl := big.NewInt(1), 0 // 1/2^0 = 1.0, the exclusive upper bound
+	if b != nil {
+		bm, bl = b.m, b.length
+	}
+	length := al
+	if bl > length {
+		length = bl
+	}
+	A := new(big.Int).Lsh(am, uint(length-al))
+	B := new(big.Int).Lsh(bm, uint(length-bl))
+	diff := new(big.Int).Sub(B, A)
+	if diff.Cmp(big.NewInt(2)) >= 0 {
+		mid := new(big.Int).Add(A, B)
+		mid.Rsh(mid, 1)
+		return normalize(mid, length)
+	}
+	// Adjacent at this precision: extend by one bit, taking A·2+1.
+	mid := new(big.Int).Lsh(A, 1)
+	mid.SetBit(mid, 0, 1)
+	return mid, length + 1
+}
+
+// insertBetween splices and labels a new slot; nothing else is relabeled.
+func (b *Bisect) insertBetween(prev, next *bisSlot) (Slot, error) {
+	x := &bisSlot{owner: b, prev: prev, next: next}
+	x.m, x.length = midpoint(prev, next)
+	if prev != nil {
+		prev.next = x
+	} else {
+		b.head = x
+	}
+	if next != nil {
+		next.prev = x
+	} else {
+		b.tail = x
+	}
+	b.n++
+	b.st.Inserts++
+	b.st.RelabeledLeaves++ // only its own label, ever
+	if x.length > b.maxLen {
+		b.maxLen = x.length
+	}
+	return x, nil
+}
+
+// InsertAfter implements Scheme.
+func (b *Bisect) InsertAfter(s Slot) (Slot, error) {
+	p, ok := s.(*bisSlot)
+	if !ok || p.owner != b {
+		return nil, ErrBadSlot
+	}
+	return b.insertBetween(p, p.next)
+}
+
+// InsertFirst implements Scheme.
+func (b *Bisect) InsertFirst() (Slot, error) {
+	return b.insertBetween(nil, b.head)
+}
+
+// Delete implements Scheme (tombstone only).
+func (b *Bisect) Delete(s Slot) error {
+	p, ok := s.(*bisSlot)
+	if !ok || p.owner != b {
+		return ErrBadSlot
+	}
+	if !p.deleted {
+		p.deleted = true
+		b.st.Deletes++
+	}
+	return nil
+}
+
+// Label implements Scheme: the label is the bitstring of the fraction
+// ('0'/'1' bytes, most significant first). Because every label ends in a
+// 1 bit, plain lexicographic byte order matches fraction order.
+func (b *Bisect) Label(s Slot) []byte {
+	p, ok := s.(*bisSlot)
+	if !ok || p.owner != b {
+		return nil
+	}
+	out := make([]byte, p.length)
+	for i := 0; i < p.length; i++ {
+		if p.m.Bit(p.length-1-i) == 1 {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return out
+}
+
+// Bits implements Scheme: the longest label seen so far.
+func (b *Bisect) Bits() int {
+	if b.maxLen == 0 {
+		return 1
+	}
+	return b.maxLen
+}
+
+// Len implements Scheme.
+func (b *Bisect) Len() int { return b.n }
+
+// Stats implements Scheme.
+func (b *Bisect) Stats() stats.Counters { return b.st }

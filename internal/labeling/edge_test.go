@@ -1,0 +1,123 @@
+package labeling
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestGapUniverseExhaustion forces the gap scheme against its hard bit
+// cap (white-box: a tiny maxBits makes the condition reachable).
+func TestGapUniverseExhaustion(t *testing.T) {
+	g := NewGap(4)
+	g.maxBits = 6 // universe can grow to at most 64 labels
+	slots, err := g.Load(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchor := slots[0].(*gapSlot)
+	var lastErr error
+	inserted := 0
+	for i := 0; i < 200; i++ {
+		if _, err := g.InsertAfter(anchor); err != nil {
+			lastErr = err
+			break
+		}
+		inserted++
+	}
+	if !errors.Is(lastErr, ErrFull) {
+		t.Fatalf("expected ErrFull, got %v after %d inserts", lastErr, inserted)
+	}
+	// The cap must only trigger once the universe is genuinely crowded.
+	if inserted < 20 {
+		t.Fatalf("gave up too early: %d inserts into a 64-label universe", inserted)
+	}
+	// Load on a too-small capped universe also errors.
+	g2 := NewGap(4)
+	g2.maxBits = 5
+	if _, err := g2.Load(100); !errors.Is(err, ErrFull) {
+		t.Fatalf("overfull load = %v", err)
+	}
+}
+
+// TestSequentialBitsTrack checks the dense scheme's minimal label width.
+func TestSequentialBitsTrack(t *testing.T) {
+	q := NewSequential()
+	if q.Bits() != 1 {
+		t.Fatalf("empty bits = %d", q.Bits())
+	}
+	if _, err := q.Load(1000); err != nil {
+		t.Fatal(err)
+	}
+	if q.Bits() != 10 { // ceil(log2 1000)
+		t.Fatalf("bits = %d, want 10", q.Bits())
+	}
+}
+
+// TestBisectMidpointOrdering drills the midpoint arithmetic: repeated
+// bisection between two fixed neighbours keeps strict byte order.
+func TestBisectMidpointOrdering(t *testing.T) {
+	b := NewBisect()
+	slots, err := b.Load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := slots[0]
+	right := slots[1]
+	prevLabel := b.Label(left)
+	for i := 0; i < 200; i++ {
+		mid, err := b.InsertAfter(left)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lab := b.Label(mid)
+		if bytes.Compare(prevLabel, lab) >= 0 {
+			t.Fatalf("iteration %d: midpoint %q not after %q", i, lab, prevLabel)
+		}
+		if bytes.Compare(lab, b.Label(right)) >= 0 {
+			t.Fatalf("iteration %d: midpoint %q not before right", i, lab)
+		}
+		// Keep splitting the same left gap: labels must keep growing by
+		// roughly one bit per step (the Ω(n) regime).
+		prevLabel = lab
+		left = mid
+	}
+	if b.Bits() < 150 {
+		t.Fatalf("hostile bisection bits = %d, want ≈ 200", b.Bits())
+	}
+}
+
+// TestLTreeAdapterLoadTwice covers the adapter's error propagation.
+func TestLTreeAdapterLoadTwice(t *testing.T) {
+	sc, err := NewLTree(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Load(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Load(4); err == nil {
+		t.Fatal("second Load should fail")
+	}
+	if _, err := NewLTree(5, 2); err == nil {
+		t.Fatal("invalid params should fail")
+	}
+}
+
+// TestDeleteIdempotent covers tombstone re-deletion across schemes.
+func TestDeleteIdempotent(t *testing.T) {
+	for _, sc := range allSchemes(t) {
+		slots, err := sc.Load(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := sc.Delete(slots[1]); err != nil {
+				t.Fatalf("%s delete #%d: %v", sc.Name(), i, err)
+			}
+		}
+		if got := sc.Stats().Deletes; got != 1 {
+			t.Fatalf("%s: %d deletes charged, want 1", sc.Name(), got)
+		}
+	}
+}

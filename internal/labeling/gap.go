@@ -1,0 +1,234 @@
+package labeling
+
+import (
+	"math"
+
+	"github.com/ltree-db/ltree/internal/stats"
+)
+
+// Gap is the classic online list-labeling baseline (the Dietz [8],
+// Dietz-Sleator [9] and Tsakalidis [16] family the paper's related work
+// cites): labels live in a fixed universe [0, 2^bits); an insertion takes
+// any free label between its neighbours, and when none exists the smallest
+// enclosing power-of-two-aligned range whose density is acceptable is
+// renumbered evenly. Density thresholds fall geometrically from 1 at
+// single slots to 1/2 at the whole universe, so a full universe doubles
+// (bits+1) and renumbers everything.
+//
+// Amortized cost is O(log² n) relabelings per insertion — asymptotically
+// worse than the L-Tree's O(log n) — with comparable label widths, which
+// is exactly the trade-off experiment E5 measures.
+type Gap struct {
+	bits    uint
+	maxBits uint
+	head    *gapSlot
+	tail    *gapSlot
+	n       int
+	st      stats.Counters
+}
+
+type gapSlot struct {
+	label      uint64
+	prev, next *gapSlot
+	owner      *Gap
+	deleted    bool
+}
+
+// NewGap returns an empty gap scheme with the given starting universe
+// width in bits (clamped to [4, 62]).
+func NewGap(bits uint) *Gap {
+	if bits < 4 {
+		bits = 4
+	}
+	if bits > 62 {
+		bits = 62
+	}
+	return &Gap{bits: bits, maxBits: 62}
+}
+
+// Name implements Scheme.
+func (g *Gap) Name() string { return "gap" }
+
+// universe returns the size of the label space.
+func (g *Gap) universe() uint64 { return uint64(1) << g.bits }
+
+// threshold returns the maximum tolerated occupancy of an aligned range of
+// size 2^level: interpolating geometrically from density 1 at level 0 to
+// density 1/2 at the full universe.
+func (g *Gap) threshold(level uint) int {
+	density := math.Pow(0.5, float64(level)/float64(g.bits))
+	return int(density * math.Pow(2, float64(level)))
+}
+
+// Load implements Scheme: n slots spread evenly, growing the universe
+// until it is at most half full.
+func (g *Gap) Load(n int) ([]Slot, error) {
+	if n < 0 {
+		return nil, ErrBadSlot
+	}
+	for g.universe() < 2*uint64(n+1) {
+		if g.bits+1 > g.maxBits {
+			return nil, ErrFull
+		}
+		g.bits++
+	}
+	slots := make([]Slot, n)
+	step := g.universe() / uint64(n+1)
+	for i := 0; i < n; i++ {
+		s := &gapSlot{label: uint64(i+1) * step, owner: g, prev: g.tail}
+		if g.tail != nil {
+			g.tail.next = s
+		} else {
+			g.head = s
+		}
+		g.tail = s
+		slots[i] = s
+	}
+	g.n = n
+	return slots, nil
+}
+
+// InsertAfter implements Scheme.
+func (g *Gap) InsertAfter(s Slot) (Slot, error) {
+	p, ok := s.(*gapSlot)
+	if !ok || p.owner != g {
+		return nil, ErrBadSlot
+	}
+	return g.insertBetween(p, p.next)
+}
+
+// InsertFirst implements Scheme.
+func (g *Gap) InsertFirst() (Slot, error) {
+	return g.insertBetween(nil, g.head)
+}
+
+// insertBetween splices a new slot between prev and next (either may be
+// nil for the list boundaries) and labels it, rebalancing if required.
+func (g *Gap) insertBetween(prev, next *gapSlot) (Slot, error) {
+	x := &gapSlot{owner: g, prev: prev, next: next}
+	if prev != nil {
+		prev.next = x
+	} else {
+		g.head = x
+	}
+	if next != nil {
+		next.prev = x
+	} else {
+		g.tail = x
+	}
+	g.n++
+	g.st.Inserts++
+
+	lo := uint64(0) // smallest admissible label
+	if prev != nil {
+		lo = prev.label + 1
+	}
+	hi := g.universe() // exclusive upper bound
+	if next != nil {
+		hi = next.label
+	}
+	if hi > lo {
+		// A free label exists: take the midpoint of the gap.
+		x.label = lo + (hi-lo)/2
+		g.st.RelabeledLeaves++
+		return x, nil
+	}
+	ideal := lo
+	if ideal >= g.universe() {
+		ideal = g.universe() - 1
+	}
+	if err := g.rebalance(x, ideal); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// rebalance renumbers the smallest acceptable aligned range around the
+// ideal position of x, growing the universe when even the whole space is
+// too dense.
+func (g *Gap) rebalance(x *gapSlot, ideal uint64) error {
+	for level := uint(1); ; level++ {
+		if level > g.bits {
+			// Universe overflow: double the space and renumber all.
+			if g.bits+1 > g.maxBits {
+				return ErrFull
+			}
+			g.bits++
+			g.renumber(g.head, nil, 0, g.universe())
+			return nil
+		}
+		size := uint64(1) << level
+		start := ideal &^ (size - 1)
+		// Collect the contiguous run of slots whose labels fall in
+		// [start, start+size); x sits between its neighbours.
+		first := x
+		for first.prev != nil && first.prev.label >= start {
+			first = first.prev
+		}
+		var stop *gapSlot
+		count := 0
+		for cur := first; cur != nil; cur = cur.next {
+			if cur != x && cur.label >= start+size {
+				stop = cur
+				break
+			}
+			count++
+		}
+		if count <= g.threshold(level) {
+			g.renumber(first, stop, start, size)
+			return nil
+		}
+	}
+}
+
+// renumber spreads the slots from first up to (excluding) stop evenly over
+// [start, start+size), charging every changed label.
+func (g *Gap) renumber(first, stop *gapSlot, start, size uint64) {
+	count := 0
+	for cur := first; cur != stop; cur = cur.next {
+		count++
+	}
+	if count == 0 {
+		return
+	}
+	step := size / uint64(count+1)
+	i := uint64(1)
+	for cur := first; cur != stop; cur = cur.next {
+		if want := start + i*step; cur.label != want {
+			cur.label = want
+			g.st.RelabeledLeaves++
+		}
+		i++
+	}
+}
+
+// Delete implements Scheme (tombstone only).
+func (g *Gap) Delete(s Slot) error {
+	p, ok := s.(*gapSlot)
+	if !ok || p.owner != g {
+		return ErrBadSlot
+	}
+	if !p.deleted {
+		p.deleted = true
+		g.st.Deletes++
+	}
+	return nil
+}
+
+// Label implements Scheme.
+func (g *Gap) Label(s Slot) []byte {
+	p, ok := s.(*gapSlot)
+	if !ok || p.owner != g {
+		return nil
+	}
+	return beUint64(p.label)
+}
+
+// Bits implements Scheme.
+func (g *Gap) Bits() int { return int(g.bits) }
+
+// Len implements Scheme.
+func (g *Gap) Len() int { return g.n }
+
+// Stats implements Scheme.
+func (g *Gap) Stats() stats.Counters { return g.st }

@@ -1,0 +1,304 @@
+package labeling
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// allSchemes builds one fresh instance of every scheme.
+func allSchemes(t *testing.T) []Scheme {
+	t.Helper()
+	lt, err := NewLTree(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Scheme{lt, NewSequential(), NewGap(8), NewBisect()}
+}
+
+// verifyOrder asserts that the slots' labels are strictly increasing under
+// bytes.Compare in the given logical order.
+func verifyOrder(t *testing.T, sc Scheme, slots []Slot) {
+	t.Helper()
+	for i := 1; i < len(slots); i++ {
+		a, b := sc.Label(slots[i-1]), sc.Label(slots[i])
+		if bytes.Compare(a, b) >= 0 {
+			t.Fatalf("%s: label order broken at %d: %q ≥ %q", sc.Name(), i, a, b)
+		}
+	}
+}
+
+func TestLoadOrder(t *testing.T) {
+	for _, sc := range allSchemes(t) {
+		slots, err := sc.Load(100)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name(), err)
+		}
+		if sc.Len() != 100 {
+			t.Fatalf("%s: len %d", sc.Name(), sc.Len())
+		}
+		verifyOrder(t, sc, slots)
+	}
+}
+
+// TestFigure1Sequential reproduces Figure 1 of the paper exactly: the
+// book/chapter/title document labeled 0..7 in depth-first tag order gives
+// book(0,7), chapter(1,4), title(2,3), title(5,6), and the ancestor test
+// is interval containment.
+func TestFigure1Sequential(t *testing.T) {
+	sc := NewSequential()
+	// Tag order: book chapter title /title /chapter title /title /book.
+	slots, err := sc.Load(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := func(i int) uint64 {
+		b := sc.Label(slots[i])
+		var v uint64
+		for _, x := range b {
+			v = v<<8 | uint64(x)
+		}
+		return v
+	}
+	type elem struct{ begin, end uint64 }
+	book := elem{label(0), label(7)}
+	chapter := elem{label(1), label(4)}
+	title1 := elem{label(2), label(3)}
+	title2 := elem{label(5), label(6)}
+	if book.begin != 0 || book.end != 7 || chapter.begin != 1 || chapter.end != 4 ||
+		title1.begin != 2 || title1.end != 3 || title2.begin != 5 || title2.end != 6 {
+		t.Fatalf("figure 1 labels wrong: book=%v chapter=%v titles=%v,%v", book, chapter, title1, title2)
+	}
+	contains := func(a, d elem) bool { return a.begin < d.begin && d.end < a.end }
+	if !contains(book, title1) || !contains(book, title2) || !contains(chapter, title1) {
+		t.Fatal("containment relations broken")
+	}
+	if contains(chapter, title2) || contains(title1, title2) {
+		t.Fatal("false containment")
+	}
+}
+
+// TestRandomStreamAllSchemes drives identical random insertion streams
+// through every scheme and checks order preservation throughout.
+func TestRandomStreamAllSchemes(t *testing.T) {
+	for _, sc := range allSchemes(t) {
+		rng := rand.New(rand.NewSource(5))
+		slots, err := sc.Load(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 400; i++ {
+			pos := rng.Intn(len(slots) + 1)
+			var s Slot
+			if pos == 0 {
+				s, err = sc.InsertFirst()
+			} else {
+				s, err = sc.InsertAfter(slots[pos-1])
+			}
+			if err != nil {
+				t.Fatalf("%s: insert %d: %v", sc.Name(), i, err)
+			}
+			slots = append(slots, nil)
+			copy(slots[pos+1:], slots[pos:])
+			slots[pos] = s
+			if i%50 == 49 {
+				verifyOrder(t, sc, slots)
+			}
+		}
+		verifyOrder(t, sc, slots)
+		if sc.Len() != len(slots) {
+			t.Fatalf("%s: len %d, want %d", sc.Name(), sc.Len(), len(slots))
+		}
+		// Deletions never relabel in any scheme.
+		before := sc.Stats().RelabeledLeaves
+		if err := sc.Delete(slots[3]); err != nil {
+			t.Fatalf("%s: delete: %v", sc.Name(), err)
+		}
+		if got := sc.Stats().RelabeledLeaves; got != before {
+			t.Fatalf("%s: delete relabeled %d slots", sc.Name(), got-before)
+		}
+	}
+}
+
+// TestSequentialRelabelHalf pins the paper's motivating claim: inserting
+// at the front of a sequentially labeled list of n slots renumbers all n.
+func TestSequentialRelabelHalf(t *testing.T) {
+	sc := NewSequential()
+	const n = 1000
+	if _, err := sc.Load(n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.InsertFirst(); err != nil {
+		t.Fatal(err)
+	}
+	st := sc.Stats()
+	// n shifted labels + the new slot's own.
+	if st.RelabeledLeaves != n+1 {
+		t.Fatalf("front insert relabeled %d, want %d", st.RelabeledLeaves, n+1)
+	}
+	// Random positions average about n/2.
+	sc2 := NewSequential()
+	slots, _ := sc2.Load(n)
+	rng := rand.New(rand.NewSource(9))
+	const inserts = 500
+	for i := 0; i < inserts; i++ {
+		s, err := sc2.InsertAfter(slots[rng.Intn(len(slots))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s) // anchors only; order not needed here
+	}
+	avg := float64(sc2.Stats().RelabeledLeaves) / inserts
+	if avg < float64(n)/4 || avg > float64(n) {
+		t.Fatalf("average relabels per random insert = %.0f, expected ≈ n/2 = %d", avg, n/2)
+	}
+}
+
+// TestBisectNeverRelabels pins the other extreme: bisection relabels
+// nothing but labels grow linearly under a hostile insertion point.
+func TestBisectNeverRelabels(t *testing.T) {
+	sc := NewBisect()
+	slots, err := sc.Load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchor := slots[0]
+	const n = 300
+	for i := 0; i < n; i++ {
+		if _, err := sc.InsertAfter(anchor); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sc.Stats()
+	if st.RelabeledLeaves != n { // only each new slot's own label
+		t.Fatalf("bisect relabeled %d, want %d", st.RelabeledLeaves, n)
+	}
+	if sc.Bits() < n/2 {
+		t.Fatalf("hostile bisect labels should grow linearly: bits=%d after %d inserts", sc.Bits(), n)
+	}
+}
+
+// TestGapStaysBounded: the gap scheme's universe stays polynomial (bits
+// grow only on density overflow) and its amortized relabels are far below
+// sequential's.
+func TestGapStaysBounded(t *testing.T) {
+	sc := NewGap(8)
+	slots, err := sc.Load(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	const n = 5000
+	for i := 0; i < n; i++ {
+		pos := rng.Intn(len(slots) + 1)
+		var s Slot
+		if pos == 0 {
+			s, err = sc.InsertFirst()
+		} else {
+			s, err = sc.InsertAfter(slots[pos-1])
+		}
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		slots = append(slots, nil)
+		copy(slots[pos+1:], slots[pos:])
+		slots[pos] = s
+	}
+	verifyOrder(t, sc, slots)
+	if sc.Bits() > 40 {
+		t.Fatalf("gap universe exploded: %d bits for %d slots", sc.Bits(), sc.Len())
+	}
+	amort := float64(sc.Stats().RelabeledLeaves) / n
+	if amort > 200 {
+		t.Fatalf("gap amortized relabels = %.1f, way above the polylog regime", amort)
+	}
+}
+
+// TestGapHostilePoint drives the worst case for the gap scheme (always the
+// same insertion point) and verifies it still works, just with more
+// relabeling than the L-Tree.
+func TestGapHostilePoint(t *testing.T) {
+	sc := NewGap(8)
+	slots, err := sc.Load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchor := slots[0]
+	order := []Slot{anchor, slots[1]}
+	for i := 0; i < 3000; i++ {
+		s, err := sc.InsertAfter(anchor)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		rest := append([]Slot{s}, order[1:]...)
+		order = append(order[:1], rest...)
+	}
+	verifyOrder(t, sc, order)
+}
+
+// TestQuickSchemesAgree: any op stream applied to all schemes yields the
+// same logical order (trivially true by construction) with valid labels —
+// the property being that no scheme ever produces out-of-order labels.
+func TestQuickSchemesAgree(t *testing.T) {
+	prop := func(seed int64, opsRaw uint8) bool {
+		ops := int(opsRaw)%80 + 5
+		lt, err := NewLTree(6, 2)
+		if err != nil {
+			return false
+		}
+		schemes := []Scheme{lt, NewSequential(), NewGap(6), NewBisect()}
+		orders := make([][]Slot, len(schemes))
+		for i, sc := range schemes {
+			slots, err := sc.Load(3)
+			if err != nil {
+				return false
+			}
+			orders[i] = slots
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for op := 0; op < ops; op++ {
+			pos := rng.Intn(len(orders[0]) + 1)
+			for i, sc := range schemes {
+				var s Slot
+				var err error
+				if pos == 0 {
+					s, err = sc.InsertFirst()
+				} else {
+					s, err = sc.InsertAfter(orders[i][pos-1])
+				}
+				if err != nil {
+					return false
+				}
+				orders[i] = append(orders[i], nil)
+				copy(orders[i][pos+1:], orders[i][pos:])
+				orders[i][pos] = s
+			}
+		}
+		for i, sc := range schemes {
+			for j := 1; j < len(orders[i]); j++ {
+				if bytes.Compare(sc.Label(orders[i][j-1]), sc.Label(orders[i][j])) >= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadSlots(t *testing.T) {
+	for _, sc := range allSchemes(t) {
+		if _, err := sc.InsertAfter("bogus"); err == nil {
+			t.Fatalf("%s accepted a foreign slot", sc.Name())
+		}
+		if err := sc.Delete(42); err == nil {
+			t.Fatalf("%s deleted a foreign slot", sc.Name())
+		}
+		if sc.Label(struct{}{}) != nil {
+			t.Fatalf("%s labeled a foreign slot", sc.Name())
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package labeling defines the order-preserving labeling abstraction that
+// the experiments compare schemes under, and implements the baseline
+// schemes the paper positions the L-Tree against (§1, §5):
+//
+//   - Sequential: dense integer labels; an insertion renumbers every
+//     following slot (≈ n/2 relabelings on average — the paper's opening
+//     example of why naive labeling fails).
+//   - Gap: classic online list labeling over a fixed universe with
+//     density-triggered redistribution of aligned ranges (the Dietz/
+//     Itai-Konheim-Rodeh family the paper cites as [8, 9, 16]).
+//   - Bisect: binary-fraction labels that never relabel but grow to Ω(n)
+//     bits in the worst case (the Cohen-Kaplan-Milo lower-bound regime,
+//     paper [5]).
+//   - LTree: the paper's contribution, adapted from internal/core.
+//
+// All schemes expose byte-comparable labels and the shared cost counters,
+// so the experiment harness can compare relabeling work and label width
+// uniformly.
+package labeling
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"github.com/ltree-db/ltree/internal/core"
+	"github.com/ltree-db/ltree/internal/stats"
+)
+
+// Slot is an opaque handle to one labeled position of a scheme. Handles
+// remain valid across relabelings; only their label value changes.
+type Slot any
+
+// Scheme is an order-preserving labeling scheme over a dynamic list.
+type Scheme interface {
+	// Name identifies the scheme in experiment output.
+	Name() string
+	// Load bulk-labels n fresh slots on an empty scheme, in order.
+	Load(n int) ([]Slot, error)
+	// InsertAfter creates and labels a slot right after the given one.
+	InsertAfter(Slot) (Slot, error)
+	// InsertFirst creates and labels a slot before all existing ones.
+	InsertFirst() (Slot, error)
+	// Delete tombstones a slot (no relabeling in any scheme).
+	Delete(Slot) error
+	// Label returns the slot's current label in an order-preserving byte
+	// encoding: bytes.Compare(Label(a), Label(b)) < 0 iff a precedes b.
+	Label(Slot) []byte
+	// Bits returns the number of bits a label currently requires.
+	Bits() int
+	// Len returns the number of slots (including tombstones).
+	Len() int
+	// Stats exposes the shared maintenance counters.
+	Stats() stats.Counters
+}
+
+// ErrBadSlot is returned when a handle does not belong to the scheme.
+var ErrBadSlot = errors.New("labeling: slot does not belong to this scheme")
+
+// ErrFull is returned when a fixed-universe scheme cannot make room.
+var ErrFull = errors.New("labeling: label universe exhausted")
+
+// LTree adapts the materialized L-Tree (internal/core) to the Scheme
+// interface. Slots are *core.Node leaves.
+type LTree struct {
+	T *core.Tree
+}
+
+// NewLTree returns an L-Tree scheme with the paper's parameters (f, s).
+func NewLTree(f, s int) (*LTree, error) {
+	t, err := core.New(core.Params{F: f, S: s})
+	if err != nil {
+		return nil, err
+	}
+	return &LTree{T: t}, nil
+}
+
+// Name implements Scheme.
+func (l *LTree) Name() string { return "ltree" }
+
+// Load implements Scheme.
+func (l *LTree) Load(n int) ([]Slot, error) {
+	leaves, err := l.T.Load(n)
+	if err != nil {
+		return nil, err
+	}
+	slots := make([]Slot, len(leaves))
+	for i, lf := range leaves {
+		slots[i] = lf
+	}
+	return slots, nil
+}
+
+// InsertAfter implements Scheme.
+func (l *LTree) InsertAfter(s Slot) (Slot, error) {
+	lf, ok := s.(*core.Node)
+	if !ok {
+		return nil, ErrBadSlot
+	}
+	return l.T.InsertAfter(lf)
+}
+
+// InsertFirst implements Scheme.
+func (l *LTree) InsertFirst() (Slot, error) { return l.T.InsertFirst() }
+
+// Delete implements Scheme.
+func (l *LTree) Delete(s Slot) error {
+	lf, ok := s.(*core.Node)
+	if !ok {
+		return ErrBadSlot
+	}
+	return l.T.Delete(lf)
+}
+
+// Label implements Scheme with the big-endian uint64 encoding.
+func (l *LTree) Label(s Slot) []byte {
+	lf, ok := s.(*core.Node)
+	if !ok {
+		return nil
+	}
+	return beUint64(lf.Num())
+}
+
+// Bits implements Scheme.
+func (l *LTree) Bits() int { return l.T.BitsPerLabel() }
+
+// Len implements Scheme.
+func (l *LTree) Len() int { return l.T.Len() }
+
+// Stats implements Scheme.
+func (l *LTree) Stats() stats.Counters { return l.T.Stats() }
+
+// beUint64 encodes v big-endian, the order-preserving fixed-width coding.
+func beUint64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}

@@ -1,0 +1,135 @@
+package labeling
+
+import (
+	"github.com/ltree-db/ltree/internal/stats"
+)
+
+// Sequential is the naive order-preserving scheme from the paper's
+// introduction: slots are labeled 0..n−1 densely, so inserting at position
+// p renumbers the n−p following slots — half the document on average. It
+// exists as the baseline whose update cost the L-Tree is designed to beat;
+// its labels are as small as possible (⌈log2 n⌉ bits).
+type Sequential struct {
+	head, tail *seqSlot
+	n          int
+	st         stats.Counters
+}
+
+type seqSlot struct {
+	label      uint64
+	prev, next *seqSlot
+	owner      *Sequential
+	deleted    bool
+}
+
+// NewSequential returns an empty dense-labeling scheme.
+func NewSequential() *Sequential { return &Sequential{} }
+
+// Name implements Scheme.
+func (q *Sequential) Name() string { return "sequential" }
+
+// Load implements Scheme.
+func (q *Sequential) Load(n int) ([]Slot, error) {
+	if n < 0 {
+		return nil, ErrBadSlot
+	}
+	slots := make([]Slot, n)
+	for i := 0; i < n; i++ {
+		s := &seqSlot{label: uint64(i), owner: q, prev: q.tail}
+		if q.tail != nil {
+			q.tail.next = s
+		} else {
+			q.head = s
+		}
+		q.tail = s
+		slots[i] = s
+	}
+	q.n = n
+	return slots, nil
+}
+
+// InsertAfter implements Scheme: the new slot takes label p+1 and every
+// following slot is renumbered, each renumbering charged to the counters.
+func (q *Sequential) InsertAfter(s Slot) (Slot, error) {
+	p, ok := s.(*seqSlot)
+	if !ok || p.owner != q {
+		return nil, ErrBadSlot
+	}
+	x := &seqSlot{label: p.label + 1, owner: q, prev: p, next: p.next}
+	if p.next != nil {
+		p.next.prev = x
+	} else {
+		q.tail = x
+	}
+	p.next = x
+	q.n++
+	q.st.Inserts++
+	q.st.RelabeledLeaves++ // the new slot's own numbering
+	for cur := x.next; cur != nil; cur = cur.next {
+		cur.label++
+		q.st.RelabeledLeaves++
+	}
+	return x, nil
+}
+
+// InsertFirst implements Scheme.
+func (q *Sequential) InsertFirst() (Slot, error) {
+	x := &seqSlot{label: 0, owner: q, next: q.head}
+	if q.head != nil {
+		q.head.prev = x
+	} else {
+		q.tail = x
+	}
+	q.head = x
+	q.n++
+	q.st.Inserts++
+	q.st.RelabeledLeaves++
+	for cur := x.next; cur != nil; cur = cur.next {
+		cur.label++
+		q.st.RelabeledLeaves++
+	}
+	return x, nil
+}
+
+// Delete implements Scheme (tombstone only; dense labels keep their slot).
+func (q *Sequential) Delete(s Slot) error {
+	p, ok := s.(*seqSlot)
+	if !ok || p.owner != q {
+		return ErrBadSlot
+	}
+	if !p.deleted {
+		p.deleted = true
+		q.st.Deletes++
+	}
+	return nil
+}
+
+// Label implements Scheme.
+func (q *Sequential) Label(s Slot) []byte {
+	p, ok := s.(*seqSlot)
+	if !ok || p.owner != q {
+		return nil
+	}
+	return beUint64(p.label)
+}
+
+// Bits implements Scheme: dense labels need ⌈log2 n⌉ bits.
+func (q *Sequential) Bits() int { return bitsFor(uint64(q.n)) }
+
+// Len implements Scheme.
+func (q *Sequential) Len() int { return q.n }
+
+// Stats implements Scheme.
+func (q *Sequential) Stats() stats.Counters { return q.st }
+
+// bitsFor returns the bits needed to represent labels in [0, n), min 1.
+func bitsFor(n uint64) int {
+	if n <= 2 {
+		return 1
+	}
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}

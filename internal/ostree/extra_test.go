@@ -1,0 +1,151 @@
+package ostree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDrainPatterns removes all keys in adversarial orders: ascending,
+// descending, middle-out — each stresses a different rebalance path
+// (borrow left/right, merges at both edges).
+func TestDrainPatterns(t *testing.T) {
+	const n = 3000
+	build := func() *Tree {
+		tr := New()
+		for i := 0; i < n; i++ {
+			tr.Insert(uint64(i))
+		}
+		return tr
+	}
+	t.Run("ascending", func(t *testing.T) {
+		tr := build()
+		for i := 0; i < n; i++ {
+			if !tr.Delete(uint64(i)) {
+				t.Fatalf("delete %d failed", i)
+			}
+			if i%300 == 0 {
+				if err := tr.Check(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatal("not drained")
+		}
+	})
+	t.Run("descending", func(t *testing.T) {
+		tr := build()
+		for i := n - 1; i >= 0; i-- {
+			if !tr.Delete(uint64(i)) {
+				t.Fatalf("delete %d failed", i)
+			}
+			if i%300 == 0 {
+				if err := tr.Check(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatal("not drained")
+		}
+	})
+	t.Run("middle-out", func(t *testing.T) {
+		tr := build()
+		lo, hi := n/2, n/2+1
+		for lo >= 0 || hi < n {
+			if lo >= 0 {
+				if !tr.Delete(uint64(lo)) {
+					t.Fatalf("delete %d failed", lo)
+				}
+				lo--
+			}
+			if hi < n {
+				if !tr.Delete(uint64(hi)) {
+					t.Fatalf("delete %d failed", hi)
+				}
+				hi++
+			}
+			if (lo+hi)%250 == 0 {
+				if err := tr.Check(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatal("not drained")
+		}
+	})
+}
+
+// TestAlternatingChurn interleaves waves of inserts and deletes so the
+// tree repeatedly grows and shrinks across height changes.
+func TestAlternatingChurn(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(77))
+	live := map[uint64]bool{}
+	for wave := 0; wave < 12; wave++ {
+		for i := 0; i < 2000; i++ {
+			k := uint64(rng.Intn(50_000))
+			if tr.Insert(k) != !live[k] {
+				t.Fatalf("wave %d: insert(%d) disagreement", wave, k)
+			}
+			live[k] = true
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("wave %d after inserts: %v", wave, err)
+		}
+		removed := 0
+		for k := range live {
+			if !tr.Delete(k) {
+				t.Fatalf("wave %d: delete(%d) failed", wave, k)
+			}
+			delete(live, k)
+			removed++
+			if removed >= 1800 {
+				break
+			}
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("wave %d after deletes: %v", wave, err)
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("wave %d: len %d vs %d", wave, tr.Len(), len(live))
+		}
+	}
+}
+
+func TestCountRangeEdges(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i += 2 {
+		tr.Insert(uint64(i))
+	}
+	if tr.CountRange(10, 10) != 0 {
+		t.Fatal("empty range")
+	}
+	if tr.CountRange(20, 10) != 0 {
+		t.Fatal("inverted range")
+	}
+	if got := tr.CountRange(0, 100); got != 50 {
+		t.Fatalf("full range = %d", got)
+	}
+	if got := tr.CountRange(10, 12); got != 1 {
+		t.Fatalf("[10,12) = %d", got)
+	}
+	if got := tr.CountRange(11, 12); got != 0 {
+		t.Fatalf("[11,12) = %d", got)
+	}
+}
+
+func BenchmarkDeleteRandom(b *testing.B) {
+	keys := make([]uint64, b.N)
+	rng := rand.New(rand.NewSource(3))
+	tr := New()
+	for i := range keys {
+		keys[i] = rng.Uint64() >> 16
+		tr.Insert(keys[i])
+	}
+	b.ResetTimer()
+	for _, k := range keys {
+		tr.Delete(k)
+	}
+}

@@ -1,0 +1,501 @@
+// Package ostree implements a counted (order-statistic) B-tree over uint64
+// keys. It is the storage substrate for the virtual L-Tree of paper §4.2:
+// "if the leaf labels are maintained in a B-tree whose internal nodes also
+// maintain counts, such range queries can be executed efficiently (in
+// logarithmic time)".
+//
+// The tree stores a set (no duplicate keys) and supports rank/select and
+// half-open range counting in O(log n), plus ordered iteration. It is not
+// safe for concurrent mutation.
+package ostree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// minDegree is the B-tree minimum degree t: every node except the root has
+// between t−1 and 2t−1 keys. 16 keeps nodes around a cache line multiple.
+const minDegree = 16
+
+const maxKeys = 2*minDegree - 1
+
+type node struct {
+	keys     []uint64
+	children []*node // nil for leaves
+	count    int     // keys in this subtree (including this node's keys)
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is a counted B-tree set of uint64 keys. The zero value is an empty
+// tree ready for use.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty counted B-tree.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return t.size }
+
+// Has reports whether key is present.
+func (t *Tree) Has(key uint64) bool {
+	n := t.root
+	for n != nil {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		if i < len(n.keys) && n.keys[i] == key {
+			return true
+		}
+		if n.leaf() {
+			return false
+		}
+		n = n.children[i]
+	}
+	return false
+}
+
+// Insert adds key to the set. It reports whether the key was newly added
+// (false if it was already present).
+func (t *Tree) Insert(key uint64) bool {
+	if t.Has(key) {
+		return false
+	}
+	if t.root == nil {
+		t.root = &node{keys: []uint64{key}, count: 1}
+		t.size = 1
+		return true
+	}
+	if len(t.root.keys) == maxKeys {
+		old := t.root
+		t.root = &node{children: []*node{old}, count: old.count}
+		t.splitChild(t.root, 0)
+	}
+	t.insertNonFull(t.root, key)
+	t.size++
+	return true
+}
+
+// splitChild splits the full child p.children[i] around its median key.
+func (t *Tree) splitChild(p *node, i int) {
+	child := p.children[i]
+	mid := minDegree - 1
+	median := child.keys[mid]
+
+	right := &node{}
+	right.keys = append(right.keys, child.keys[mid+1:]...)
+	child.keys = child.keys[:mid]
+	if !child.leaf() {
+		right.children = append(right.children, child.children[minDegree:]...)
+		child.children = child.children[:minDegree]
+	}
+	child.count = child.subCount()
+	right.count = right.subCount()
+
+	p.keys = append(p.keys, 0)
+	copy(p.keys[i+1:], p.keys[i:])
+	p.keys[i] = median
+	p.children = append(p.children, nil)
+	copy(p.children[i+2:], p.children[i+1:])
+	p.children[i+1] = right
+	// p.count is unchanged: same keys, redistributed.
+}
+
+// subCount recomputes a node's count from its keys and children.
+func (n *node) subCount() int {
+	c := len(n.keys)
+	for _, ch := range n.children {
+		c += ch.count
+	}
+	return c
+}
+
+// insertNonFull inserts key below n, which is known not to be full. The
+// key is known to be absent, so every node on the path gains one.
+func (t *Tree) insertNonFull(n *node, key uint64) {
+	n.count++
+	for {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		if n.leaf() {
+			n.keys = append(n.keys, 0)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = key
+			return
+		}
+		if len(n.children[i].keys) == maxKeys {
+			t.splitChild(n, i)
+			if key > n.keys[i] {
+				i++
+			}
+		}
+		n = n.children[i]
+		n.count++
+	}
+}
+
+// Delete removes key from the set. It reports whether the key was present.
+func (t *Tree) Delete(key uint64) bool {
+	if t.root == nil || !t.Has(key) {
+		return false
+	}
+	t.delete(t.root, key)
+	if len(t.root.keys) == 0 {
+		if t.root.leaf() {
+			t.root = nil
+		} else {
+			t.root = t.root.children[0]
+		}
+	}
+	t.size--
+	return true
+}
+
+// delete removes key from the subtree rooted at n. n is guaranteed to hold
+// ≥ minDegree keys whenever it is not the root (the caller pre-balances),
+// and the key is known to be present in the subtree.
+func (t *Tree) delete(n *node, key uint64) {
+	n.count--
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if i < len(n.keys) && n.keys[i] == key {
+		if n.leaf() {
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			return
+		}
+		// Interior hit: replace with predecessor or successor from the
+		// taller side, or merge the two children around the key.
+		if len(n.children[i].keys) >= minDegree {
+			pred := maxKey(n.children[i])
+			n.keys[i] = pred
+			t.delete(n.children[i], pred)
+			return
+		}
+		if len(n.children[i+1].keys) >= minDegree {
+			succ := minKey(n.children[i+1])
+			n.keys[i] = succ
+			t.delete(n.children[i+1], succ)
+			return
+		}
+		t.mergeChildren(n, i)
+		t.delete(n.children[i], key)
+		return
+	}
+	// Key lives in child i; make sure the child can lose a key.
+	child := n.children[i]
+	if len(child.keys) < minDegree {
+		i = t.fill(n, i)
+		child = n.children[i]
+	}
+	t.delete(child, key)
+}
+
+// fill grows child i of n to at least minDegree keys by borrowing from a
+// sibling or merging; it returns the child index that now covers the range
+// (merging with the left sibling shifts the index down by one).
+func (t *Tree) fill(n *node, i int) int {
+	switch {
+	case i > 0 && len(n.children[i-1].keys) >= minDegree:
+		t.borrowLeft(n, i)
+		return i
+	case i < len(n.children)-1 && len(n.children[i+1].keys) >= minDegree:
+		t.borrowRight(n, i)
+		return i
+	case i > 0:
+		t.mergeChildren(n, i-1)
+		return i - 1
+	default:
+		t.mergeChildren(n, i)
+		return i
+	}
+}
+
+// borrowLeft moves the separator down into child i and the left sibling's
+// last key up into the separator slot.
+func (t *Tree) borrowLeft(n *node, i int) {
+	child, left := n.children[i], n.children[i-1]
+	child.keys = append(child.keys, 0)
+	copy(child.keys[1:], child.keys)
+	child.keys[0] = n.keys[i-1]
+	n.keys[i-1] = left.keys[len(left.keys)-1]
+	left.keys = left.keys[:len(left.keys)-1]
+	moved := 1
+	if !left.leaf() {
+		last := left.children[len(left.children)-1]
+		left.children = left.children[:len(left.children)-1]
+		child.children = append(child.children, nil)
+		copy(child.children[1:], child.children)
+		child.children[0] = last
+		moved += last.count
+	}
+	left.count -= moved
+	child.count += moved
+}
+
+// borrowRight mirrors borrowLeft with the right sibling.
+func (t *Tree) borrowRight(n *node, i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys = append(child.keys, n.keys[i])
+	n.keys[i] = right.keys[0]
+	right.keys = append(right.keys[:0], right.keys[1:]...)
+	moved := 1
+	if !right.leaf() {
+		first := right.children[0]
+		right.children = append(right.children[:0], right.children[1:]...)
+		child.children = append(child.children, first)
+		moved += first.count
+	}
+	right.count -= moved
+	child.count += moved
+}
+
+// mergeChildren merges child i, separator i and child i+1 into child i.
+func (t *Tree) mergeChildren(n *node, i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.keys = append(left.keys, n.keys[i])
+	left.keys = append(left.keys, right.keys...)
+	left.children = append(left.children, right.children...)
+	left.count += right.count + 1
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+func minKey(n *node) uint64 {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.keys[0]
+}
+
+func maxKey(n *node) uint64 {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.keys[len(n.keys)-1]
+}
+
+// Min returns the smallest key; ok is false on an empty tree.
+func (t *Tree) Min() (key uint64, ok bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	return minKey(t.root), true
+}
+
+// Max returns the largest key; ok is false on an empty tree.
+func (t *Tree) Max() (key uint64, ok bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	return maxKey(t.root), true
+}
+
+// Rank returns the number of keys strictly smaller than key.
+func (t *Tree) Rank(key uint64) int {
+	rank := 0
+	n := t.root
+	for n != nil {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		rank += i
+		if n.leaf() {
+			return rank
+		}
+		for j := 0; j < i; j++ {
+			rank += n.children[j].count
+		}
+		n = n.children[i]
+	}
+	return rank
+}
+
+// SelectK returns the k-th smallest key (0-based); ok is false if k is out
+// of range. Within an internal node the order is child 0, key 0, child 1,
+// key 1, ..., last child.
+func (t *Tree) SelectK(k int) (uint64, bool) {
+	if k < 0 || k >= t.size {
+		return 0, false
+	}
+	n := t.root
+	for {
+		if n.leaf() {
+			return n.keys[k], true
+		}
+		i := 0
+		for ; i < len(n.keys); i++ {
+			c := n.children[i].count
+			if k < c {
+				break
+			}
+			k -= c
+			if k == 0 {
+				return n.keys[i], true
+			}
+			k--
+		}
+		n = n.children[i]
+	}
+}
+
+// CountRange returns the number of keys in the half-open interval [lo, hi).
+func (t *Tree) CountRange(lo, hi uint64) int {
+	if hi <= lo {
+		return 0
+	}
+	return t.Rank(hi) - t.Rank(lo)
+}
+
+// Succ returns the smallest key strictly greater than key.
+func (t *Tree) Succ(key uint64) (uint64, bool) {
+	var best uint64
+	found := false
+	n := t.root
+	for n != nil {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+		if i < len(n.keys) {
+			best, found = n.keys[i], true
+		}
+		if n.leaf() {
+			break
+		}
+		n = n.children[i]
+	}
+	return best, found
+}
+
+// Pred returns the largest key strictly smaller than key.
+func (t *Tree) Pred(key uint64) (uint64, bool) {
+	var best uint64
+	found := false
+	n := t.root
+	for n != nil {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		if i > 0 {
+			best, found = n.keys[i-1], true
+		}
+		if n.leaf() {
+			break
+		}
+		n = n.children[i]
+	}
+	return best, found
+}
+
+// AscendRange calls fn on every key in [lo, hi) in ascending order until
+// fn returns false.
+func (t *Tree) AscendRange(lo, hi uint64, fn func(uint64) bool) {
+	if t.root != nil {
+		ascend(t.root, lo, hi, fn)
+	}
+}
+
+func ascend(n *node, lo, hi uint64, fn func(uint64) bool) bool {
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= lo })
+	for ; i < len(n.keys); i++ {
+		if !n.leaf() {
+			if !ascend(n.children[i], lo, hi, fn) {
+				return false
+			}
+		}
+		if n.keys[i] >= hi {
+			return true
+		}
+		if !fn(n.keys[i]) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return ascend(n.children[len(n.children)-1], lo, hi, fn)
+	}
+	return true
+}
+
+// CollectRange returns the keys in [lo, hi) in ascending order.
+func (t *Tree) CollectRange(lo, hi uint64) []uint64 {
+	var out []uint64
+	t.AscendRange(lo, hi, func(k uint64) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Keys returns all keys in ascending order.
+func (t *Tree) Keys() []uint64 {
+	out := make([]uint64, 0, t.size)
+	t.AscendRange(0, ^uint64(0), func(k uint64) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Check validates the B-tree invariants: key ordering, children/keys
+// arity, balanced leaf depth, occupancy bounds, and subtree counts. It is
+// O(n) and intended for tests.
+func (t *Tree) Check() error {
+	if t.root == nil {
+		if t.size != 0 {
+			return fmt.Errorf("ostree: nil root with size %d", t.size)
+		}
+		return nil
+	}
+	depth := -1
+	var walk func(n *node, d int, lo, hi uint64, isRoot bool) (int, error)
+	walk = func(n *node, d int, lo, hi uint64, isRoot bool) (int, error) {
+		if len(n.keys) > maxKeys {
+			return 0, fmt.Errorf("ostree: node with %d keys", len(n.keys))
+		}
+		if !isRoot && len(n.keys) < minDegree-1 {
+			return 0, fmt.Errorf("ostree: underfull node with %d keys", len(n.keys))
+		}
+		for i, k := range n.keys {
+			if k < lo || k >= hi {
+				return 0, fmt.Errorf("ostree: key %d outside (%d,%d)", k, lo, hi)
+			}
+			if i > 0 && n.keys[i-1] >= k {
+				return 0, fmt.Errorf("ostree: unsorted keys")
+			}
+		}
+		if n.leaf() {
+			if depth == -1 {
+				depth = d
+			} else if depth != d {
+				return 0, fmt.Errorf("ostree: leaves at depths %d and %d", depth, d)
+			}
+			if n.count != len(n.keys) {
+				return 0, fmt.Errorf("ostree: leaf count %d != %d keys", n.count, len(n.keys))
+			}
+			return n.count, nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return 0, fmt.Errorf("ostree: %d children for %d keys", len(n.children), len(n.keys))
+		}
+		total := len(n.keys)
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1] + 1
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			sub, err := walk(c, d+1, clo, chi, false)
+			if err != nil {
+				return 0, err
+			}
+			total += sub
+		}
+		if total != n.count {
+			return 0, fmt.Errorf("ostree: count %d, counted %d", n.count, total)
+		}
+		return total, nil
+	}
+	total, err := walk(t.root, 0, 0, ^uint64(0), true)
+	if err != nil {
+		return err
+	}
+	if total != t.size {
+		return fmt.Errorf("ostree: size %d, counted %d", t.size, total)
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+package ostree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// refSet is the obviously-correct reference model: a sorted slice.
+type refSet struct{ keys []uint64 }
+
+func (r *refSet) insert(k uint64) bool {
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= k })
+	if i < len(r.keys) && r.keys[i] == k {
+		return false
+	}
+	r.keys = append(r.keys, 0)
+	copy(r.keys[i+1:], r.keys[i:])
+	r.keys[i] = k
+	return true
+}
+
+func (r *refSet) delete(k uint64) bool {
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= k })
+	if i >= len(r.keys) || r.keys[i] != k {
+		return false
+	}
+	r.keys = append(r.keys[:i], r.keys[i+1:]...)
+	return true
+}
+
+func (r *refSet) rank(k uint64) int {
+	return sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= k })
+}
+
+func (r *refSet) countRange(lo, hi uint64) int {
+	if hi <= lo {
+		return 0
+	}
+	return r.rank(hi) - r.rank(lo)
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.Has(1) {
+		t.Fatal("empty tree misbehaves")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty")
+	}
+	if _, ok := tr.SelectK(0); ok {
+		t.Fatal("SelectK on empty")
+	}
+	if tr.Delete(3) {
+		t.Fatal("Delete on empty returned true")
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDeleteSequential(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if !tr.Insert(uint64(i * 3)) {
+			t.Fatalf("insert %d failed", i)
+		}
+		if tr.Insert(uint64(i * 3)) {
+			t.Fatalf("duplicate insert %d succeeded", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if !tr.Has(uint64(i * 3)) {
+			t.Fatalf("missing %d", i*3)
+		}
+		if tr.Has(uint64(i*3 + 1)) {
+			t.Fatalf("phantom %d", i*3+1)
+		}
+	}
+	min, _ := tr.Min()
+	max, _ := tr.Max()
+	if min != 0 || max != uint64((n-1)*3) {
+		t.Fatalf("min=%d max=%d", min, max)
+	}
+	// Delete in a scrambled order.
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(n)
+	for idx, p := range perm {
+		if !tr.Delete(uint64(p * 3)) {
+			t.Fatalf("delete %d failed", p*3)
+		}
+		if tr.Delete(uint64(p * 3)) {
+			t.Fatalf("double delete %d succeeded", p*3)
+		}
+		if idx%500 == 0 {
+			if err := tr.Check(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d after drain", tr.Len())
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankSelectCountRange(t *testing.T) {
+	tr := New()
+	ref := &refSet{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 4000; i++ {
+		k := uint64(rng.Intn(10000))
+		if tr.Insert(k) != ref.insert(k) {
+			t.Fatalf("insert disagreement on %d", k)
+		}
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for probe := uint64(0); probe <= 10001; probe += 13 {
+		if got, want := tr.Rank(probe), ref.rank(probe); got != want {
+			t.Fatalf("Rank(%d) = %d, want %d", probe, got, want)
+		}
+	}
+	for k := 0; k < tr.Len(); k++ {
+		got, ok := tr.SelectK(k)
+		if !ok || got != ref.keys[k] {
+			t.Fatalf("SelectK(%d) = %d/%v, want %d", k, got, ok, ref.keys[k])
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		lo := uint64(rng.Intn(11000))
+		hi := uint64(rng.Intn(11000))
+		if got, want := tr.CountRange(lo, hi), ref.countRange(lo, hi); got != want {
+			t.Fatalf("CountRange(%d,%d) = %d, want %d", lo, hi, got, want)
+		}
+	}
+}
+
+func TestSuccPred(t *testing.T) {
+	tr := New()
+	for _, k := range []uint64{10, 20, 30, 40, 50} {
+		tr.Insert(k)
+	}
+	cases := []struct {
+		probe  uint64
+		succ   uint64
+		succOK bool
+		pred   uint64
+		predOK bool
+	}{
+		{5, 10, true, 0, false},
+		{10, 20, true, 0, false},
+		{15, 20, true, 10, true},
+		{30, 40, true, 20, true},
+		{50, 0, false, 40, true},
+		{99, 0, false, 50, true},
+	}
+	for _, c := range cases {
+		if got, ok := tr.Succ(c.probe); ok != c.succOK || (ok && got != c.succ) {
+			t.Fatalf("Succ(%d) = %d/%v, want %d/%v", c.probe, got, ok, c.succ, c.succOK)
+		}
+		if got, ok := tr.Pred(c.probe); ok != c.predOK || (ok && got != c.pred) {
+			t.Fatalf("Pred(%d) = %d/%v, want %d/%v", c.probe, got, ok, c.pred, c.predOK)
+		}
+	}
+}
+
+func TestAscendRangeAndCollect(t *testing.T) {
+	tr := New()
+	ref := &refSet{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		k := uint64(rng.Intn(5000))
+		tr.Insert(k)
+		ref.insert(k)
+	}
+	for trial := 0; trial < 200; trial++ {
+		lo := uint64(rng.Intn(5200))
+		hi := lo + uint64(rng.Intn(600))
+		got := tr.CollectRange(lo, hi)
+		want := []uint64{}
+		for _, k := range ref.keys {
+			if k >= lo && k < hi {
+				want = append(want, k)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("CollectRange(%d,%d): %d keys, want %d", lo, hi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("CollectRange(%d,%d)[%d] = %d, want %d", lo, hi, i, got[i], want[i])
+			}
+		}
+	}
+	// Early stop.
+	count := 0
+	tr.AscendRange(0, ^uint64(0), func(uint64) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	if got := tr.Keys(); len(got) != tr.Len() {
+		t.Fatalf("Keys() returned %d of %d", len(got), tr.Len())
+	}
+}
+
+// TestRandomAgainstModel drives a long random op mix and checks full
+// agreement with the reference set plus structural invariants.
+func TestRandomAgainstModel(t *testing.T) {
+	tr := New()
+	ref := &refSet{}
+	rng := rand.New(rand.NewSource(42))
+	for op := 0; op < 30000; op++ {
+		k := uint64(rng.Intn(4000))
+		if rng.Intn(2) == 0 {
+			if tr.Insert(k) != ref.insert(k) {
+				t.Fatalf("op %d: insert(%d) disagreement", op, k)
+			}
+		} else {
+			if tr.Delete(k) != ref.delete(k) {
+				t.Fatalf("op %d: delete(%d) disagreement", op, k)
+			}
+		}
+		if tr.Len() != len(ref.keys) {
+			t.Fatalf("op %d: len %d vs %d", op, tr.Len(), len(ref.keys))
+		}
+		if op%2500 == 2499 {
+			if err := tr.Check(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			got := tr.Keys()
+			for i := range ref.keys {
+				if got[i] != ref.keys[i] {
+					t.Fatalf("op %d: key %d = %d, want %d", op, i, got[i], ref.keys[i])
+				}
+			}
+		}
+	}
+}
+
+// TestQuickSetSemantics is a testing/quick property: any batch of keys
+// inserted then queried behaves like a sorted set.
+func TestQuickSetSemantics(t *testing.T) {
+	prop := func(keys []uint64) bool {
+		tr := New()
+		ref := &refSet{}
+		for _, k := range keys {
+			k %= 1 << 20
+			if tr.Insert(k) != ref.insert(k) {
+				return false
+			}
+		}
+		if tr.Len() != len(ref.keys) {
+			return false
+		}
+		if tr.Check() != nil {
+			return false
+		}
+		got := tr.Keys()
+		for i := range ref.keys {
+			if got[i] != ref.keys[i] {
+				return false
+			}
+		}
+		// Rank/Select are mutually inverse.
+		for i, k := range ref.keys {
+			if tr.Rank(k) != i {
+				return false
+			}
+			if sel, ok := tr.SelectK(i); !ok || sel != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package pagesim simulates the disk layer behind the paper's cost unit:
+// "The query and maintenance cost of an L-Tree is measured as the number
+// of disk accesses. Since the XML nodes are recommended to be clustered
+// by their tags rather than labels [17] ... the cost is measured in terms
+// of the number of nodes accessed for searching or relabeling" (§3.1).
+//
+// The simulator provides a fixed-size page pool with LRU replacement and
+// a tag-clustered row store: every element row lives on a page of its
+// tag's segment, relabelings become page writes, and scans become
+// sequential page reads. Experiments use it to convert the abstract
+// nodes-touched counters into buffer-pool faults under different pool
+// sizes — the quantity a 2004 RDBMS would actually have paid.
+package pagesim
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+)
+
+// Config sizes the simulated disk and buffer pool.
+type Config struct {
+	// PageSize is the page capacity in bytes (default 4096).
+	PageSize int
+	// PoolPages is the number of pages the buffer pool holds (default 64).
+	PoolPages int
+	// RowSize is the stored size of one element row: id, tag ref, begin,
+	// end, level, parent id (default 32 bytes).
+	RowSize int
+}
+
+func (c *Config) defaults() {
+	if c.PageSize <= 0 {
+		c.PageSize = 4096
+	}
+	if c.PoolPages <= 0 {
+		c.PoolPages = 64
+	}
+	if c.RowSize <= 0 {
+		c.RowSize = 32
+	}
+}
+
+// RowsPerPage returns the row fanout of a page.
+func (c Config) RowsPerPage() int {
+	c.defaults()
+	n := c.PageSize / c.RowSize
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Stats are cumulative buffer pool counters.
+type Stats struct {
+	// Hits are accesses satisfied from the pool.
+	Hits uint64
+	// Faults are accesses that had to read the page from disk.
+	Faults uint64
+	// WriteBacks are dirty pages flushed on eviction.
+	WriteBacks uint64
+}
+
+// Accesses returns total page touches.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Faults }
+
+// DiskOps returns the paper's cost unit: physical reads plus write-backs.
+func (s Stats) DiskOps() uint64 { return s.Faults + s.WriteBacks }
+
+// HitRate returns the pool hit ratio in [0, 1].
+func (s Stats) HitRate() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses())
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d faults=%d writebacks=%d hitrate=%.2f",
+		s.Hits, s.Faults, s.WriteBacks, s.HitRate())
+}
+
+// PageID identifies one page of the simulated file.
+type PageID int64
+
+// Pool is an LRU buffer pool over simulated pages.
+type Pool struct {
+	capacity int
+	lru      *list.List               // front = most recent
+	pages    map[PageID]*list.Element // -> *frame
+	stats    Stats
+}
+
+type frame struct {
+	id    PageID
+	dirty bool
+}
+
+// NewPool returns an LRU pool holding capacity pages (min 1).
+func NewPool(capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		capacity: capacity,
+		lru:      list.New(),
+		pages:    make(map[PageID]*list.Element, capacity),
+	}
+}
+
+// Access touches a page; write marks it dirty. Faults and evictions are
+// accounted automatically.
+func (p *Pool) Access(id PageID, write bool) {
+	if el, ok := p.pages[id]; ok {
+		p.stats.Hits++
+		p.lru.MoveToFront(el)
+		if write {
+			el.Value.(*frame).dirty = true
+		}
+		return
+	}
+	p.stats.Faults++
+	if p.lru.Len() >= p.capacity {
+		oldest := p.lru.Back()
+		fr := oldest.Value.(*frame)
+		if fr.dirty {
+			p.stats.WriteBacks++
+		}
+		delete(p.pages, fr.id)
+		p.lru.Remove(oldest)
+	}
+	p.pages[id] = p.lru.PushFront(&frame{id: id, dirty: write})
+}
+
+// Flush writes back every dirty page (end-of-run accounting).
+func (p *Pool) Flush() {
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			p.stats.WriteBacks++
+			fr.dirty = false
+		}
+	}
+}
+
+// Len returns the resident page count.
+func (p *Pool) Len() int { return p.lru.Len() }
+
+// Stats returns a copy of the counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the counters without evicting pages.
+func (p *Pool) ResetStats() { p.stats = Stats{} }
+
+// ErrUnknownRow reports a Touch on a row that was never placed.
+var ErrUnknownRow = errors.New("pagesim: row was never placed")
+
+// RowRef locates a placed row.
+type RowRef struct {
+	Page PageID
+	Slot int
+}
+
+// TagStore clusters rows by tag: each tag owns a segment of consecutive
+// pages (the clustering [17] recommends and the paper assumes), and rows
+// append within their tag's segment. Segments are spaced far apart so
+// they never collide.
+type TagStore struct {
+	cfg      Config
+	pool     *Pool
+	segments map[string]*segment
+	nextSeg  PageID
+}
+
+// segmentSpan is the page stride between tag segments (1M pages ≈ 4 GB
+// per tag at the default page size — effectively unbounded).
+const segmentSpan = 1 << 20
+
+type segment struct {
+	base PageID
+	rows int
+}
+
+// NewTagStore returns a tag-clustered store over a fresh pool.
+func NewTagStore(cfg Config) *TagStore {
+	cfg.defaults()
+	return &TagStore{
+		cfg:      cfg,
+		pool:     NewPool(cfg.PoolPages),
+		segments: make(map[string]*segment),
+	}
+}
+
+// Pool exposes the underlying buffer pool.
+func (t *TagStore) Pool() *Pool { return t.pool }
+
+// Place appends a row for the tag and returns its stable location. The
+// insertion itself costs one page write (the row's page).
+func (t *TagStore) Place(tag string) RowRef {
+	seg, ok := t.segments[tag]
+	if !ok {
+		seg = &segment{base: t.nextSeg}
+		t.nextSeg += segmentSpan
+		t.segments[tag] = seg
+	}
+	perPage := t.cfg.RowsPerPage()
+	ref := RowRef{
+		Page: seg.base + PageID(seg.rows/perPage),
+		Slot: seg.rows % perPage,
+	}
+	seg.rows++
+	t.pool.Access(ref.Page, true)
+	return ref
+}
+
+// Touch accesses a placed row's page (write = an UPDATE, e.g. a relabel).
+func (t *TagStore) Touch(ref RowRef, write bool) {
+	t.pool.Access(ref.Page, write)
+}
+
+// ScanTag reads every page of the tag's segment (a query-side tag scan)
+// and returns the number of pages read.
+func (t *TagStore) ScanTag(tag string) int {
+	seg, ok := t.segments[tag]
+	if !ok {
+		return 0
+	}
+	perPage := t.cfg.RowsPerPage()
+	pages := (seg.rows + perPage - 1) / perPage
+	for i := 0; i < pages; i++ {
+		t.pool.Access(seg.base+PageID(i), false)
+	}
+	return pages
+}
+
+// Rows returns the number of rows placed for the tag.
+func (t *TagStore) Rows(tag string) int {
+	if seg, ok := t.segments[tag]; ok {
+		return seg.rows
+	}
+	return 0
+}
+
+// Pages returns the total allocated pages across segments.
+func (t *TagStore) Pages() int {
+	perPage := t.cfg.RowsPerPage()
+	total := 0
+	for _, seg := range t.segments {
+		total += (seg.rows + perPage - 1) / perPage
+	}
+	return total
+}

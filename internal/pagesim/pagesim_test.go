@@ -1,0 +1,157 @@
+package pagesim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPoolLRUBasics(t *testing.T) {
+	p := NewPool(2)
+	p.Access(1, false) // fault
+	p.Access(2, false) // fault
+	p.Access(1, false) // hit
+	p.Access(3, false) // fault, evicts 2 (LRU)
+	p.Access(1, false) // hit (still resident)
+	p.Access(2, false) // fault (was evicted)
+	st := p.Stats()
+	if st.Faults != 4 || st.Hits != 2 {
+		t.Fatalf("faults=%d hits=%d, want 4/2", st.Faults, st.Hits)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("resident %d", p.Len())
+	}
+}
+
+func TestPoolDirtyWriteBack(t *testing.T) {
+	p := NewPool(1)
+	p.Access(1, true)  // fault, dirty
+	p.Access(2, false) // fault, evicts dirty 1 -> writeback
+	p.Access(3, false) // fault, evicts clean 2 -> no writeback
+	st := p.Stats()
+	if st.WriteBacks != 1 {
+		t.Fatalf("writebacks=%d, want 1", st.WriteBacks)
+	}
+	// Re-dirty and flush.
+	p.Access(3, true)
+	p.Flush()
+	if got := p.Stats().WriteBacks; got != 2 {
+		t.Fatalf("after flush writebacks=%d, want 2", got)
+	}
+	// Flushing again is a no-op (pages now clean).
+	p.Flush()
+	if got := p.Stats().WriteBacks; got != 2 {
+		t.Fatalf("double flush writebacks=%d", got)
+	}
+}
+
+func TestPoolCapacityFloor(t *testing.T) {
+	p := NewPool(0)
+	p.Access(1, false)
+	p.Access(2, false)
+	if p.Len() != 1 {
+		t.Fatalf("len=%d, want 1 (capacity floored)", p.Len())
+	}
+}
+
+func TestStatsDerived(t *testing.T) {
+	s := Stats{Hits: 3, Faults: 1, WriteBacks: 2}
+	if s.Accesses() != 4 || s.DiskOps() != 3 {
+		t.Fatalf("accesses=%d diskops=%d", s.Accesses(), s.DiskOps())
+	}
+	if s.HitRate() != 0.75 {
+		t.Fatalf("hitrate=%f", s.HitRate())
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("empty hitrate")
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestTagStorePlacement(t *testing.T) {
+	cfg := Config{PageSize: 64, RowSize: 32, PoolPages: 8} // 2 rows/page
+	ts := NewTagStore(cfg)
+	if ts.cfg.RowsPerPage() != 2 {
+		t.Fatalf("rows/page = %d", ts.cfg.RowsPerPage())
+	}
+	a0 := ts.Place("a")
+	a1 := ts.Place("a")
+	a2 := ts.Place("a")
+	b0 := ts.Place("b")
+	if a0.Page != a1.Page || a0.Slot != 0 || a1.Slot != 1 {
+		t.Fatalf("first two a-rows should share a page: %+v %+v", a0, a1)
+	}
+	if a2.Page != a0.Page+1 {
+		t.Fatalf("third a-row should open page 2: %+v", a2)
+	}
+	if b0.Page == a0.Page || b0.Page == a2.Page {
+		t.Fatal("tags must not share pages")
+	}
+	if ts.Rows("a") != 3 || ts.Rows("b") != 1 || ts.Rows("zz") != 0 {
+		t.Fatal("row counts wrong")
+	}
+	if ts.Pages() != 3 {
+		t.Fatalf("pages = %d, want 3", ts.Pages())
+	}
+}
+
+func TestTagStoreScan(t *testing.T) {
+	cfg := Config{PageSize: 64, RowSize: 32, PoolPages: 100}
+	ts := NewTagStore(cfg)
+	for i := 0; i < 10; i++ {
+		ts.Place("x")
+	}
+	ts.Pool().ResetStats()
+	if got := ts.ScanTag("x"); got != 5 {
+		t.Fatalf("scan touched %d pages, want 5", got)
+	}
+	// Second scan is fully cached.
+	before := ts.Pool().Stats().Faults
+	ts.ScanTag("x")
+	if ts.Pool().Stats().Faults != before {
+		t.Fatal("cached scan should not fault")
+	}
+	if ts.ScanTag("missing") != 0 {
+		t.Fatal("scan of unknown tag")
+	}
+}
+
+// TestLocalityMatters is the behavioural point of the simulator: touching
+// rows clustered on few pages faults less than scattering the same number
+// of touches across many tags.
+func TestLocalityMatters(t *testing.T) {
+	mk := func() *TagStore {
+		return NewTagStore(Config{PageSize: 4096, RowSize: 32, PoolPages: 4})
+	}
+	const rows = 2000
+	const touches = 10000
+	rng := rand.New(rand.NewSource(1))
+
+	clustered := mk()
+	refs := make([]RowRef, rows)
+	for i := range refs {
+		refs[i] = clustered.Place("one") // one segment, high locality
+	}
+	clustered.Pool().ResetStats()
+	for i := 0; i < touches; i++ {
+		clustered.Touch(refs[rng.Intn(64)], true) // hot front of segment
+	}
+
+	scattered := mk()
+	srefs := make([]RowRef, rows)
+	for i := range srefs {
+		srefs[i] = scattered.Place(string(rune('a' + i%24))) // 24 segments
+	}
+	scattered.Pool().ResetStats()
+	rng = rand.New(rand.NewSource(1))
+	for i := 0; i < touches; i++ {
+		scattered.Touch(srefs[rng.Intn(rows)], true)
+	}
+
+	cf := clustered.Pool().Stats().Faults
+	sf := scattered.Pool().Stats().Faults
+	if cf*10 > sf {
+		t.Fatalf("clustered faults %d should be far below scattered %d", cf, sf)
+	}
+}

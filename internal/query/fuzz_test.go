@@ -1,0 +1,32 @@
+package query
+
+import "testing"
+
+// FuzzParse feeds arbitrary expressions to the path parser: it must never
+// panic, and anything it accepts must round-trip through String/Parse to
+// the same canonical form.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"/a/b//c", "book//title", "//item[@id='3']/name", "//*", "a[", "[]",
+		"//a[@b][@c='d']", "/", "///", "a//", "@", "a[@x=\"y\"]", "日本//語",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		p, err := Parse(expr)
+		if err != nil {
+			return
+		}
+		canon := p.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", canon, expr, err)
+		}
+		if p2.String() != canon {
+			t.Fatalf("canonical form not stable: %q -> %q", canon, p2.String())
+		}
+		if len(p.Steps) == 0 {
+			t.Fatalf("accepted %q with zero steps", expr)
+		}
+	})
+}

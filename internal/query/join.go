@@ -1,0 +1,176 @@
+package query
+
+import (
+	"sort"
+
+	"github.com/ltree-db/ltree/internal/document"
+	"github.com/ltree-db/ltree/internal/xmldom"
+)
+
+// Join evaluates the path with label-based structural joins over a tag
+// index. Every step is one linear merge of two begin-sorted posting lists
+// using the interval containment predicate — the relational plan the
+// paper's labeling scheme enables ("exactly one self-join with label
+// comparisons as predicates", §1). The child axis adds a level-equality
+// check on top of containment.
+func Join(d *document.Doc, idx document.TagIndex, p *Path) []*xmldom.Node {
+	if len(p.Steps) == 0 {
+		return nil
+	}
+	first := p.Steps[0]
+	var ctx []document.Entry
+	if p.Rooted {
+		// Anchor at the root element.
+		rootEntry, ok := findEntry(d, idx, d.X.Root)
+		if !ok {
+			return nil
+		}
+		switch first.Axis {
+		case Child:
+			if matchesStep(d.X.Root, first) {
+				ctx = []document.Entry{rootEntry}
+			}
+		case Descendant:
+			if matchesStep(d.X.Root, first) {
+				ctx = append(ctx, rootEntry)
+			}
+			ctx = append(ctx, containedIn(stepPostings(idx, first), []document.Entry{rootEntry}, false)...)
+			ctx = dedupEntries(ctx)
+		}
+	} else {
+		ctx = stepPostings(idx, first)
+	}
+	for _, st := range p.Steps[1:] {
+		ctx = containedIn(stepPostings(idx, st), ctx, st.Axis == Child)
+	}
+	out := make([]*xmldom.Node, len(ctx))
+	for i, e := range ctx {
+		out[i] = e.Node
+	}
+	return out
+}
+
+// stepPostings returns the begin-sorted posting list for a step,
+// applying its attribute predicates as an index filter.
+func stepPostings(idx document.TagIndex, st Step) []document.Entry {
+	posts := postings(idx, st.Tag)
+	if len(st.Preds) == 0 {
+		return posts
+	}
+	out := make([]document.Entry, 0, len(posts))
+	for _, e := range posts {
+		if passesPreds(e.Node, st.Preds) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// postings returns the begin-sorted posting list for a tag test.
+func postings(idx document.TagIndex, tag string) []document.Entry {
+	if tag != "*" {
+		return idx[tag]
+	}
+	var all []document.Entry
+	for _, posts := range idx {
+		all = append(all, posts...)
+	}
+	sortEntries(all)
+	return all
+}
+
+func sortEntries(es []document.Entry) {
+	sort.Slice(es, func(i, j int) bool { return es[i].Label.Begin < es[j].Label.Begin })
+}
+
+// containedIn returns the candidates that have an ancestor (or parent,
+// when childOnly) in ctx — the stack-based structural merge join: both
+// lists are begin-sorted; ancestors are pushed while their intervals are
+// open and popped once passed, so each element is touched O(1) times.
+func containedIn(candidates, ctx []document.Entry, childOnly bool) []document.Entry {
+	if len(candidates) == 0 || len(ctx) == 0 {
+		return nil
+	}
+	var out []document.Entry
+	var stack []document.Entry
+	ai := 0
+	for _, cand := range candidates {
+		// Pop closed ancestors.
+		for len(stack) > 0 && stack[len(stack)-1].Label.End < cand.Label.Begin {
+			stack = stack[:len(stack)-1]
+		}
+		// Push ancestors opening before this candidate.
+		for ai < len(ctx) && ctx[ai].Label.Begin < cand.Label.Begin {
+			if ctx[ai].Label.End > cand.Label.Begin { // still open
+				stack = append(stack, ctx[ai])
+			}
+			ai++
+		}
+		if len(stack) == 0 {
+			continue
+		}
+		top := stack[len(stack)-1]
+		if !top.Label.Contains(cand.Label) {
+			continue
+		}
+		if childOnly {
+			// The innermost ctx ancestor is the parent iff it sits one
+			// level above; deeper ctx ancestors cannot be (nesting).
+			if top.Level == cand.Level-1 {
+				out = append(out, cand)
+			}
+			continue
+		}
+		out = append(out, cand)
+	}
+	return out
+}
+
+// findEntry builds the root's entry (the tag index stores it too, but this
+// avoids a scan when the tag is unknown).
+func findEntry(d *document.Doc, idx document.TagIndex, n *xmldom.Node) (document.Entry, bool) {
+	lab, err := d.Label(n)
+	if err != nil {
+		return document.Entry{}, false
+	}
+	return document.Entry{Node: n, Label: lab, Level: n.Level()}, true
+}
+
+// dedupEntries removes duplicates from a begin-sorted entry list.
+func dedupEntries(es []document.Entry) []document.Entry {
+	if len(es) < 2 {
+		return es
+	}
+	sortEntries(es)
+	out := es[:1]
+	for _, e := range es[1:] {
+		if e.Node != out[len(out)-1].Node {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Descendants returns all elements strictly inside n, found by one binary
+// search plus a contiguous scan over a begin-sorted element list — the
+// primitive that turns "give me the subtree" into an index range lookup.
+// Pass the result of AllElements (reusable across calls).
+func Descendants(d *document.Doc, all []document.Entry, n *xmldom.Node) []*xmldom.Node {
+	lab, err := d.Label(n)
+	if err != nil {
+		return nil
+	}
+	lo := sort.Search(len(all), func(i int) bool { return all[i].Label.Begin > lab.Begin })
+	var out []*xmldom.Node
+	for i := lo; i < len(all) && all[i].Label.Begin < lab.End; i++ {
+		if all[i].Label.End < lab.End {
+			out = append(out, all[i].Node)
+		}
+	}
+	return out
+}
+
+// AllElements flattens a tag index into one begin-sorted posting list.
+func AllElements(idx document.TagIndex) []document.Entry {
+	return postings(idx, "*")
+}

@@ -1,0 +1,111 @@
+package query
+
+import (
+	"testing"
+
+	"github.com/ltree-db/ltree/internal/document"
+	"github.com/ltree-db/ltree/internal/workload"
+)
+
+func TestParsePredicates(t *testing.T) {
+	cases := []struct {
+		in  string
+		out string
+		err bool
+	}{
+		{"//item[@id]", "//item[@id]", false},
+		{"//item[@id='item3']", "//item[@id='item3']", false},
+		{`//item[@id="item3"]`, "//item[@id='item3']", false},
+		{"//item[@a][@b='2']/name", "//item[@a][@b='2']/name", false},
+		{"/site//person[@id='person0']", "/site//person[@id='person0']", false},
+		{"//*[@id]", "//*[@id]", false},
+		{"//item[", "", true},
+		{"//item[]", "", true},
+		{"//item[id]", "", true},
+		{"//item[@]", "", true},
+		{"//item[@id=]", "", true},
+		{"//item[@id=v]", "", true},
+		{"//item[@id='v]", "", true},
+		{"//[@id]", "", true},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("Parse(%q) should fail", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if p.String() != c.out {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, p.String(), c.out)
+		}
+	}
+}
+
+func TestPredicateEvaluation(t *testing.T) {
+	x := workload.XMarkLite(2, 7)
+	d, err := document.Load(x, p42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := d.BuildTagIndex()
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"//item[@id='item3']", 1},
+		{"//item[@id='item3']/name", 1},
+		{"//item[@id]", 24},  // all items carry @id
+		{"//item[@nope]", 0}, // nobody has it
+		{"//person[@id='person1']//emailaddress", 1},
+		{"//*[@id]", 24 + 10 + 6},                     // items + persons + auctions
+		{"//open_auction[@id='auction0']/bidder", -1}, // count varies; just nav==join
+	}
+	for _, c := range cases {
+		p, err := Parse(c.path)
+		if err != nil {
+			t.Fatalf("%s: %v", c.path, err)
+		}
+		nav := Nav(d, p)
+		join := Join(d, idx, p)
+		if len(nav) != len(join) {
+			t.Fatalf("%s: nav %d join %d", c.path, len(nav), len(join))
+		}
+		for i := range nav {
+			if nav[i] != join[i] {
+				t.Fatalf("%s: result %d differs", c.path, i)
+			}
+		}
+		if c.want >= 0 && len(nav) != c.want {
+			t.Fatalf("%s: %d results, want %d", c.path, len(nav), c.want)
+		}
+	}
+}
+
+// TestPredicatesSurviveUpdates inserts attributed elements and re-queries.
+func TestPredicatesSurviveUpdates(t *testing.T) {
+	d := loadDoc(t, `<r><item id="a"/><item id="b"/></r>`)
+	for i := 0; i < 20; i++ {
+		if _, err := d.InsertElement(d.X.Root, 0, "item"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx := d.BuildTagIndex()
+	p, _ := Parse("//item[@id='b']")
+	res := Join(d, idx, p)
+	if len(res) != 1 {
+		t.Fatalf("got %d", len(res))
+	}
+	if v, _ := res[0].Attr("id"); v != "b" {
+		t.Fatal("wrong element")
+	}
+}
+
+func loadDoc(t *testing.T, src string) *document.Doc {
+	t.Helper()
+	return load(t, src)
+}

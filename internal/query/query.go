@@ -1,0 +1,301 @@
+// Package query implements the XPath fragment the paper's motivation uses
+// ("book//title", §1): absolute or relative paths of child (/) and
+// descendant (//) steps with tag or wildcard tests. Two evaluators are
+// provided:
+//
+//   - Nav: plain tree navigation, the label-free reference evaluator;
+//   - Join: label-based structural joins over the per-tag index — each
+//     step is one merge pass with interval-containment predicates, the
+//     "exactly one self-join" evaluation the labeling scheme enables in
+//     an RDBMS.
+//
+// The two are verified equivalent on random documents, so Join's results
+// are trusted wherever it wins on speed (experiment E11).
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/ltree-db/ltree/internal/document"
+	"github.com/ltree-db/ltree/internal/xmldom"
+)
+
+// Axis is a step's navigation axis.
+type Axis int
+
+// Supported axes.
+const (
+	Child Axis = iota
+	Descendant
+)
+
+func (a Axis) String() string {
+	if a == Child {
+		return "/"
+	}
+	return "//"
+}
+
+// Pred is an attribute predicate on a step: [@attr] (existence) or
+// [@attr='value'] (equality).
+type Pred struct {
+	Attr     string
+	Value    string
+	HasValue bool
+}
+
+// Step is one location step: an axis, a tag test ("*" matches any
+// element), and optional attribute predicates (conjunctive).
+type Step struct {
+	Axis  Axis
+	Tag   string
+	Preds []Pred
+}
+
+// Path is a parsed path expression.
+type Path struct {
+	// Rooted paths ("/a/...") anchor the first step at the document root;
+	// relative paths ("a//b") search the whole document (implicit leading
+	// descendant axis).
+	Rooted bool
+	Steps  []Step
+}
+
+// ErrEmptyPath reports a path with no steps.
+var ErrEmptyPath = errors.New("query: empty path")
+
+// Parse parses expressions like "/site//item/name", "book//title", "//*".
+func Parse(expr string) (*Path, error) {
+	s := strings.TrimSpace(expr)
+	if s == "" {
+		return nil, ErrEmptyPath
+	}
+	p := &Path{}
+	axis := Descendant // relative paths search anywhere
+	switch {
+	case strings.HasPrefix(s, "//"):
+		s = s[2:]
+		axis = Descendant
+	case strings.HasPrefix(s, "/"):
+		s = s[1:]
+		p.Rooted = true
+		axis = Child
+	}
+	if s == "" {
+		return nil, ErrEmptyPath
+	}
+	for len(s) > 0 {
+		cut := strings.IndexByte(s, '/')
+		var name string
+		if cut == -1 {
+			name, s = s, ""
+		} else {
+			name, s = s[:cut], s[cut:]
+		}
+		if name == "" {
+			return nil, fmt.Errorf("query: empty step in %q", expr)
+		}
+		step := Step{Axis: axis}
+		tag, preds, err := parseStep(name)
+		if err != nil {
+			return nil, fmt.Errorf("query: %w in %q", err, expr)
+		}
+		step.Tag, step.Preds = tag, preds
+		p.Steps = append(p.Steps, step)
+		switch {
+		case strings.HasPrefix(s, "//"):
+			axis = Descendant
+			s = s[2:]
+			if s == "" {
+				return nil, fmt.Errorf("query: trailing // in %q", expr)
+			}
+		case strings.HasPrefix(s, "/"):
+			axis = Child
+			s = s[1:]
+			if s == "" {
+				return nil, fmt.Errorf("query: trailing / in %q", expr)
+			}
+		}
+	}
+	return p, nil
+}
+
+// parseStep splits "tag[@a][@b='v']" into the tag test and predicates.
+func parseStep(s string) (string, []Pred, error) {
+	name := s
+	var preds []Pred
+	if i := strings.IndexByte(s, '['); i >= 0 {
+		name = s[:i]
+		rest := s[i:]
+		for rest != "" {
+			if !strings.HasPrefix(rest, "[") {
+				return "", nil, fmt.Errorf("bad predicate %q", rest)
+			}
+			end := strings.IndexByte(rest, ']')
+			if end < 0 {
+				return "", nil, fmt.Errorf("unterminated predicate %q", rest)
+			}
+			body := rest[1:end]
+			rest = rest[end+1:]
+			pred, err := parsePred(body)
+			if err != nil {
+				return "", nil, err
+			}
+			preds = append(preds, pred)
+		}
+	}
+	if name == "" {
+		return "", nil, errors.New("empty tag test")
+	}
+	if strings.ContainsAny(name, " \t[]@='\"") {
+		return "", nil, fmt.Errorf("unsupported step %q (tags, * and [@attr(='v')] are supported)", name)
+	}
+	return name, preds, nil
+}
+
+// parsePred parses "@attr" or "@attr='value'" (single or double quotes).
+func parsePred(body string) (Pred, error) {
+	if !strings.HasPrefix(body, "@") {
+		return Pred{}, fmt.Errorf("unsupported predicate [%s] (only attribute tests)", body)
+	}
+	body = body[1:]
+	eq := strings.IndexByte(body, '=')
+	if eq < 0 {
+		if body == "" {
+			return Pred{}, errors.New("empty attribute name")
+		}
+		return Pred{Attr: body}, nil
+	}
+	attr, val := body[:eq], body[eq+1:]
+	if attr == "" {
+		return Pred{}, errors.New("empty attribute name")
+	}
+	if len(val) < 2 || (val[0] != '\'' && val[0] != '"') || val[len(val)-1] != val[0] {
+		return Pred{}, fmt.Errorf("attribute value must be quoted in [@%s=...]", attr)
+	}
+	return Pred{Attr: attr, Value: val[1 : len(val)-1], HasValue: true}, nil
+}
+
+// String renders the parsed path canonically.
+func (p *Path) String() string {
+	var b strings.Builder
+	for i, st := range p.Steps {
+		switch {
+		case i == 0 && p.Rooted:
+			b.WriteString("/")
+		case i == 0:
+			b.WriteString("//")
+		default:
+			b.WriteString(st.Axis.String())
+		}
+		b.WriteString(st.Tag)
+		for _, pred := range st.Preds {
+			if pred.HasValue {
+				fmt.Fprintf(&b, "[@%s='%s']", pred.Attr, pred.Value)
+			} else {
+				fmt.Fprintf(&b, "[@%s]", pred.Attr)
+			}
+		}
+	}
+	return b.String()
+}
+
+// matches reports whether the element node passes the step's tag test and
+// all of its predicates.
+func matches(n *xmldom.Node, tag string) bool {
+	return n.Kind() == xmldom.Element && (tag == "*" || n.Tag() == tag)
+}
+
+// matchesStep applies the full step test (tag + predicates).
+func matchesStep(n *xmldom.Node, st Step) bool {
+	if !matches(n, st.Tag) {
+		return false
+	}
+	return passesPreds(n, st.Preds)
+}
+
+// passesPreds evaluates the conjunction of attribute predicates.
+func passesPreds(n *xmldom.Node, preds []Pred) bool {
+	for _, pred := range preds {
+		v, ok := n.Attr(pred.Attr)
+		if !ok {
+			return false
+		}
+		if pred.HasValue && v != pred.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Nav evaluates the path by plain navigation and returns matching elements
+// in document order.
+func Nav(d *document.Doc, p *Path) []*xmldom.Node {
+	if len(p.Steps) == 0 {
+		return nil
+	}
+	// Current context set, kept in document order and duplicate-free by
+	// construction of each expansion pass (a set for dedup).
+	ctx := map[*xmldom.Node]bool{}
+	first := p.Steps[0]
+	root := d.X.Root
+	if p.Rooted {
+		if matchesStep(root, first) {
+			ctx[root] = true
+		}
+		if first.Axis == Descendant {
+			root.Walk(func(n *xmldom.Node) bool {
+				if n != root && matchesStep(n, first) {
+					ctx[n] = true
+				}
+				return true
+			})
+		}
+	} else {
+		root.Walk(func(n *xmldom.Node) bool {
+			if matchesStep(n, first) {
+				ctx[n] = true
+			}
+			return true
+		})
+	}
+	for _, st := range p.Steps[1:] {
+		next := map[*xmldom.Node]bool{}
+		for n := range ctx {
+			if st.Axis == Child {
+				for _, c := range n.Children() {
+					if matchesStep(c, st) {
+						next[c] = true
+					}
+				}
+			} else {
+				n.Walk(func(v *xmldom.Node) bool {
+					if v != n && matchesStep(v, st) {
+						next[v] = true
+					}
+					return true
+				})
+			}
+		}
+		ctx = next
+	}
+	return sortDocOrder(d, ctx)
+}
+
+// sortDocOrder flattens a node set into document order using labels.
+func sortDocOrder(d *document.Doc, set map[*xmldom.Node]bool) []*xmldom.Node {
+	out := make([]*xmldom.Node, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	// Labels give document order directly.
+	lab := func(n *xmldom.Node) uint64 {
+		l, _ := d.Label(n)
+		return l.Begin
+	}
+	sort.Slice(out, func(i, j int) bool { return lab(out[i]) < lab(out[j]) })
+	return out
+}

@@ -1,0 +1,233 @@
+// Package reltab simulates the relational embedding the paper targets:
+// XML stored as tuples in an RDBMS, one row per element with its (begin,
+// end) label, level and parent id. It exists to demonstrate and measure
+// the two claims of §1:
+//
+//  1. with order labels, an ancestor-descendant ("//") query is exactly
+//     one self-join with label comparisons as predicates — as cheap as a
+//     child-axis join;
+//  2. with only an edge table (Florescu/Kossmann [11]), the same query
+//     needs one self-join per tree level;
+//
+// and, after updates, the cost the paper optimizes: every relabeled leaf
+// becomes an UPDATE against the label columns (SyncLabels counts them).
+package reltab
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ltree-db/ltree/internal/document"
+	"github.com/ltree-db/ltree/internal/xmldom"
+)
+
+// Row is one element tuple.
+type Row struct {
+	ID       int
+	Tag      string
+	Begin    uint64
+	End      uint64
+	Level    int
+	ParentID int // -1 for the root
+}
+
+// Table is an in-memory relation over the document's elements with the
+// indexes an RDBMS would maintain: tag → rows and parent → children.
+type Table struct {
+	rows     []Row
+	ids      map[*xmldom.Node]int
+	nodes    []*xmldom.Node
+	byTag    map[string][]int // row ids, begin-sorted
+	children map[int][]int    // edge index: parent row id → child row ids
+	updates  uint64           // counted label UPDATEs from SyncLabels
+}
+
+// Build snapshots the document's elements into a table.
+func Build(d *document.Doc) (*Table, error) {
+	t := &Table{
+		ids:      make(map[*xmldom.Node]int),
+		byTag:    make(map[string][]int),
+		children: make(map[int][]int),
+	}
+	var walk func(n *xmldom.Node, parent int) error
+	walk = func(n *xmldom.Node, parent int) error {
+		if n.Kind() != xmldom.Element {
+			return nil
+		}
+		lab, err := d.Label(n)
+		if err != nil {
+			return err
+		}
+		id := len(t.rows)
+		t.rows = append(t.rows, Row{
+			ID:       id,
+			Tag:      n.Tag(),
+			Begin:    lab.Begin,
+			End:      lab.End,
+			Level:    n.Level(),
+			ParentID: parent,
+		})
+		t.ids[n] = id
+		t.nodes = append(t.nodes, n)
+		t.byTag[n.Tag()] = append(t.byTag[n.Tag()], id)
+		if parent >= 0 {
+			t.children[parent] = append(t.children[parent], id)
+		}
+		for _, c := range n.Children() {
+			if err := walk(c, id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(d.X.Root, -1); err != nil {
+		return nil, err
+	}
+	for tag := range t.byTag {
+		ids := t.byTag[tag]
+		sort.Slice(ids, func(i, j int) bool { return t.rows[ids[i]].Begin < t.rows[ids[j]].Begin })
+	}
+	return t, nil
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Updates returns the number of label UPDATEs issued by SyncLabels calls.
+func (t *Table) Updates() uint64 { return t.updates }
+
+// Node returns the XML node behind a row id.
+func (t *Table) Node(id int) *xmldom.Node { return t.nodes[id] }
+
+// Row returns a copy of the row with the given id.
+func (t *Table) Row(id int) Row { return t.rows[id] }
+
+// SyncLabels reconciles the table with the document after updates: new
+// elements become INSERTed rows, elements whose (begin, end) moved become
+// UPDATEs — exactly the statements an RDBMS embedding would execute after
+// an L-Tree relabeling. It returns the INSERT and UPDATE counts.
+func (t *Table) SyncLabels(d *document.Doc) (inserts, updates int, err error) {
+	type oldLab struct{ begin, end uint64 }
+	prev := make(map[*xmldom.Node]oldLab, len(t.rows))
+	for i := range t.rows {
+		prev[t.nodes[i]] = oldLab{t.rows[i].Begin, t.rows[i].End}
+	}
+	fresh, err := Build(d)
+	if err != nil {
+		return 0, 0, fmt.Errorf("reltab: sync: %w", err)
+	}
+	for i := range fresh.rows {
+		old, existed := prev[fresh.nodes[i]]
+		switch {
+		case !existed:
+			inserts++
+		case old.begin != fresh.rows[i].Begin || old.end != fresh.rows[i].End:
+			updates++
+		}
+	}
+	fresh.updates = t.updates + uint64(updates)
+	*t = *fresh
+	return inserts, updates, nil
+}
+
+// Pair is one join result: ancestor and descendant row ids.
+type Pair struct {
+	Anc  int
+	Desc int
+}
+
+// JoinStats reports the work a plan performed.
+type JoinStats struct {
+	JoinPasses   int // self-joins executed (1 for the label plan)
+	RowsCompared int // tuples touched across all passes
+}
+
+// tagRows returns the begin-sorted row ids for a tag test ("*" = all).
+func (t *Table) tagRows(tag string) []int {
+	if tag != "*" {
+		return t.byTag[tag]
+	}
+	all := make([]int, len(t.rows))
+	for i := range all {
+		all[i] = i
+	}
+	sort.Slice(all, func(i, j int) bool { return t.rows[all[i]].Begin < t.rows[all[j]].Begin })
+	return all
+}
+
+// AncestorDescendantJoin answers anc//desc with exactly one self-join:
+// both tag lists are begin-sorted, and a stack-based merge emits every
+// pair (a, d) with a.Begin < d.Begin ∧ d.End < a.End.
+func (t *Table) AncestorDescendantJoin(ancTag, descTag string) ([]Pair, JoinStats) {
+	ancs := t.tagRows(ancTag)
+	descs := t.tagRows(descTag)
+	st := JoinStats{JoinPasses: 1}
+	var out []Pair
+	var stack []int
+	ai := 0
+	for _, d := range descs {
+		st.RowsCompared++
+		dRow := t.rows[d]
+		for len(stack) > 0 && t.rows[stack[len(stack)-1]].End < dRow.Begin {
+			stack = stack[:len(stack)-1]
+		}
+		for ai < len(ancs) && t.rows[ancs[ai]].Begin < dRow.Begin {
+			st.RowsCompared++
+			if t.rows[ancs[ai]].End > dRow.Begin {
+				stack = append(stack, ancs[ai])
+			}
+			ai++
+		}
+		// Every stacked ancestor contains dRow (intervals nest).
+		for _, a := range stack {
+			if t.rows[a].Begin < dRow.Begin && dRow.End < t.rows[a].End {
+				out = append(out, Pair{Anc: a, Desc: d})
+			}
+		}
+	}
+	return out, st
+}
+
+// ChildJoin answers anc/desc (one parent-child step) with one pass over
+// the edge index.
+func (t *Table) ChildJoin(ancTag, descTag string) ([]Pair, JoinStats) {
+	st := JoinStats{JoinPasses: 1}
+	var out []Pair
+	for _, a := range t.tagRows(ancTag) {
+		for _, c := range t.children[a] {
+			st.RowsCompared++
+			if t.rows[c].Tag == descTag || descTag == "*" {
+				out = append(out, Pair{Anc: a, Desc: c})
+			}
+		}
+	}
+	return out, st
+}
+
+// DescendantsViaEdgeJoins answers anc//desc the pre-labeling way: by
+// iterating parent-child self-joins level by level until the frontier is
+// empty — the repeated-self-join cost the paper's introduction describes
+// for the edge-table approach [11].
+func (t *Table) DescendantsViaEdgeJoins(ancTag, descTag string) ([]Pair, JoinStats) {
+	var st JoinStats
+	var out []Pair
+	// frontier maps reachable row -> set of originating ancestors. To keep
+	// memory sane we track per-ancestor frontiers (matching how a chain of
+	// SQL self-joins materializes intermediate tables).
+	for _, a := range t.tagRows(ancTag) {
+		frontier := t.children[a]
+		for len(frontier) > 0 {
+			st.JoinPasses++
+			var next []int
+			for _, id := range frontier {
+				st.RowsCompared++
+				if descTag == "*" || t.rows[id].Tag == descTag {
+					out = append(out, Pair{Anc: a, Desc: id})
+				}
+				next = append(next, t.children[id]...)
+			}
+			frontier = next
+		}
+	}
+	return out, st
+}

@@ -1,0 +1,185 @@
+package reltab
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/ltree-db/ltree/internal/core"
+	"github.com/ltree-db/ltree/internal/document"
+	"github.com/ltree-db/ltree/internal/workload"
+	"github.com/ltree-db/ltree/internal/xmldom"
+)
+
+var p42 = core.Params{F: 4, S: 2}
+
+func load(t *testing.T, src string) *document.Doc {
+	t.Helper()
+	d, err := document.Parse(strings.NewReader(src), p42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// navPairs computes anc//desc (or anc/desc) ground truth by navigation.
+func navPairs(d *document.Doc, tbl *Table, ancTag, descTag string, childOnly bool) map[[2]int]bool {
+	want := map[[2]int]bool{}
+	for _, a := range d.Elements(ancTag) {
+		aID := tbl.ids[a]
+		if childOnly {
+			for _, c := range a.Children() {
+				if c.Kind() == xmldom.Element && (descTag == "*" || c.Tag() == descTag) {
+					want[[2]int{aID, tbl.ids[c]}] = true
+				}
+			}
+			continue
+		}
+		a.Walk(func(n *xmldom.Node) bool {
+			if n != a && n.Kind() == xmldom.Element && (descTag == "*" || n.Tag() == descTag) {
+				want[[2]int{aID, tbl.ids[n]}] = true
+			}
+			return true
+		})
+	}
+	return want
+}
+
+func pairsSet(pairs []Pair) map[[2]int]bool {
+	set := make(map[[2]int]bool, len(pairs))
+	for _, p := range pairs {
+		set[[2]int{p.Anc, p.Desc}] = true
+	}
+	return set
+}
+
+func samePairs(t *testing.T, label string, got []Pair, want map[[2]int]bool) {
+	t.Helper()
+	g := pairsSet(got)
+	if len(g) != len(want) || len(g) != len(got) {
+		t.Fatalf("%s: %d pairs (%d unique), want %d", label, len(got), len(g), len(want))
+	}
+	for k := range want {
+		if !g[k] {
+			t.Fatalf("%s: missing pair %v", label, k)
+		}
+	}
+}
+
+func TestJoinsAgainstNavigation(t *testing.T) {
+	docs := []*document.Doc{
+		load(t, `<r><a><b/><a><b/></a></a><b/><c><b/></c></r>`),
+	}
+	x := workload.XMarkLite(3, 17)
+	d2, err := document.Load(x, p42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs = append(docs, d2)
+	cases := [][2]string{
+		{"a", "b"}, {"r", "b"}, {"a", "a"}, {"c", "b"}, {"b", "a"},
+		{"item", "name"}, {"regions", "para"}, {"open_auction", "increase"}, {"site", "*"},
+	}
+	for di, d := range docs {
+		tbl, err := Build(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.Len() != len(d.Elements("*")) {
+			t.Fatalf("doc %d: %d rows for %d elements", di, tbl.Len(), len(d.Elements("*")))
+		}
+		for _, c := range cases {
+			anc, desc := c[0], c[1]
+			// Label self-join vs navigation.
+			got, st := tbl.AncestorDescendantJoin(anc, desc)
+			samePairs(t, anc+"//"+desc, got, navPairs(d, tbl, anc, desc, false))
+			if st.JoinPasses != 1 {
+				t.Fatalf("label join used %d passes, the paper promises 1", st.JoinPasses)
+			}
+			// Edge-table iterative joins: same pairs, more passes.
+			gotEdge, stEdge := tbl.DescendantsViaEdgeJoins(anc, desc)
+			samePairs(t, "edge "+anc+"//"+desc, gotEdge, navPairs(d, tbl, anc, desc, false))
+			if len(got) > 0 && stEdge.JoinPasses <= st.JoinPasses && len(d.Elements(anc)) > 0 {
+				// With any real nesting the edge plan needs > 1 pass.
+				deep := false
+				for _, a := range d.Elements(anc) {
+					for _, ch := range a.Children() {
+						if ch.Kind() == xmldom.Element && ch.NumChildren() > 0 {
+							deep = true
+						}
+					}
+				}
+				if deep {
+					t.Fatalf("edge join passes = %d, label = %d: expected the edge plan to need more",
+						stEdge.JoinPasses, st.JoinPasses)
+				}
+			}
+			// Child join vs navigation.
+			gotChild, _ := tbl.ChildJoin(anc, desc)
+			samePairs(t, anc+"/"+desc, gotChild, navPairs(d, tbl, anc, desc, true))
+		}
+	}
+}
+
+func TestSyncLabelsCountsUpdates(t *testing.T) {
+	d := load(t, `<r><a/><a/><a/><a/></r>`)
+	tbl, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No-op sync.
+	ins, upd, err := tbl.SyncLabels(d)
+	if err != nil || ins != 0 || upd != 0 {
+		t.Fatalf("clean sync = %d/%d, %v", ins, upd, err)
+	}
+	// Force relabels by hammering one spot until a split happens.
+	a0 := d.X.Root.Child(0)
+	for i := 0; i < 6; i++ {
+		if _, err := d.InsertElement(a0, 0, "z"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins, upd, err = tbl.SyncLabels(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins != 6 {
+		t.Fatalf("inserted rows = %d, want 6", ins)
+	}
+	if upd == 0 {
+		t.Fatal("expected some label UPDATEs after splits")
+	}
+	if tbl.Updates() != uint64(upd) {
+		t.Fatalf("updates counter %d != %d", tbl.Updates(), upd)
+	}
+	// Index stays begin-sorted.
+	ids := tbl.byTag["a"]
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return tbl.rows[ids[i]].Begin < tbl.rows[ids[j]].Begin }) {
+		t.Fatal("tag index lost sort order after sync")
+	}
+	// Joins still correct after resync.
+	got, _ := tbl.AncestorDescendantJoin("r", "z")
+	samePairs(t, "r//z", got, navPairs(d, tbl, "r", "z", false))
+}
+
+func TestRowAccessors(t *testing.T) {
+	d := load(t, `<r><a/></r>`)
+	tbl, err := Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tbl.Row(0)
+	if row.Tag != "r" || row.ParentID != -1 || row.Level != 0 {
+		t.Fatalf("root row = %+v", row)
+	}
+	if tbl.Node(1).Tag() != "a" {
+		t.Fatal("Node(1) wrong")
+	}
+	child := tbl.Row(1)
+	if child.ParentID != 0 || child.Level != 1 {
+		t.Fatalf("child row = %+v", child)
+	}
+	if !(row.Begin < child.Begin && child.End < row.End) {
+		t.Fatal("row labels do not nest")
+	}
+}

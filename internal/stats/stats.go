@@ -1,0 +1,159 @@
+// Package stats provides the cost accounting used throughout the L-Tree
+// reproduction and small helpers for rendering experiment tables.
+//
+// The paper (§3.1) measures maintenance cost as "the number of nodes
+// accessed for searching or relabeling". Counters records exactly that
+// decomposition so every labeling scheme — the L-Tree, the virtual L-Tree
+// and the baselines — reports comparable numbers.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Counters accumulates the unit costs of label maintenance. All fields are
+// totals since construction or the last Reset.
+type Counters struct {
+	// Inserts is the number of single-leaf insertions performed.
+	Inserts uint64
+	// BulkInserts is the number of bulk (run) insertions performed.
+	BulkInserts uint64
+	// BulkLeaves is the total number of leaves added by bulk insertions.
+	BulkLeaves uint64
+	// Deletes counts tombstone deletions.
+	Deletes uint64
+	// AncestorUpdates counts leaf-count maintenance touches: one per
+	// ancestor per (bulk) insertion. This is the "cost h" term of §3.1.
+	AncestorUpdates uint64
+	// RelabeledLeaves counts leaf renumberings, i.e. XML label rewrites.
+	// A freshly inserted leaf's first numbering is also counted, matching
+	// the paper's "relabel x and its right siblings".
+	RelabeledLeaves uint64
+	// RelabeledInternal counts internal-node renumberings during splits
+	// and sibling shifts.
+	RelabeledInternal uint64
+	// Splits counts node splits (including root splits).
+	Splits uint64
+	// RootSplits counts splits of the root (each grows the height by one).
+	RootSplits uint64
+	// Rebuilds counts whole-tree rebuilds (bulk-insert escalation or
+	// Compact; never triggered by single insertions).
+	Rebuilds uint64
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// Relabelings returns the total number of renumbered nodes (internal +
+// leaves), the paper's primary cost unit.
+func (c Counters) Relabelings() uint64 {
+	return c.RelabeledLeaves + c.RelabeledInternal
+}
+
+// NodesTouched returns the paper's full §3.1 cost: ancestor-count updates
+// plus all renumbered nodes.
+func (c Counters) NodesTouched() uint64 {
+	return c.AncestorUpdates + c.Relabelings()
+}
+
+// Ops returns the number of update operations (single inserts + bulk
+// inserts + deletes) used to amortize costs.
+func (c Counters) Ops() uint64 {
+	return c.Inserts + c.BulkInserts + c.Deletes
+}
+
+// AmortizedCost returns NodesTouched divided by the number of inserted
+// leaves (single + bulk), the quantity bounded by cost(f,s,n) in §3.1 and
+// §4.1. It returns 0 when nothing was inserted.
+func (c Counters) AmortizedCost() float64 {
+	leaves := c.Inserts + c.BulkLeaves
+	if leaves == 0 {
+		return 0
+	}
+	return float64(c.NodesTouched()) / float64(leaves)
+}
+
+// String renders the counters compactly for logs and examples.
+func (c Counters) String() string {
+	return fmt.Sprintf(
+		"inserts=%d bulk=%d(+%d leaves) deletes=%d ancestor=%d relabelLeaf=%d relabelInt=%d splits=%d(root %d) rebuilds=%d amortized=%.2f",
+		c.Inserts, c.BulkInserts, c.BulkLeaves, c.Deletes,
+		c.AncestorUpdates, c.RelabeledLeaves, c.RelabeledInternal,
+		c.Splits, c.RootSplits, c.Rebuilds, c.AmortizedCost())
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Inserts += other.Inserts
+	c.BulkInserts += other.BulkInserts
+	c.BulkLeaves += other.BulkLeaves
+	c.Deletes += other.Deletes
+	c.AncestorUpdates += other.AncestorUpdates
+	c.RelabeledLeaves += other.RelabeledLeaves
+	c.RelabeledInternal += other.RelabeledInternal
+	c.Splits += other.Splits
+	c.RootSplits += other.RootSplits
+	c.Rebuilds += other.Rebuilds
+}
+
+// Table renders aligned experiment tables. It is a thin wrapper over
+// text/tabwriter that keeps harness output uniform across experiments.
+type Table struct {
+	w      io.Writer
+	tw     *tabwriter.Writer
+	header []string
+}
+
+// NewTable creates a table writing to w with the given column headers.
+func NewTable(w io.Writer, header ...string) *Table {
+	t := &Table{
+		w:      w,
+		tw:     tabwriter.NewWriter(w, 2, 4, 2, ' ', 0),
+		header: header,
+	}
+	fmt.Fprintln(t.tw, strings.Join(header, "\t"))
+	sep := make([]string, len(header))
+	for i, h := range header {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(t.tw, strings.Join(sep, "\t"))
+	return t
+}
+
+// Row appends one row; cells are formatted with %v except floats, which use
+// a compact fixed notation.
+func (t *Table) Row(cells ...interface{}) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			parts[i] = FormatFloat(v)
+		case float32:
+			parts[i] = FormatFloat(float64(v))
+		default:
+			parts[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	fmt.Fprintln(t.tw, strings.Join(parts, "\t"))
+}
+
+// Flush writes buffered rows to the underlying writer.
+func (t *Table) Flush() { t.tw.Flush() }
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// magnitudes with enough precision to compare, large with two decimals.
+func FormatFloat(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v != 0 && (v < 0.01 && v > -0.01):
+		return fmt.Sprintf("%.2e", v)
+	case v < 100 && v > -100:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

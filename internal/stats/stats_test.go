@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountersDerived(t *testing.T) {
+	c := Counters{
+		Inserts:           10,
+		BulkInserts:       2,
+		BulkLeaves:        20,
+		Deletes:           3,
+		AncestorUpdates:   40,
+		RelabeledLeaves:   50,
+		RelabeledInternal: 6,
+		Splits:            4,
+		RootSplits:        1,
+	}
+	if c.Relabelings() != 56 {
+		t.Fatalf("relabelings = %d", c.Relabelings())
+	}
+	if c.NodesTouched() != 96 {
+		t.Fatalf("nodes touched = %d", c.NodesTouched())
+	}
+	if c.Ops() != 15 {
+		t.Fatalf("ops = %d", c.Ops())
+	}
+	if got := c.AmortizedCost(); got != 96.0/30.0 {
+		t.Fatalf("amortized = %f", got)
+	}
+	if (Counters{}).AmortizedCost() != 0 {
+		t.Fatal("empty amortized should be 0")
+	}
+	if !strings.Contains(c.String(), "inserts=10") {
+		t.Fatalf("String() = %q", c.String())
+	}
+}
+
+func TestCountersAddReset(t *testing.T) {
+	a := Counters{Inserts: 1, Splits: 2, RelabeledLeaves: 3}
+	b := Counters{Inserts: 10, Splits: 20, RelabeledLeaves: 30, Rebuilds: 1}
+	a.Add(b)
+	if a.Inserts != 11 || a.Splits != 22 || a.RelabeledLeaves != 33 || a.Rebuilds != 1 {
+		t.Fatalf("add wrong: %+v", a)
+	}
+	a.Reset()
+	if a != (Counters{}) {
+		t.Fatalf("reset wrong: %+v", a)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var sb strings.Builder
+	tbl := NewTable(&sb, "name", "value", "ratio")
+	tbl.Row("alpha", 42, 0.5)
+	tbl.Row("beta", uint64(7), 123.456)
+	tbl.Row("gamma", 1e-6, float32(2))
+	tbl.Flush()
+	out := sb.String()
+	for _, want := range []string{"name", "-----", "alpha", "42", "0.500", "beta", "123.46", "1.00e-06"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines, got %d", len(lines))
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{5, "5"},
+		{-3, "-3"},
+		{0.25, "0.250"},
+		{99.9, "99.900"},
+		{1234.5, "1234.50"},
+		{0.0001, "1.00e-04"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

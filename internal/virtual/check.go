@@ -1,0 +1,56 @@
+package virtual
+
+import "fmt"
+
+// Check validates the virtual tree's implicit invariants against the full
+// label set (O(n·height); for tests and the harness):
+//
+//  1. every label is inside the root interval [0, (f−1)^H);
+//  2. every virtual ancestor's occupancy is below its limit s·r^h;
+//  3. within every virtual internal node the occupied child slots form a
+//     gap-free prefix 0..c−1 with c ≤ f−1 — the structural property that
+//     makes the labels a faithful image of a materialized L-Tree.
+func (t *Tree) Check() error {
+	labels := t.Labels()
+	space := t.pow[t.height]
+	for i, x := range labels {
+		if x >= space {
+			return fmt.Errorf("virtual: label %d outside space %d", x, space)
+		}
+		if i > 0 && labels[i-1] >= x {
+			return fmt.Errorf("virtual: labels not increasing at %d", i)
+		}
+	}
+	for h := 1; h <= t.height; h++ {
+		// Iterate the distinct height-h ancestors.
+		for i := 0; i < len(labels); {
+			base := t.trunc(labels[i], h)
+			j := i
+			slots := map[uint64]bool{}
+			var maxSlot uint64
+			for j < len(labels) && t.trunc(labels[j], h) == base {
+				slot := (labels[j] - base) / t.pow[h-1]
+				slots[slot] = true
+				if slot > maxSlot {
+					maxSlot = slot
+				}
+				j++
+			}
+			count := j - i
+			if count >= t.lmax(h) {
+				return fmt.Errorf("virtual: ancestor %d at height %d holds %d ≥ lmax %d",
+					base, h, count, t.lmax(h))
+			}
+			if int(maxSlot)+1 != len(slots) {
+				return fmt.Errorf("virtual: ancestor %d at height %d has gapped child slots (%d slots, max %d)",
+					base, h, len(slots), maxSlot)
+			}
+			if len(slots) > t.params.F-1 {
+				return fmt.Errorf("virtual: ancestor %d at height %d has fanout %d > f−1",
+					base, h, len(slots))
+			}
+			i = j
+		}
+	}
+	return nil
+}

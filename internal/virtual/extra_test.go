@@ -1,0 +1,139 @@
+package virtual
+
+import (
+	"testing"
+
+	"github.com/ltree-db/ltree/internal/core"
+)
+
+// driveHostile runs an append- or prepend-only stream on both trees —
+// maximal root-split pressure — and compares everything.
+func driveHostile(t *testing.T, p core.Params, n int, front bool) {
+	t.Helper()
+	mt, err := core.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if front {
+			if _, err := mt.InsertFirst(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := vt.InsertFirst(); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := mt.InsertLast(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := vt.InsertLast(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mNums, vNums := mt.Nums(), vt.Labels()
+	if len(mNums) != len(vNums) {
+		t.Fatalf("%d vs %d labels", len(mNums), len(vNums))
+	}
+	for i := range mNums {
+		if mNums[i] != vNums[i] {
+			t.Fatalf("label %d: %d vs %d", i, mNums[i], vNums[i])
+		}
+	}
+	if mt.Height() != vt.Height() || mt.BitsPerLabel() != vt.BitsPerLabel() {
+		t.Fatalf("height/bits diverged: %d/%d vs %d/%d",
+			mt.Height(), mt.BitsPerLabel(), vt.Height(), vt.BitsPerLabel())
+	}
+	if mt.LabelSpace() != vt.LabelSpace() {
+		t.Fatalf("label space %d vs %d", mt.LabelSpace(), vt.LabelSpace())
+	}
+	ms, vs := mt.Stats(), vt.Stats()
+	if ms.RelabeledLeaves != vs.RelabeledLeaves || ms.RootSplits != vs.RootSplits {
+		t.Fatalf("stats diverged: %v vs %v", ms, vs)
+	}
+	if err := vt.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentialAppendOnly(t *testing.T) {
+	for _, p := range []core.Params{{F: 4, S: 2}, {F: 8, S: 4}} {
+		driveHostile(t, p, 4000, false)
+	}
+}
+
+func TestDifferentialPrependOnly(t *testing.T) {
+	for _, p := range []core.Params{{F: 4, S: 2}, {F: 6, S: 3}} {
+		driveHostile(t, p, 4000, true)
+	}
+}
+
+// TestVirtualWideRadix: the ablation radix flows through the virtual tree
+// and stays equivalent to the materialized one.
+func TestVirtualWideRadix(t *testing.T) {
+	p := core.Params{F: 4, S: 2, WideRadix: true}
+	mt, err := core.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mt.Load(50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vt.Load(50); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		at := i * 7 % mt.Len()
+		if _, err := mt.InsertAfter(mt.LeafAt(at)); err != nil {
+			t.Fatal(err)
+		}
+		x, _ := vt.LabelAt(at)
+		if _, err := vt.InsertAfter(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, v := mt.Nums(), vt.Labels()
+	for i := range m {
+		if m[i] != v[i] {
+			t.Fatalf("wide-radix label %d: %d vs %d", i, m[i], v[i])
+		}
+	}
+	if err := vt.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVirtualRankSelect mirrors the order-statistic access.
+func TestVirtualRankSelect(t *testing.T) {
+	vt, err := New(core.Params{F: 8, S: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := vt.Load(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range labels {
+		if got := vt.Rank(x); got != i {
+			t.Fatalf("Rank(%d) = %d, want %d", x, got, i)
+		}
+		sel, ok := vt.LabelAt(i)
+		if !ok || sel != x {
+			t.Fatalf("LabelAt(%d) = %d/%v, want %d", i, sel, ok, x)
+		}
+	}
+	if !vt.Has(labels[7]) || vt.Has(labels[len(labels)-1]+100) {
+		t.Fatal("Has() wrong")
+	}
+	if _, ok := vt.LabelAt(-1); ok {
+		t.Fatal("LabelAt(-1)")
+	}
+}

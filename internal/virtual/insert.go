@@ -1,0 +1,273 @@
+package virtual
+
+import "fmt"
+
+// InsertAfter inserts a new leaf right after the leaf labeled x and
+// returns the new label. It runs Algorithm 1 on the virtual tree: range
+// counts stand in for the ancestors' leaf counters, and splits renumber
+// label ranges in place.
+func (t *Tree) InsertAfter(x uint64) (uint64, error) {
+	if !t.ost.Has(x) {
+		return 0, ErrUnknownLabel
+	}
+	return t.insert(x, true)
+}
+
+// InsertBefore inserts a new leaf right before the leaf labeled x.
+func (t *Tree) InsertBefore(x uint64) (uint64, error) {
+	if !t.ost.Has(x) {
+		return 0, ErrUnknownLabel
+	}
+	return t.insert(x, false)
+}
+
+// InsertFirst inserts a new leaf before all existing ones (label 0 lands
+// on an empty tree).
+func (t *Tree) InsertFirst() (uint64, error) {
+	min, ok := t.ost.Min()
+	if !ok {
+		t.st.Inserts++
+		t.st.AncestorUpdates += uint64(t.height)
+		t.st.RelabeledLeaves++
+		t.ost.Insert(0)
+		return 0, nil
+	}
+	return t.insert(min, false)
+}
+
+// InsertLast appends a new leaf after all existing ones.
+func (t *Tree) InsertLast() (uint64, error) {
+	max, ok := t.ost.Max()
+	if !ok {
+		return t.InsertFirst()
+	}
+	return t.insert(max, true)
+}
+
+// insert places a new leaf next to anchor x (after when right is true).
+func (t *Tree) insert(x uint64, right bool) (uint64, error) {
+	// Pass 1 (read-only): mirror the materialized pass — find the highest
+	// virtual ancestor whose occupancy would reach its limit.
+	splitH := 0
+	for h := 1; h <= t.height; h++ {
+		base := t.trunc(x, h)
+		if t.ost.CountRange(base, base+t.pow[h])+1 == t.lmax(h) {
+			splitH = h
+		}
+	}
+	if splitH > 0 {
+		// A split may escalate to a whole-tree rebuild (mirroring the
+		// materialized tree); reserve label space before mutating.
+		need := t.height + 1
+		if alt := t.minHeight(t.ost.Len() + 1); alt > need {
+			need = alt
+		}
+		if err := t.ensurePow(need); err != nil {
+			return 0, err
+		}
+	}
+	t.st.Inserts++
+	t.st.AncestorUpdates += uint64(t.height)
+
+	if splitH == 0 {
+		// No limit reached: shift the right siblings inside the height-1
+		// parent up by one and take the vacated slot.
+		parent := t.trunc(x, 1)
+		end := parent + t.pow[1]
+		var newLabel uint64
+		if right {
+			newLabel = x + 1
+		} else {
+			newLabel = x
+		}
+		shifted := t.ost.CollectRange(newLabel, end)
+		for i := len(shifted) - 1; i >= 0; i-- {
+			t.ost.Delete(shifted[i])
+			t.ost.Insert(shifted[i] + 1)
+			t.st.RelabeledLeaves++
+		}
+		t.ost.Insert(newLabel)
+		t.st.RelabeledLeaves++
+		return newLabel, nil
+	}
+	return t.splitInsert(x, right, splitH)
+}
+
+// splitInsert handles the split case, mirroring the materialized tree
+// move for move. At the trigger height h the ancestor is renumbered into
+// m = ⌈l/r^h⌉ complete r-ary subtrees (m = s for a single-insert split);
+// if its parent's fanout cannot absorb m−1 extra children, the rebuild
+// escalates a level (only reachable after physical removals); a split of
+// the implicit root raises the height; an escalation that reaches the
+// root renumbers everything at the minimal sufficient height.
+func (t *Tree) splitInsert(x uint64, right bool, splitH int) (uint64, error) {
+	for h := splitH; ; h++ {
+		if h == t.height {
+			if h == splitH {
+				// The paper's root split: height + 1, s perfect subtrees.
+				t.st.Splits++
+				t.st.RootSplits++
+				oldH := t.height
+				t.height++
+				return t.renumberRange(x, right, 0, oldH, oldH, t.s)
+			}
+			// Escalated to the root: whole-tree rebuild at the minimal
+			// sufficient height (mirror of core's rebuildRoot).
+			t.st.Rebuilds++
+			t.st.RootSplits++
+			oldH := t.height
+			newH := t.minHeight(t.ost.Len() + 1)
+			collectH := newH
+			if oldH > collectH {
+				collectH = oldH
+			}
+			t.height = newH
+			if err := t.ensurePow(collectH); err != nil {
+				return 0, err
+			}
+			return t.renumberRange(x, right, 0, collectH, newH, 1)
+		}
+		base := t.trunc(x, h)
+		l := t.ost.CountRange(base, base+t.pow[h]) + 1 // including the new leaf
+		capacity := int(t.rpow[h])
+		m := (l + capacity - 1) / capacity
+		if m < 1 {
+			m = 1
+		}
+		// Parent fanout check (the escalation rule of core's rebuild):
+		// with the gap-free slot invariant, the fanout is the slot of the
+		// largest label in the parent's interval, plus one.
+		parentBase := t.trunc(x, h+1)
+		maxLab, ok := t.ost.Pred(parentBase + t.pow[h+1])
+		if !ok || maxLab < parentBase {
+			return 0, fmt.Errorf("virtual: internal error: empty parent interval at height %d", h+1)
+		}
+		fanout := int((maxLab-parentBase)/t.pow[h]) + 1
+		if fanout-1+m > t.params.F-1 {
+			continue // escalate to the parent
+		}
+		t.st.Splits++
+		return t.renumberRange(x, right, base, h, h, m)
+	}
+}
+
+// renumberRange rewrites the labels of the interval [base, base+(f−1)^
+// collectH): the leaves there (with the new one spliced next to x) are
+// redistributed over m complete r-ary subtrees of height treeH rooted at
+// consecutive child slots from base, with even group sizes — exactly
+// core's rebuild/split shape. The rebuilt node's former right siblings
+// (labels between its old single slot and its parent's interval end)
+// shift up by (m−1)·(f−1)^treeH. It returns the new leaf's label.
+func (t *Tree) renumberRange(x uint64, right bool, base uint64, collectH, treeH, m int) (uint64, error) {
+	old := t.ost.CollectRange(base, base+t.pow[collectH])
+	idx := indexOf(old, x)
+	if idx < 0 {
+		return 0, fmt.Errorf("virtual: internal error: anchor %d not in range", x)
+	}
+	if right {
+		idx++
+	}
+	ordered := make([]uint64, 0, len(old)+1)
+	ordered = append(ordered, old[:idx]...)
+	ordered = append(ordered, sentinel)
+	ordered = append(ordered, old[idx:]...)
+
+	// New labels: even split into m groups, each a complete r-ary subtree.
+	newLabels := make([]uint64, 0, len(ordered))
+	szBase, extra := len(ordered)/m, len(ordered)%m
+	for i := 0; i < m; i++ {
+		size := szBase
+		if i < extra {
+			size++
+		}
+		t.genComplete(base+uint64(i)*t.pow[treeH], size, treeH, &newLabels)
+	}
+
+	// Shift right siblings first (descending: upward shifts cannot
+	// collide), then replace the rebuilt range wholesale.
+	if delta := uint64(m-1) * t.pow[treeH]; delta > 0 && treeH < t.height {
+		oldEnd := base + t.pow[treeH]
+		parentEnd := t.trunc(x, treeH+1) + t.pow[treeH+1]
+		if parentEnd > oldEnd {
+			shifted := t.ost.CollectRange(oldEnd, parentEnd)
+			for i := len(shifted) - 1; i >= 0; i-- {
+				t.ost.Delete(shifted[i])
+				t.ost.Insert(shifted[i] + delta)
+				t.st.RelabeledLeaves++
+			}
+		}
+	}
+	for _, k := range old {
+		t.ost.Delete(k)
+	}
+	var newLabel uint64
+	for j, lab := range newLabels {
+		t.ost.Insert(lab)
+		switch {
+		case ordered[j] == sentinel:
+			newLabel = lab
+			t.st.RelabeledLeaves++
+		case ordered[j] != lab:
+			t.st.RelabeledLeaves++
+		}
+	}
+	return newLabel, nil
+}
+
+// sentinel marks the new leaf's position inside the reordered label run.
+const sentinel = ^uint64(0)
+
+// indexOf returns the position of x in the sorted slice, or -1.
+func indexOf(keys []uint64, x uint64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(keys) && keys[lo] == x {
+		return lo
+	}
+	return -1
+}
+
+// Remove physically deletes label x, compacting its right siblings within
+// the height-1 parent and pruning emptied virtual ancestors — the exact
+// mirror of the materialized Remove (labels shift down one slot per
+// affected level). Works in O(height · affected) time.
+func (t *Tree) Remove(x uint64) error {
+	if !t.ost.Delete(x) {
+		return ErrUnknownLabel
+	}
+	t.st.Deletes++
+	// Leaf-level compaction: right siblings within the height-1 parent
+	// shift down by one (ascending walk, the slot at x is free).
+	parent := t.trunc(x, 1)
+	end := parent + t.pow[1]
+	for _, k := range t.ost.CollectRange(x+1, end) {
+		t.ost.Delete(k)
+		t.ost.Insert(k - 1)
+		t.st.RelabeledLeaves++
+	}
+	// Prune emptied ancestors: while the height-h ancestor of x has no
+	// labels left, its right siblings shift down one slot (= (f−1)^h).
+	for h := 1; h < t.height; h++ {
+		base := t.trunc(x, h)
+		if t.ost.CountRange(base, base+t.pow[h]) > 0 {
+			break
+		}
+		pend := t.trunc(x, h+1) + t.pow[h+1]
+		for _, k := range t.ost.CollectRange(base+t.pow[h], pend) {
+			t.ost.Delete(k)
+			t.ost.Insert(k - t.pow[h])
+			t.st.RelabeledLeaves++
+		}
+	}
+	if t.ost.Len() == 0 {
+		t.height = 1
+	}
+	return nil
+}

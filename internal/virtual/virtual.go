@@ -1,0 +1,192 @@
+// Package virtual implements the virtual L-Tree of paper §4.2: the L-Tree
+// is never materialized — only the leaf labels are stored, in a counted
+// B-tree — because the whole structure is implicit in the labels
+// themselves. The base-(f−1) digits of a label spell out the child slots
+// of all its ancestors, so
+//
+//   - the height-h ancestor of label x is x − x mod (f−1)^h,
+//   - its occupancy l(v) is a range count over [num(v), num(v)+(f−1)^h),
+//   - a split renumbers a label range in place.
+//
+// Every operation reproduces the materialized algorithm exactly: on the
+// same operation stream the two emit bit-identical label sequences (the
+// differential test in virtual_test.go), trading the O(n) materialized
+// node storage for a logarithmic-time range count per ancestor.
+package virtual
+
+import (
+	"errors"
+
+	"github.com/ltree-db/ltree/internal/core"
+	"github.com/ltree-db/ltree/internal/ostree"
+	"github.com/ltree-db/ltree/internal/stats"
+)
+
+// maxLabelSpace mirrors internal/core: labels stay below 2^62.
+const maxLabelSpace = uint64(1) << 62
+
+// ErrUnknownLabel is returned when the reference label is not present.
+var ErrUnknownLabel = errors.New("virtual: reference label not present")
+
+// ErrLabelOverflow mirrors core.ErrLabelOverflow for the virtual variant.
+var ErrLabelOverflow = errors.New("virtual: label space exceeds 2^62; choose larger f or s")
+
+// Tree is a virtual L-Tree: parameters, the current height, and the label
+// set. The zero value is not usable; construct with New.
+type Tree struct {
+	params core.Params
+	r      int
+	s      int
+	radix  uint64
+	height int // implicit root height H (≥ 1)
+	ost    *ostree.Tree
+	pow    []uint64 // pow[h] = radix^h
+	rpow   []uint64 // rpow[h] = r^h
+	st     stats.Counters
+}
+
+// New returns an empty virtual L-Tree with the paper's parameters.
+func New(p core.Params) (*Tree, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		params: p,
+		r:      p.R(),
+		s:      p.S,
+		radix:  uint64(p.Radix()),
+		height: 1,
+		ost:    ostree.New(),
+		pow:    []uint64{1},
+		rpow:   []uint64{1},
+	}
+	if err := t.ensurePow(1); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Params returns the tree's parameters.
+func (t *Tree) Params() core.Params { return t.params }
+
+// Len returns the number of labels.
+func (t *Tree) Len() int { return t.ost.Len() }
+
+// Height returns the implicit root height.
+func (t *Tree) Height() int { return t.height }
+
+// LabelSpace returns (f−1)^H, the exclusive upper bound on labels.
+func (t *Tree) LabelSpace() uint64 { return t.pow[t.height] }
+
+// BitsPerLabel returns ⌈log2 LabelSpace⌉.
+func (t *Tree) BitsPerLabel() int {
+	bits := 0
+	for v := t.LabelSpace() - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return bits
+}
+
+// Stats returns a copy of the maintenance counters.
+func (t *Tree) Stats() stats.Counters { return t.st }
+
+// ResetStats zeroes the maintenance counters.
+func (t *Tree) ResetStats() { t.st.Reset() }
+
+// Has reports whether x is a current label.
+func (t *Tree) Has(x uint64) bool { return t.ost.Has(x) }
+
+// Labels returns all labels in order.
+func (t *Tree) Labels() []uint64 { return t.ost.Keys() }
+
+// LabelAt returns the label with the given rank (0-based).
+func (t *Tree) LabelAt(rank int) (uint64, bool) { return t.ost.SelectK(rank) }
+
+// Rank returns the number of labels smaller than x.
+func (t *Tree) Rank(x uint64) int { return t.ost.Rank(x) }
+
+// MemoryFootprint estimates the resident bytes of the label store: labels
+// are the only state (8 bytes each plus B-tree node overhead ≈ 8/15), the
+// §4.2 storage trade-off measured by experiment E10.
+func (t *Tree) MemoryFootprint() int {
+	// Keys dominate; B-tree occupancy ≥ 50% doubles the per-key bound.
+	return 16 * t.ost.Len()
+}
+
+func (t *Tree) lmax(h int) int { return t.s * int(t.rpow[h]) }
+
+func (t *Tree) ensurePow(h int) error {
+	for len(t.pow) <= h {
+		last := t.pow[len(t.pow)-1]
+		if last > maxLabelSpace/t.radix {
+			return ErrLabelOverflow
+		}
+		t.pow = append(t.pow, last*t.radix)
+		t.rpow = append(t.rpow, t.rpow[len(t.rpow)-1]*uint64(t.r))
+	}
+	return nil
+}
+
+func (t *Tree) minHeight(n int) int {
+	h := 1
+	p := uint64(t.r)
+	for p < uint64(n) {
+		h++
+		p *= uint64(t.r)
+	}
+	return h
+}
+
+// trunc returns the number of x's height-h virtual ancestor: x with its
+// low h base-(f−1) digits cleared.
+func (t *Tree) trunc(x uint64, h int) uint64 { return x - x%t.pow[h] }
+
+// Load bulk-loads n labels into an empty tree, reproducing exactly the
+// complete r-ary shape (and therefore the exact labels) of the
+// materialized bulk load.
+func (t *Tree) Load(n int) ([]uint64, error) {
+	if n < 0 {
+		return nil, core.ErrBadCount
+	}
+	if t.ost.Len() != 0 {
+		return nil, core.ErrNotEmpty
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	h := t.minHeight(n)
+	if err := t.ensurePow(h); err != nil {
+		return nil, err
+	}
+	t.height = h
+	labels := make([]uint64, 0, n)
+	t.genComplete(0, n, h, &labels)
+	for _, x := range labels {
+		t.ost.Insert(x)
+	}
+	t.st.Reset()
+	return labels, nil
+}
+
+// genComplete emits the labels of a complete r-ary subtree with count
+// leaves based at base — the label-space image of core's buildComplete
+// (same even distribution, so the shapes coincide).
+func (t *Tree) genComplete(base uint64, count, h int, out *[]uint64) {
+	if h == 0 {
+		*out = append(*out, base)
+		return
+	}
+	capacity := int(t.rpow[h-1])
+	k := (count + capacity - 1) / capacity
+	szBase, extra := count/k, count%k
+	for i := 0; i < k; i++ {
+		size := szBase
+		if i < extra {
+			size++
+		}
+		t.genComplete(base+uint64(i)*t.pow[h-1], size, h-1, out)
+	}
+}

@@ -1,0 +1,290 @@
+package virtual
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ltree-db/ltree/internal/core"
+)
+
+func mustNew(t *testing.T, f, s int) *Tree {
+	t.Helper()
+	v, err := New(core.Params{F: f, S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestFigure2Virtual replays the paper's Figure 2 on the virtual tree: the
+// label sequences must be identical to the materialized golden values.
+func TestFigure2Virtual(t *testing.T) {
+	v := mustNew(t, 4, 2)
+	labels, err := v.Load(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 1, 3, 4, 9, 10, 12, 13}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("bulk load: %v, want %v", labels, want)
+		}
+	}
+	// Insert "D" before the leaf labeled 3 (no split): 3,4,5.
+	d, err := v.InsertBefore(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 3 {
+		t.Fatalf("D = %d, want 3", d)
+	}
+	got := v.Labels()
+	want = []uint64{0, 1, 3, 4, 5, 9, 10, 12, 13}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after D: %v, want %v", got, want)
+		}
+	}
+	// Insert "/D" after 3: split; final 0,1,3,4,6,7,9,10,12,13.
+	dEnd, err := v.InsertAfter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dEnd != 4 {
+		t.Fatalf("/D = %d, want 4", dEnd)
+	}
+	got = v.Labels()
+	want = []uint64{0, 1, 3, 4, 6, 7, 9, 10, 12, 13}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after /D: %v, want %v", got, want)
+		}
+	}
+	if st := v.Stats(); st.Splits != 1 || st.RootSplits != 0 {
+		t.Fatalf("splits=%d root=%d", st.Splits, st.RootSplits)
+	}
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// drive applies the identical operation stream to a materialized and a
+// virtual tree and asserts bit-identical labels, equal heights and equal
+// leaf-relabeling counters after every step batch.
+func drive(t *testing.T, p core.Params, seed int64, ops int, withRemove bool) {
+	t.Helper()
+	mt, err := core.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	compare := func(step int) {
+		t.Helper()
+		mNums := mt.Nums()
+		vNums := vt.Labels()
+		if len(mNums) != len(vNums) {
+			t.Fatalf("%v seed %d step %d: %d vs %d labels", p, seed, step, len(mNums), len(vNums))
+		}
+		for i := range mNums {
+			if mNums[i] != vNums[i] {
+				t.Fatalf("%v seed %d step %d: label[%d] %d vs %d\nmat: %v\nvir: %v",
+					p, seed, step, i, mNums[i], vNums[i], mNums, vNums)
+			}
+		}
+		if mt.Height() != vt.Height() {
+			t.Fatalf("%v seed %d step %d: height %d vs %d", p, seed, step, mt.Height(), vt.Height())
+		}
+		ms, vs := mt.Stats(), vt.Stats()
+		if ms.RelabeledLeaves != vs.RelabeledLeaves {
+			t.Fatalf("%v seed %d step %d: relabeled leaves %d vs %d",
+				p, seed, step, ms.RelabeledLeaves, vs.RelabeledLeaves)
+		}
+		if ms.Splits != vs.Splits || ms.RootSplits != vs.RootSplits {
+			t.Fatalf("%v seed %d step %d: splits %d/%d vs %d/%d",
+				p, seed, step, ms.Splits, ms.RootSplits, vs.Splits, vs.RootSplits)
+		}
+	}
+	for op := 0; op < ops; op++ {
+		n := mt.Len()
+		switch {
+		case n == 0 || rng.Intn(100) < 70 || !withRemove:
+			pos := 0
+			if n > 0 {
+				pos = rng.Intn(n + 1)
+			}
+			before := rng.Intn(2) == 0
+			var mErr, vErr error
+			if pos == 0 {
+				if before || n == 0 {
+					_, mErr = mt.InsertFirst()
+					_, vErr = vt.InsertFirst()
+				} else {
+					anchor := mt.LeafAt(0)
+					va, _ := vt.LabelAt(0)
+					_, mErr = mt.InsertBefore(anchor)
+					_, vErr = vt.InsertBefore(va)
+				}
+			} else {
+				anchor := mt.LeafAt(pos - 1)
+				va, ok := vt.LabelAt(pos - 1)
+				if !ok {
+					t.Fatalf("virtual rank %d missing", pos-1)
+				}
+				_, mErr = mt.InsertAfter(anchor)
+				_, vErr = vt.InsertAfter(va)
+			}
+			if mErr != nil || vErr != nil {
+				t.Fatalf("op %d: insert errors %v / %v", op, mErr, vErr)
+			}
+		default:
+			pos := rng.Intn(n)
+			anchor := mt.LeafAt(pos)
+			va, _ := vt.LabelAt(pos)
+			if err := mt.Remove(anchor); err != nil {
+				t.Fatal(err)
+			}
+			if err := vt.Remove(va); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if op%64 == 63 {
+			compare(op)
+		}
+	}
+	compare(ops)
+	if err := mt.Check(); err != nil {
+		t.Fatalf("materialized: %v", err)
+	}
+	if err := vt.Check(); err != nil {
+		t.Fatalf("virtual: %v", err)
+	}
+}
+
+// TestDifferentialInsertOnly is the headline §4.2 equivalence: identical
+// insertion streams produce identical labels, heights and counters.
+func TestDifferentialInsertOnly(t *testing.T) {
+	for _, p := range []core.Params{{F: 4, S: 2}, {F: 6, S: 2}, {F: 6, S: 3}, {F: 8, S: 4}, {F: 12, S: 2}} {
+		for seed := int64(1); seed <= 3; seed++ {
+			drive(t, p, seed, 900, false)
+		}
+	}
+}
+
+// TestDifferentialWithRemovals extends the equivalence to physical
+// removals (both sides compact right siblings and prune empty ancestors).
+func TestDifferentialWithRemovals(t *testing.T) {
+	for _, p := range []core.Params{{F: 4, S: 2}, {F: 8, S: 2}, {F: 9, S: 3}} {
+		for seed := int64(10); seed <= 12; seed++ {
+			drive(t, p, seed, 700, true)
+		}
+	}
+}
+
+// TestQuickDifferential drives short random streams under quick.
+func TestQuickDifferential(t *testing.T) {
+	prop := func(seed int64) bool {
+		mt, _ := core.New(core.Params{F: 6, S: 2})
+		vt, _ := New(core.Params{F: 6, S: 2})
+		rng := rand.New(rand.NewSource(seed))
+		for op := 0; op < 150; op++ {
+			pos := 0
+			if mt.Len() > 0 {
+				pos = rng.Intn(mt.Len() + 1)
+			}
+			if pos == 0 {
+				if _, err := mt.InsertFirst(); err != nil {
+					return false
+				}
+				if _, err := vt.InsertFirst(); err != nil {
+					return false
+				}
+			} else {
+				a := mt.LeafAt(pos - 1)
+				va, _ := vt.LabelAt(pos - 1)
+				if _, err := mt.InsertAfter(a); err != nil {
+					return false
+				}
+				if _, err := vt.InsertAfter(va); err != nil {
+					return false
+				}
+			}
+		}
+		m, v := mt.Nums(), vt.Labels()
+		if len(m) != len(v) {
+			return false
+		}
+		for i := range m {
+			if m[i] != v[i] {
+				return false
+			}
+		}
+		return vt.Check() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualErrors(t *testing.T) {
+	v := mustNew(t, 4, 2)
+	if _, err := v.InsertAfter(7); !errors.Is(err, ErrUnknownLabel) {
+		t.Fatalf("InsertAfter(unknown) = %v", err)
+	}
+	if err := v.Remove(7); !errors.Is(err, ErrUnknownLabel) {
+		t.Fatalf("Remove(unknown) = %v", err)
+	}
+	if _, err := v.Load(-1); !errors.Is(err, core.ErrBadCount) {
+		t.Fatalf("Load(-1) = %v", err)
+	}
+	if _, err := v.Load(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Load(3); !errors.Is(err, core.ErrNotEmpty) {
+		t.Fatalf("second Load = %v", err)
+	}
+	if _, err := New(core.Params{F: 5, S: 2}); !errors.Is(err, core.ErrBadParams) {
+		t.Fatalf("bad params: %v", err)
+	}
+}
+
+func TestVirtualRemoveDrain(t *testing.T) {
+	v := mustNew(t, 4, 2)
+	labels, err := v.Load(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for v.Len() > 0 {
+		i := rng.Intn(v.Len())
+		x, _ := v.LabelAt(i)
+		if err := v.Remove(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = labels
+	if v.Height() != 1 {
+		t.Fatalf("drained height = %d", v.Height())
+	}
+	if x, err := v.InsertFirst(); err != nil || x != 0 {
+		t.Fatalf("insert after drain: %d, %v", x, err)
+	}
+}
+
+func TestMemoryFootprint(t *testing.T) {
+	v := mustNew(t, 4, 2)
+	if _, err := v.Load(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.MemoryFootprint(); got != 16000 {
+		t.Fatalf("footprint = %d", got)
+	}
+}

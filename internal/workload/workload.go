@@ -1,0 +1,245 @@
+// Package workload generates deterministic synthetic documents and update
+// streams for the experiments. The paper evaluates analytically; to
+// measure the same quantities we need reproducible inputs whose knobs —
+// size, depth, fanout skew, insertion locality, subtree sizes — cover the
+// regimes the analysis distinguishes (uniform vs. skewed insertion areas,
+// §6: "the L-Tree adjusts itself ... in the areas with heavy insertion
+// activity").
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ltree-db/ltree/internal/xmldom"
+)
+
+// DocConfig parameterizes the random document generator.
+type DocConfig struct {
+	Elements  int      // total number of elements to generate (≥ 1)
+	MaxDepth  int      // maximum nesting depth (≥ 1)
+	MaxFanout int      // maximum children per element (≥ 1)
+	Tags      []string // tag alphabet, picked Zipf-skewed (defaults provided)
+	TextProb  float64  // probability of attaching a text child to a leaf
+}
+
+// DefaultTags is a small realistic tag alphabet.
+var DefaultTags = []string{
+	"section", "item", "name", "title", "para", "list", "entry",
+	"date", "ref", "note",
+}
+
+// GenerateDoc builds a random ordered document with the given shape knobs,
+// deterministically from the seed.
+func GenerateDoc(cfg DocConfig, seed int64) *xmldom.Document {
+	if cfg.Elements < 1 {
+		cfg.Elements = 1
+	}
+	if cfg.MaxDepth < 1 {
+		cfg.MaxDepth = 8
+	}
+	if cfg.MaxFanout < 1 {
+		cfg.MaxFanout = 8
+	}
+	if len(cfg.Tags) == 0 {
+		cfg.Tags = DefaultTags
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 1.0, uint64(len(cfg.Tags)-1))
+
+	root := xmldom.NewElement("root")
+	// Open elements eligible for more children, with their depths.
+	type slot struct {
+		n     *xmldom.Node
+		depth int
+	}
+	open := []slot{{root, 0}}
+	made := 1
+	for made < cfg.Elements && len(open) > 0 {
+		i := rng.Intn(len(open))
+		s := open[i]
+		if s.depth+1 >= cfg.MaxDepth || s.n.NumChildren() >= cfg.MaxFanout {
+			open[i] = open[len(open)-1]
+			open = open[:len(open)-1]
+			continue
+		}
+		tag := cfg.Tags[zipf.Uint64()]
+		el := xmldom.NewElement(tag)
+		if err := s.n.AppendChild(el); err != nil {
+			panic(err) // fresh node: structurally impossible
+		}
+		made++
+		open = append(open, slot{el, s.depth + 1})
+		if rng.Float64() < cfg.TextProb {
+			_ = el.AppendChild(xmldom.NewText(fmt.Sprintf("t%d", made)))
+		}
+	}
+	doc, err := xmldom.NewDocument(root)
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+// BuildSubtree builds a detached random subtree with the given number of
+// elements, for §4.1 subtree-insertion experiments.
+func BuildSubtree(rng *rand.Rand, elements int, tags []string) *xmldom.Node {
+	if len(tags) == 0 {
+		tags = DefaultTags
+	}
+	root := xmldom.NewElement(tags[rng.Intn(len(tags))])
+	nodes := []*xmldom.Node{root}
+	for i := 1; i < elements; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		el := xmldom.NewElement(tags[rng.Intn(len(tags))])
+		if err := parent.AppendChild(el); err != nil {
+			panic(err)
+		}
+		nodes = append(nodes, el)
+	}
+	return root
+}
+
+// XMarkLite builds a deterministic miniature of the XMark auction-site
+// document (the community-standard XML benchmark schema), sized by scale:
+// regions with items, people, and open auctions with bidders. It provides
+// the realistic tag hierarchy for query experiments like "//item/name".
+func XMarkLite(scale int, seed int64) *xmldom.Document {
+	if scale < 1 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	site := xmldom.NewElement("site")
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	regions := xmldom.NewElement("regions")
+	must(site.AppendChild(regions))
+	regionNames := []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	itemID := 0
+	for _, rn := range regionNames {
+		region := xmldom.NewElement(rn)
+		must(regions.AppendChild(region))
+		for i := 0; i < 2*scale; i++ {
+			item := xmldom.NewElement("item", xmldom.Attr{Name: "id", Value: fmt.Sprintf("item%d", itemID)})
+			must(region.AppendChild(item))
+			name := xmldom.NewElement("name")
+			must(item.AppendChild(name))
+			must(name.AppendChild(xmldom.NewText(fmt.Sprintf("thing-%d", itemID))))
+			desc := xmldom.NewElement("description")
+			must(item.AppendChild(desc))
+			para := xmldom.NewElement("para")
+			must(desc.AppendChild(para))
+			must(para.AppendChild(xmldom.NewText(fmt.Sprintf("words %d %d", itemID, rng.Intn(100)))))
+			itemID++
+		}
+	}
+
+	people := xmldom.NewElement("people")
+	must(site.AppendChild(people))
+	for i := 0; i < 5*scale; i++ {
+		person := xmldom.NewElement("person", xmldom.Attr{Name: "id", Value: fmt.Sprintf("person%d", i)})
+		must(people.AppendChild(person))
+		name := xmldom.NewElement("name")
+		must(person.AppendChild(name))
+		must(name.AppendChild(xmldom.NewText(fmt.Sprintf("p-%d", i))))
+		email := xmldom.NewElement("emailaddress")
+		must(person.AppendChild(email))
+		must(email.AppendChild(xmldom.NewText(fmt.Sprintf("p%d@example.org", i))))
+	}
+
+	auctions := xmldom.NewElement("open_auctions")
+	must(site.AppendChild(auctions))
+	for i := 0; i < 3*scale; i++ {
+		auction := xmldom.NewElement("open_auction", xmldom.Attr{Name: "id", Value: fmt.Sprintf("auction%d", i)})
+		must(auctions.AppendChild(auction))
+		initial := xmldom.NewElement("initial")
+		must(auction.AppendChild(initial))
+		must(initial.AppendChild(xmldom.NewText(fmt.Sprintf("%d.00", 1+rng.Intn(200)))))
+		for b := 0; b < 1+rng.Intn(3); b++ {
+			bidder := xmldom.NewElement("bidder")
+			must(auction.AppendChild(bidder))
+			inc := xmldom.NewElement("increase")
+			must(bidder.AppendChild(inc))
+			must(inc.AppendChild(xmldom.NewText(fmt.Sprintf("%d.50", 1+rng.Intn(20)))))
+		}
+		ref := xmldom.NewElement("itemref", xmldom.Attr{Name: "item", Value: fmt.Sprintf("item%d", rng.Intn(itemID))})
+		must(auction.AppendChild(ref))
+	}
+
+	doc, err := xmldom.NewDocument(site)
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+// Dist selects where an update stream inserts.
+type Dist int
+
+// Insertion position distributions.
+const (
+	Uniform Dist = iota // uniformly random rank
+	Append              // always at the end (log-style documents)
+	Front               // always at the beginning (worst case for dense schemes)
+	Hotspot             // a single dense region (the paper's "heavy insertion activity" area)
+)
+
+// String names the distribution for experiment output.
+func (d Dist) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Append:
+		return "append"
+	case Front:
+		return "front"
+	case Hotspot:
+		return "hotspot"
+	default:
+		return fmt.Sprintf("dist(%d)", int(d))
+	}
+}
+
+// Positions yields insertion ranks for a growing list: Next(n) returns the
+// rank in [0, n] at which the next element is inserted, given current
+// size n.
+type Positions struct {
+	dist Dist
+	rng  *rand.Rand
+}
+
+// NewPositions returns a deterministic position stream.
+func NewPositions(dist Dist, seed int64) *Positions {
+	return &Positions{dist: dist, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next insertion rank for a list of length n.
+func (p *Positions) Next(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	switch p.dist {
+	case Append:
+		return n
+	case Front:
+		return 0
+	case Hotspot:
+		// Cluster insertions around 1/3 of the document with ±8 jitter.
+		base := n / 3
+		j := p.rng.Intn(17) - 8
+		pos := base + j
+		if pos < 0 {
+			pos = 0
+		}
+		if pos > n {
+			pos = n
+		}
+		return pos
+	default:
+		return p.rng.Intn(n + 1)
+	}
+}

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ltree-db/ltree/internal/xmldom"
+)
+
+func TestGenerateDocDeterministic(t *testing.T) {
+	cfg := DocConfig{Elements: 300, MaxDepth: 7, MaxFanout: 5, TextProb: 0.25}
+	a := GenerateDoc(cfg, 42)
+	b := GenerateDoc(cfg, 42)
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different documents")
+	}
+	c := GenerateDoc(cfg, 43)
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical documents")
+	}
+}
+
+func TestGenerateDocShape(t *testing.T) {
+	cfg := DocConfig{Elements: 500, MaxDepth: 6, MaxFanout: 4, TextProb: 0.5}
+	d := GenerateDoc(cfg, 7)
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	elements, maxDepth, maxFanout := 0, 0, 0
+	d.Root.Walk(func(n *xmldom.Node) bool {
+		if n.Kind() == xmldom.Element {
+			elements++
+			if l := n.Level(); l > maxDepth {
+				maxDepth = l
+			}
+			fan := 0
+			for _, c := range n.Children() {
+				if c.Kind() == xmldom.Element {
+					fan++
+				}
+			}
+			if fan > maxFanout {
+				maxFanout = fan
+			}
+		}
+		return true
+	})
+	if elements > cfg.Elements {
+		t.Fatalf("%d elements, cap %d", elements, cfg.Elements)
+	}
+	if elements < cfg.Elements/2 {
+		t.Fatalf("generator badly undershoots: %d of %d", elements, cfg.Elements)
+	}
+	if maxDepth >= cfg.MaxDepth {
+		t.Fatalf("depth %d, cap %d", maxDepth, cfg.MaxDepth)
+	}
+	if maxFanout > cfg.MaxFanout {
+		t.Fatalf("fanout %d, cap %d", maxFanout, cfg.MaxFanout)
+	}
+}
+
+func TestGenerateDocDefaults(t *testing.T) {
+	d := GenerateDoc(DocConfig{}, 1)
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Root.Tag() != "root" {
+		t.Fatal("default root tag wrong")
+	}
+}
+
+func TestBuildSubtree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 10, 64} {
+		sub := BuildSubtree(rng, n, nil)
+		count := 0
+		sub.Walk(func(v *xmldom.Node) bool { count++; return true })
+		if count != n {
+			t.Fatalf("subtree has %d elements, want %d", count, n)
+		}
+		if sub.Parent() != nil {
+			t.Fatal("subtree must be detached")
+		}
+		if sub.CountTokens() != 2*n {
+			t.Fatalf("tokens = %d, want %d", sub.CountTokens(), 2*n)
+		}
+	}
+}
+
+func TestXMarkLite(t *testing.T) {
+	d := XMarkLite(2, 11)
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Root.Tag() != "site" {
+		t.Fatal("xmark root must be site")
+	}
+	count := func(tag string) int {
+		n := 0
+		d.Root.Walk(func(v *xmldom.Node) bool {
+			if v.Kind() == xmldom.Element && v.Tag() == tag {
+				n++
+			}
+			return true
+		})
+		return n
+	}
+	if got := count("item"); got != 6*2*2 { // 6 regions × 2·scale
+		t.Fatalf("items = %d", got)
+	}
+	if got := count("person"); got != 10 { // 5·scale
+		t.Fatalf("persons = %d", got)
+	}
+	if got := count("open_auction"); got != 6 { // 3·scale
+		t.Fatalf("auctions = %d", got)
+	}
+	// Deterministic.
+	if XMarkLite(2, 11).String() != d.String() {
+		t.Fatal("xmark not deterministic")
+	}
+	// Scale grows the document.
+	if XMarkLite(4, 11).CountNodes() <= d.CountNodes() {
+		t.Fatal("scale did not grow the document")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	for _, dist := range []Dist{Uniform, Append, Front, Hotspot} {
+		p := NewPositions(dist, 3)
+		for n := 0; n < 2000; n++ {
+			pos := p.Next(n)
+			if pos < 0 || pos > n {
+				t.Fatalf("%v: pos %d out of [0,%d]", dist, pos, n)
+			}
+			switch dist {
+			case Append:
+				if pos != n {
+					t.Fatalf("append pos = %d, want %d", pos, n)
+				}
+			case Front:
+				if pos != 0 {
+					t.Fatalf("front pos = %d", pos)
+				}
+			}
+		}
+	}
+	// Hotspot really clusters.
+	p := NewPositions(Hotspot, 4)
+	n := 3000
+	hits := 0
+	for i := 0; i < 500; i++ {
+		pos := p.Next(n)
+		if pos > n/3-20 && pos < n/3+20 {
+			hits++
+		}
+	}
+	if hits < 450 {
+		t.Fatalf("hotspot spread too wide: %d/500 in band", hits)
+	}
+	// Determinism and names.
+	a, b := NewPositions(Uniform, 9), NewPositions(Uniform, 9)
+	for i := 1; i < 100; i++ {
+		if a.Next(i) != b.Next(i) {
+			t.Fatal("positions not deterministic")
+		}
+	}
+	if Uniform.String() != "uniform" || Hotspot.String() != "hotspot" {
+		t.Fatal("names wrong")
+	}
+}

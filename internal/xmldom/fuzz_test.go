@@ -1,0 +1,35 @@
+package xmldom
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes to the XML parser: it must never panic,
+// and any document it accepts must survive serialize → parse → serialize
+// as a fixed point.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`<a/>`, `<a><b>t</b></a>`, `<a k="v">x&amp;y</a>`, `<a><a><a/></a></a>`,
+		`<a`, `</a>`, `<a></b>`, `text`, `<a><!-- c --><b/></a>`, `<?xml version="1.0"?><r/>`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(strings.NewReader(src), ParseOptions{KeepWhitespace: true})
+		if err != nil {
+			return
+		}
+		if err := d.Check(); err != nil {
+			t.Fatalf("accepted document fails Check: %v", err)
+		}
+		once := d.String()
+		d2, err := ParseString(once, ParseOptions{KeepWhitespace: true})
+		if err != nil {
+			t.Fatalf("serialization of accepted input does not re-parse: %v\n%q", err, once)
+		}
+		if twice := d2.String(); twice != once {
+			t.Fatalf("serialization not a fixed point:\n%q\nvs\n%q", once, twice)
+		}
+	})
+}

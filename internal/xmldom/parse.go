@@ -1,0 +1,174 @@
+package xmldom
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseOptions tune the parser.
+type ParseOptions struct {
+	// KeepWhitespace retains whitespace-only text sections. The default
+	// drops them, matching how labeled XML stores usually tokenize.
+	KeepWhitespace bool
+}
+
+// Parse reads an XML document into the DOM. Comments, processing
+// instructions and directives are skipped; namespaces are flattened into
+// plain local names (prefix:local becomes local).
+func Parse(r io.Reader, opts ...ParseOptions) (*Document, error) {
+	var opt ParseOptions
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldom: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			attrs := make([]Attr, 0, len(t.Attr))
+			for _, a := range t.Attr {
+				attrs = append(attrs, Attr{a.Name.Local, a.Value})
+			}
+			el := NewElement(t.Name.Local, attrs...)
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, errors.New("xmldom: multiple root elements")
+				}
+				root = el
+			} else if err := stack[len(stack)-1].AppendChild(el); err != nil {
+				return nil, err
+			}
+			stack = append(stack, el)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, errors.New("xmldom: unbalanced end tag")
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue // prolog whitespace
+			}
+			text := string(t)
+			if !opt.KeepWhitespace && strings.TrimSpace(text) == "" {
+				continue
+			}
+			if err := stack[len(stack)-1].AppendChild(NewText(text)); err != nil {
+				return nil, err
+			}
+		default:
+			// Comments, directives and processing instructions carry no
+			// document order of interest here.
+		}
+	}
+	if root == nil {
+		return nil, errors.New("xmldom: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, errors.New("xmldom: unclosed elements")
+	}
+	return &Document{Root: root}, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string, opts ...ParseOptions) (*Document, error) {
+	return Parse(strings.NewReader(s), opts...)
+}
+
+// Write serializes the document compactly with correct escaping.
+func (d *Document) Write(w io.Writer) error {
+	return writeNode(w, d.Root)
+}
+
+func writeNode(w io.Writer, n *Node) error {
+	switch n.kind {
+	case Text:
+		return escapeInto(w, n.data)
+	case Element:
+		if _, err := io.WriteString(w, "<"+n.tag); err != nil {
+			return err
+		}
+		for _, a := range n.attr {
+			if _, err := io.WriteString(w, " "+a.Name+`="`); err != nil {
+				return err
+			}
+			if err := escapeInto(w, a.Value); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, `"`); err != nil {
+				return err
+			}
+		}
+		if len(n.children) == 0 {
+			_, err := io.WriteString(w, "/>")
+			return err
+		}
+		if _, err := io.WriteString(w, ">"); err != nil {
+			return err
+		}
+		for _, c := range n.children {
+			if err := writeNode(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "</"+n.tag+">")
+		return err
+	default:
+		return fmt.Errorf("xmldom: unknown node kind %d", n.kind)
+	}
+}
+
+func escapeInto(w io.Writer, s string) error {
+	return xml.EscapeText(w, []byte(s))
+}
+
+// TokenKind discriminates the token stream entries.
+type TokenKind int
+
+// Token kinds: an element contributes Begin and End, a text node TextTok.
+const (
+	Begin TokenKind = iota
+	End
+	TextTok
+)
+
+// Token is one entry of the document's ordered tag list (paper §2: "a
+// linear ordered list of begin tags, end tags, and text sections").
+type Token struct {
+	Kind TokenKind
+	Node *Node
+}
+
+// Tokens returns the document's full token stream in document order.
+func (d *Document) Tokens() []Token {
+	return SubtreeTokens(d.Root)
+}
+
+// SubtreeTokens returns the token stream of n's subtree in document order.
+func SubtreeTokens(n *Node) []Token {
+	out := make([]Token, 0, n.CountTokens())
+	var walk func(v *Node)
+	walk = func(v *Node) {
+		if v.kind == Text {
+			out = append(out, Token{TextTok, v})
+			return
+		}
+		out = append(out, Token{Begin, v})
+		for _, c := range v.children {
+			walk(c)
+		}
+		out = append(out, Token{End, v})
+	}
+	walk(n)
+	return out
+}

@@ -1,0 +1,102 @@
+package xmldom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildRandom constructs a random document tree directly (not via the
+// parser), including hostile text and attribute values.
+func buildRandom(rng *rand.Rand, budget int) *Document {
+	payloads := []string{
+		"plain", "with space", "<angle>", "a&b", `"quoted"`, "'single'",
+		"tab\there", "uni-é世", "]]>", "",
+	}
+	tags := []string{"a", "b", "cd", "e-f", "g_h"}
+	root := NewElement("root")
+	nodes := []*Node{root}
+	for i := 0; i < budget; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		if parent.Kind() != Element {
+			continue
+		}
+		if rng.Intn(3) == 0 {
+			txt := payloads[rng.Intn(len(payloads))]
+			if txt == "" {
+				continue // empty text nodes do not round-trip (no bytes)
+			}
+			_ = parent.AppendChild(NewText(txt))
+			continue
+		}
+		el := NewElement(tags[rng.Intn(len(tags))])
+		if rng.Intn(2) == 0 {
+			el.SetAttr("k", payloads[rng.Intn(len(payloads))])
+		}
+		_ = parent.AppendChild(el)
+		nodes = append(nodes, el)
+	}
+	d, _ := NewDocument(root)
+	return d
+}
+
+// equal compares two documents structurally.
+func equal(a, b *Node) bool {
+	if a.Kind() != b.Kind() || a.Tag() != b.Tag() || a.Data() != b.Data() {
+		return false
+	}
+	if len(a.Attrs()) != len(b.Attrs()) {
+		return false
+	}
+	for _, attr := range a.Attrs() {
+		v, ok := b.Attr(attr.Name)
+		if !ok || v != attr.Value {
+			return false
+		}
+	}
+	if a.NumChildren() != b.NumChildren() {
+		return false
+	}
+	for i := 0; i < a.NumChildren(); i++ {
+		if !equal(a.Child(i), b.Child(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickSerializeParseRoundTrip: serialize → parse preserves any
+// generated document (textual coalescing aside: the generator never
+// creates adjacent text siblings, matching parser output invariants).
+func TestQuickSerializeParseRoundTrip(t *testing.T) {
+	prop := func(seed int64, sizeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := buildRandom(rng, int(sizeRaw)%60+5)
+		// The generator may create adjacent texts; merge them the way a
+		// parser would before comparing.
+		mergeAdjacentTexts(d.Root)
+		out := d.String()
+		back, err := ParseString(out, ParseOptions{KeepWhitespace: true})
+		if err != nil {
+			return false
+		}
+		return equal(d.Root, back.Root)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mergeAdjacentTexts coalesces sibling text nodes in place.
+func mergeAdjacentTexts(n *Node) {
+	for i := 0; i < n.NumChildren(); {
+		c := n.Child(i)
+		if c.Kind() == Text && i+1 < n.NumChildren() && n.Child(i+1).Kind() == Text {
+			c.SetData(c.Data() + n.Child(i+1).Data())
+			n.Child(i + 1).Detach()
+			continue
+		}
+		mergeAdjacentTexts(c)
+		i++
+	}
+}

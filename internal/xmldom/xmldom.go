@@ -1,0 +1,288 @@
+// Package xmldom provides the ordered XML document model the L-Tree labels
+// operate on: a mutable tree of element and text nodes with stable parent/
+// child links, a parser over encoding/xml, a serializer, and the begin/
+// end/text token view of the document (the paper's ordered list of tags,
+// §2).
+//
+// The model is deliberately minimal — elements, attributes and text; no
+// comments, processing instructions or namespaces — because the labeling
+// problem only concerns the ordered tree shape.
+package xmldom
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates node types.
+type Kind int
+
+// Node kinds.
+const (
+	Element Kind = iota
+	Text
+)
+
+// Attr is one element attribute.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is an element or text node. The zero value is not usable; construct
+// with NewElement or NewText. Tree edits go through the methods below so
+// parent/child links stay consistent.
+type Node struct {
+	kind     Kind
+	tag      string // element name
+	data     string // text payload
+	attr     []Attr
+	parent   *Node
+	children []*Node
+}
+
+// Errors returned by tree edits.
+var (
+	ErrAttached = errors.New("xmldom: node is already attached to a parent")
+	ErrDetached = errors.New("xmldom: node has no parent")
+	ErrCycle    = errors.New("xmldom: insertion would create a cycle")
+	ErrTextKids = errors.New("xmldom: text nodes cannot have children")
+	ErrRange    = errors.New("xmldom: child index out of range")
+)
+
+// NewElement returns a fresh detached element node.
+func NewElement(tag string, attrs ...Attr) *Node {
+	return &Node{kind: Element, tag: tag, attr: attrs}
+}
+
+// NewText returns a fresh detached text node.
+func NewText(data string) *Node {
+	return &Node{kind: Text, data: data}
+}
+
+// Kind returns the node kind.
+func (n *Node) Kind() Kind { return n.kind }
+
+// Tag returns the element name ("" for text nodes).
+func (n *Node) Tag() string { return n.tag }
+
+// Data returns the text payload ("" for elements).
+func (n *Node) Data() string { return n.data }
+
+// SetData replaces the text payload of a text node.
+func (n *Node) SetData(s string) { n.data = s }
+
+// Attrs returns the attribute list (shared slice; treat as read-only).
+func (n *Node) Attrs() []Attr { return n.attr }
+
+// Attr returns the value of the named attribute.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.attr {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// SetAttr sets (or adds) an attribute.
+func (n *Node) SetAttr(name, value string) {
+	for i := range n.attr {
+		if n.attr[i].Name == name {
+			n.attr[i].Value = value
+			return
+		}
+	}
+	n.attr = append(n.attr, Attr{name, value})
+}
+
+// Parent returns the parent node (nil for a detached node or the root).
+func (n *Node) Parent() *Node { return n.parent }
+
+// NumChildren returns the number of children.
+func (n *Node) NumChildren() int { return len(n.children) }
+
+// Child returns the i-th child, or nil when out of range.
+func (n *Node) Child(i int) *Node {
+	if i < 0 || i >= len(n.children) {
+		return nil
+	}
+	return n.children[i]
+}
+
+// Children returns a copy of the child slice.
+func (n *Node) Children() []*Node {
+	out := make([]*Node, len(n.children))
+	copy(out, n.children)
+	return out
+}
+
+// Index returns the node's position among its siblings (-1 if detached).
+func (n *Node) Index() int {
+	if n.parent == nil {
+		return -1
+	}
+	for i, c := range n.parent.children {
+		if c == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// Level returns the node's depth: 0 for a detached/root node.
+func (n *Node) Level() int {
+	d := 0
+	for v := n.parent; v != nil; v = v.parent {
+		d++
+	}
+	return d
+}
+
+// InsertChildAt splices the detached node c as n's i-th child.
+func (n *Node) InsertChildAt(i int, c *Node) error {
+	if n.kind == Text {
+		return ErrTextKids
+	}
+	if c.parent != nil {
+		return ErrAttached
+	}
+	if i < 0 || i > len(n.children) {
+		return ErrRange
+	}
+	for v := n; v != nil; v = v.parent {
+		if v == c {
+			return ErrCycle
+		}
+	}
+	n.children = append(n.children, nil)
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = c
+	c.parent = n
+	return nil
+}
+
+// AppendChild splices the detached node c as n's last child.
+func (n *Node) AppendChild(c *Node) error {
+	return n.InsertChildAt(len(n.children), c)
+}
+
+// InsertSiblingAfter splices the detached node c right after n.
+func (n *Node) InsertSiblingAfter(c *Node) error {
+	if n.parent == nil {
+		return ErrDetached
+	}
+	return n.parent.InsertChildAt(n.Index()+1, c)
+}
+
+// InsertSiblingBefore splices the detached node c right before n.
+func (n *Node) InsertSiblingBefore(c *Node) error {
+	if n.parent == nil {
+		return ErrDetached
+	}
+	return n.parent.InsertChildAt(n.Index(), c)
+}
+
+// Detach removes the node from its parent (no-op when already detached).
+func (n *Node) Detach() {
+	p := n.parent
+	if p == nil {
+		return
+	}
+	i := n.Index()
+	copy(p.children[i:], p.children[i+1:])
+	p.children[len(p.children)-1] = nil
+	p.children = p.children[:len(p.children)-1]
+	n.parent = nil
+}
+
+// Walk visits n and every descendant in document order until fn returns
+// false; it reports whether the walk ran to completion.
+func (n *Node) Walk(fn func(*Node) bool) bool {
+	if !fn(n) {
+		return false
+	}
+	for _, c := range n.children {
+		if !c.Walk(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subtree size helpers.
+
+// CountNodes returns the number of nodes in n's subtree (including n).
+func (n *Node) CountNodes() int {
+	total := 0
+	n.Walk(func(*Node) bool { total++; return true })
+	return total
+}
+
+// CountTokens returns the number of L-Tree leaves n's subtree occupies:
+// two per element (begin and end tag) and one per text section (§2).
+func (n *Node) CountTokens() int {
+	total := 0
+	n.Walk(func(v *Node) bool {
+		if v.kind == Element {
+			total += 2
+		} else {
+			total++
+		}
+		return true
+	})
+	return total
+}
+
+// Document is a parsed XML document with a single root element.
+type Document struct {
+	Root *Node
+}
+
+// NewDocument wraps a detached element as a document root.
+func NewDocument(root *Node) (*Document, error) {
+	if root == nil || root.kind != Element || root.parent != nil {
+		return nil, errors.New("xmldom: document root must be a detached element")
+	}
+	return &Document{Root: root}, nil
+}
+
+// CountNodes returns the number of nodes in the document.
+func (d *Document) CountNodes() int { return d.Root.CountNodes() }
+
+// CountTokens returns the document's token count (= L-Tree leaves).
+func (d *Document) CountTokens() int { return d.Root.CountTokens() }
+
+// Check validates parent/child link consistency across the document.
+func (d *Document) Check() error {
+	if d.Root == nil {
+		return errors.New("xmldom: nil root")
+	}
+	if d.Root.parent != nil {
+		return errors.New("xmldom: root has a parent")
+	}
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n.kind == Text && len(n.children) > 0 {
+			return fmt.Errorf("xmldom: text node %q has children", n.data)
+		}
+		for _, c := range n.children {
+			if c.parent != n {
+				return fmt.Errorf("xmldom: broken parent link under <%s>", n.tag)
+			}
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(d.Root)
+}
+
+// String renders the document compactly (see Write).
+func (d *Document) String() string {
+	var b strings.Builder
+	_ = d.Write(&b)
+	return b.String()
+}

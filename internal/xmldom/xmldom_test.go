@@ -1,0 +1,251 @@
+package xmldom
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const sample = `<book year="2004"><chapter><title>L-Trees</title>text</chapter><title>Other</title></book>`
+
+func TestParseBasics(t *testing.T) {
+	d, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Check(); err != nil {
+		t.Fatal(err)
+	}
+	root := d.Root
+	if root.Tag() != "book" {
+		t.Fatalf("root = %q", root.Tag())
+	}
+	if v, ok := root.Attr("year"); !ok || v != "2004" {
+		t.Fatalf("year = %q/%v", v, ok)
+	}
+	if root.NumChildren() != 2 {
+		t.Fatalf("children = %d", root.NumChildren())
+	}
+	ch := root.Child(0)
+	if ch.Tag() != "chapter" || ch.Level() != 1 || ch.Index() != 0 {
+		t.Fatalf("chapter wrong: %q level %d idx %d", ch.Tag(), ch.Level(), ch.Index())
+	}
+	title := ch.Child(0)
+	if title.Tag() != "title" || title.Child(0).Data() != "L-Trees" {
+		t.Fatal("title wrong")
+	}
+	if txt := ch.Child(1); txt.Kind() != Text || txt.Data() != "text" {
+		t.Fatalf("text node wrong: %v %q", txt.Kind(), txt.Data())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`<a><b></a></b>`,
+		`<a></a><b></b>`,
+		`<a>`,
+		`garbage`,
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("ParseString(%q) should fail", c)
+		}
+	}
+}
+
+func TestParseWhitespace(t *testing.T) {
+	src := "<a>\n  <b/>\n</a>"
+	d, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root.NumChildren() != 1 {
+		t.Fatalf("whitespace kept: %d children", d.Root.NumChildren())
+	}
+	d2, err := ParseString(src, ParseOptions{KeepWhitespace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Root.NumChildren() != 3 {
+		t.Fatalf("whitespace dropped: %d children", d2.Root.NumChildren())
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	d, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d.String()
+	d2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", out, err)
+	}
+	if d2.String() != out {
+		t.Fatalf("unstable serialization: %q vs %q", out, d2.String())
+	}
+	if d2.CountTokens() != d.CountTokens() {
+		t.Fatal("token count changed in round trip")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	root := NewElement("a", Attr{"k", `<&">`})
+	if err := root.AppendChild(NewText("x<y & z")); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDocument(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := d.String()
+	back, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", out, err)
+	}
+	if got, _ := back.Root.Attr("k"); got != `<&">` {
+		t.Fatalf("attr escape broken: %q", got)
+	}
+	if got := back.Root.Child(0).Data(); got != "x<y & z" {
+		t.Fatalf("text escape broken: %q", got)
+	}
+}
+
+func TestEdits(t *testing.T) {
+	root := NewElement("r")
+	a := NewElement("a")
+	b := NewElement("b")
+	c := NewElement("c")
+	if err := root.AppendChild(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.InsertSiblingAfter(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InsertSiblingBefore(b); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := NewDocument(root)
+	if got := d.String(); got != "<r><a/><b/><c/></r>" {
+		t.Fatalf("edit order wrong: %s", got)
+	}
+	// Error paths.
+	if err := root.AppendChild(a); !errors.Is(err, ErrAttached) {
+		t.Fatalf("AppendChild attached = %v", err)
+	}
+	if err := a.AppendChild(root); !errors.Is(err, ErrCycle) {
+		t.Fatalf("appending an ancestor = %v, want ErrCycle", err)
+	}
+	root.Detach() // no-op
+	b.Detach()
+	if got := d.String(); got != "<r><a/><c/></r>" {
+		t.Fatalf("detach wrong: %s", got)
+	}
+	x := NewElement("x")
+	y := NewElement("y")
+	if err := x.AppendChild(y); err != nil {
+		t.Fatal(err)
+	}
+	if err := y.AppendChild(x); !errors.Is(err, ErrCycle) {
+		t.Fatalf("cycle = %v", err)
+	}
+	txt := NewText("t")
+	if err := txt.AppendChild(NewElement("z")); !errors.Is(err, ErrTextKids) {
+		t.Fatalf("text child = %v", err)
+	}
+	if err := root.InsertChildAt(5, NewElement("z")); !errors.Is(err, ErrRange) {
+		t.Fatalf("range = %v", err)
+	}
+}
+
+func TestTokens(t *testing.T) {
+	d, err := ParseString(`<a><b>hi</b><c/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toks := d.Tokens()
+	want := []struct {
+		kind TokenKind
+		name string
+	}{
+		{Begin, "a"}, {Begin, "b"}, {TextTok, "hi"}, {End, "b"},
+		{Begin, "c"}, {End, "c"}, {End, "a"},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("%d tokens, want %d", len(toks), len(want))
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind {
+			t.Fatalf("token %d kind %d, want %d", i, toks[i].Kind, w.kind)
+		}
+		name := toks[i].Node.Tag()
+		if w.kind == TextTok {
+			name = toks[i].Node.Data()
+		}
+		if name != w.name {
+			t.Fatalf("token %d name %q, want %q", i, name, w.name)
+		}
+	}
+	if d.CountTokens() != len(want) {
+		t.Fatalf("CountTokens = %d", d.CountTokens())
+	}
+	if d.CountNodes() != 4 {
+		t.Fatalf("CountNodes = %d", d.CountNodes())
+	}
+}
+
+func TestSetAttrAndData(t *testing.T) {
+	e := NewElement("e")
+	e.SetAttr("a", "1")
+	e.SetAttr("a", "2")
+	e.SetAttr("b", "3")
+	if v, _ := e.Attr("a"); v != "2" {
+		t.Fatalf("a = %q", v)
+	}
+	if len(e.Attrs()) != 2 {
+		t.Fatalf("attrs = %d", len(e.Attrs()))
+	}
+	txt := NewText("x")
+	txt.SetData("y")
+	if txt.Data() != "y" {
+		t.Fatal("SetData failed")
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	d, _ := ParseString(`<a><b/><c/><d/></a>`)
+	count := 0
+	d.Root.Walk(func(n *Node) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("walked %d", count)
+	}
+}
+
+func TestLargeRoundTrip(t *testing.T) {
+	// Build a moderately deep document programmatically and round-trip it.
+	root := NewElement("root")
+	cur := root
+	for i := 0; i < 50; i++ {
+		next := NewElement("n", Attr{"i", strings.Repeat("x", i%7)})
+		if err := cur.AppendChild(next); err != nil {
+			t.Fatal(err)
+		}
+		if err := cur.AppendChild(NewText("t")); err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	d, _ := NewDocument(root)
+	out := d.String()
+	back, err := ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.CountTokens() != d.CountTokens() {
+		t.Fatalf("token mismatch: %d vs %d", back.CountTokens(), d.CountTokens())
+	}
+}

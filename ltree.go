@@ -1,0 +1,84 @@
+package ltree
+
+import (
+	"io"
+
+	"github.com/ltree-db/ltree/internal/core"
+	"github.com/ltree-db/ltree/internal/document"
+	"github.com/ltree-db/ltree/internal/stats"
+	"github.com/ltree-db/ltree/internal/virtual"
+	"github.com/ltree-db/ltree/internal/xmldom"
+)
+
+// Params selects the L-Tree shape (the paper's f and s): s ≥ 2 pieces per
+// split, rebuild arity f/s ≥ 2 (f a multiple of s). Larger f trades label
+// bits for fewer relabelings; see the tuning helpers in Analyze*.
+type Params = core.Params
+
+// DefaultParams is a balanced general-purpose choice: with f=8, s=2 the
+// tree rebuilds 4-ary, labels stay near word width for realistic document
+// sizes, and the measured amortized cost sits close to the §3.2 optimum
+// across 10^4–10^7 tags.
+var DefaultParams = Params{F: 8, S: 2}
+
+// Tree is the materialized L-Tree over abstract ordered slots (paper §2).
+// Use it directly when labeling non-XML ordered lists.
+type Tree = core.Tree
+
+// Node is a slot of a Tree; its Num() is the label.
+type Node = core.Node
+
+// Virtual is the virtual L-Tree (paper §4.2): only the labels are stored,
+// in a counted B-tree; the structure is implicit in their radix-(f−1)
+// digits. It emits exactly the same labels as Tree.
+type Virtual = virtual.Tree
+
+// Counters are the maintenance cost counters every structure reports
+// (ancestor updates, relabeled nodes, splits — the paper's cost units).
+type Counters = stats.Counters
+
+// Document is a labeled XML document: every begin/end tag and text
+// section owns an L-Tree leaf (paper §2.1). Most callers want Store.
+type Document = document.Doc
+
+// Label is an element's (begin, end) interval. Containment is ancestry.
+type Label = document.Label
+
+// Elem is an XML node (element or text) of a Document.
+type Elem = xmldom.Node
+
+// Attr is an XML attribute.
+type Attr = xmldom.Attr
+
+// XMLDocument is the unlabeled XML DOM (parse/edit/serialize).
+type XMLDocument = xmldom.Document
+
+// Re-exported sentinel errors.
+var (
+	ErrBadParams     = core.ErrBadParams
+	ErrNotLeaf       = core.ErrNotLeaf
+	ErrLabelOverflow = core.ErrLabelOverflow
+	ErrUnbound       = document.ErrUnbound
+	ErrRootEdit      = document.ErrRootEdit
+)
+
+// New returns an empty materialized L-Tree.
+func New(p Params) (*Tree, error) { return core.New(p) }
+
+// NewVirtual returns an empty virtual L-Tree.
+func NewVirtual(p Params) (*Virtual, error) { return virtual.New(p) }
+
+// ParseXML parses an XML document without labeling it (pure DOM).
+func ParseXML(r io.Reader) (*XMLDocument, error) { return xmldom.Parse(r) }
+
+// NewElement returns a detached element for subtree construction.
+func NewElement(tag string, attrs ...Attr) *Elem { return xmldom.NewElement(tag, attrs...) }
+
+// NewText returns a detached text node.
+func NewText(data string) *Elem { return xmldom.NewText(data) }
+
+// LoadDocument labels a parsed XML document (lower-level than Open: no
+// index caching, no locking).
+func LoadDocument(x *XMLDocument, p Params) (*Document, error) {
+	return document.Load(x, p)
+}

@@ -1,0 +1,257 @@
+package ltree
+
+import (
+	"io"
+	"strings"
+	"sync"
+
+	"github.com/ltree-db/ltree/internal/document"
+	"github.com/ltree-db/ltree/internal/query"
+	"github.com/ltree-db/ltree/internal/xmldom"
+)
+
+// Store is the high-level entry point: a labeled XML document with cached
+// query indexes and a read-write lock, safe for concurrent readers with
+// exclusive writers. Queries run on the label-based structural-join plan;
+// updates maintain the labels through the L-Tree and lazily invalidate the
+// index cache.
+type Store struct {
+	mu    sync.RWMutex
+	doc   *document.Doc
+	idx   document.TagIndex
+	dirty bool
+}
+
+// Open parses and labels an XML document.
+func Open(r io.Reader, p Params) (*Store, error) {
+	doc, err := document.Parse(r, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{doc: doc, dirty: true}, nil
+}
+
+// OpenString is Open over a string.
+func OpenString(src string, p Params) (*Store, error) {
+	return Open(strings.NewReader(src), p)
+}
+
+// FromDocument wraps an already-labeled document.
+func FromDocument(doc *Document) *Store {
+	return &Store{doc: doc, dirty: true}
+}
+
+// Document exposes the underlying labeled document. The caller must not
+// mutate it while other goroutines use the Store.
+func (s *Store) Document() *Document { return s.doc }
+
+// Root returns the document's root element.
+func (s *Store) Root() *Elem { return s.doc.X.Root }
+
+// index returns the tag index, rebuilding it if updates invalidated it.
+// Callers hold at least the read lock; the rebuild path upgrades.
+func (s *Store) index() document.TagIndex {
+	if !s.dirty {
+		return s.idx
+	}
+	s.idx = s.doc.BuildTagIndex()
+	s.dirty = false
+	return s.idx
+}
+
+// Query evaluates a path expression ("/site//item/name", "book//title",
+// "//*") with label-based structural joins and returns matches in
+// document order.
+func (s *Store) Query(expr string) ([]*Elem, error) {
+	p, err := query.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock() // index() may rebuild; keep locking simple and exclusive
+	defer s.mu.Unlock()
+	return query.Join(s.doc, s.index(), p), nil
+}
+
+// QueryNav evaluates the same path by plain navigation (no labels) — the
+// reference evaluator, useful for cross-checking and benchmarks.
+func (s *Store) QueryNav(expr string) ([]*Elem, error) {
+	p, err := query.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return query.Nav(s.doc, p), nil
+}
+
+// Label returns the node's current (begin, end) label.
+func (s *Store) Label(n *Elem) (Label, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.doc.Label(n)
+}
+
+// IsAncestor decides ancestry purely from labels (the paper's containment
+// test).
+func (s *Store) IsAncestor(a, d *Elem) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.doc.IsAncestor(a, d)
+}
+
+// Compare orders two nodes by document order using labels only.
+func (s *Store) Compare(a, b *Elem) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.doc.Compare(a, b)
+}
+
+// InsertElement creates and labels an empty element as parent's idx-th
+// child.
+func (s *Store) InsertElement(parent *Elem, idx int, tag string, attrs ...Attr) (*Elem, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, err := s.doc.InsertElement(parent, idx, tag, attrs...)
+	if err == nil {
+		s.dirty = true
+	}
+	return el, err
+}
+
+// InsertText creates and labels a text node as parent's idx-th child.
+func (s *Store) InsertText(parent *Elem, idx int, data string) (*Elem, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	txt, err := s.doc.InsertText(parent, idx, data)
+	if err == nil {
+		s.dirty = true
+	}
+	return txt, err
+}
+
+// InsertSubtree splices a detached subtree (built with NewElement/NewText
+// or parsed via ParseXML) as parent's idx-th child, labeling all of its
+// tags with one bulk run insertion (paper §4.1).
+func (s *Store) InsertSubtree(parent *Elem, idx int, sub *Elem) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.doc.InsertSubtree(parent, idx, sub)
+	if err == nil {
+		s.dirty = true
+	}
+	return err
+}
+
+// InsertXML parses an XML fragment and splices it as parent's idx-th
+// child in one bulk insertion.
+func (s *Store) InsertXML(parent *Elem, idx int, fragment string) (*Elem, error) {
+	frag, err := xmldom.ParseString(fragment)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.doc.InsertSubtree(parent, idx, frag.Root); err != nil {
+		return nil, err
+	}
+	s.dirty = true
+	return frag.Root, nil
+}
+
+// Delete detaches a subtree; its labels become tombstones and nothing is
+// relabeled (paper §2.3).
+func (s *Store) Delete(n *Elem) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.doc.DeleteSubtree(n)
+	if err == nil {
+		s.dirty = true
+	}
+	return err
+}
+
+// Move relocates a subtree to become parent's idx-th child, preserving
+// node identities: the old labels become tombstones and the subtree is
+// relabeled at the target with one bulk run.
+func (s *Store) Move(n, parent *Elem, idx int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.doc.Move(n, parent, idx)
+	if err == nil {
+		s.dirty = true
+	}
+	return err
+}
+
+// Snapshot serializes the store — DOM plus exact label state — so that
+// Restore brings it back with bit-identical labels (no relabeling on
+// restart; the tree structure is implicit in the labels, paper §4.2).
+func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.doc.Snapshot(w)
+}
+
+// Restore reconstructs a Store from a Snapshot stream.
+func Restore(r io.Reader) (*Store, error) {
+	doc, err := document.Restore(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{doc: doc, dirty: true}, nil
+}
+
+// Compact rebuilds the label tree without tombstones (extension; see
+// DESIGN.md §2.3).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.doc.CompactLabels()
+	if err == nil {
+		s.dirty = true
+	}
+	return err
+}
+
+// Elements returns the elements with the given tag ("*" = all) in
+// document order.
+func (s *Store) Elements(tag string) []*Elem {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.doc.Elements(tag)
+}
+
+// Stats returns the accumulated maintenance counters.
+func (s *Store) Stats() Counters {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.doc.Stats()
+}
+
+// BitsPerLabel returns the current label width in bits.
+func (s *Store) BitsPerLabel() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.doc.Tree().BitsPerLabel()
+}
+
+// Write serializes the current document.
+func (s *Store) Write(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.doc.X.Write(w)
+}
+
+// String serializes the current document to a string.
+func (s *Store) String() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.doc.X.String()
+}
+
+// Check runs the full invariant suite (labels, binding, structure).
+func (s *Store) Check() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.doc.Check()
+}

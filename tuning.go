@@ -1,0 +1,66 @@
+package ltree
+
+import "github.com/ltree-db/ltree/internal/analysis"
+
+// Tuning (paper §3.2): closed-form cost model and parameter selection.
+// All helpers use the reconstructed formulas of DESIGN.md §2.2 and search
+// the feasible integer lattice s ≥ 2, f = r·s, r ≥ 2, f ≤ maxF.
+
+// maxF bounds the parameter search; beyond it the +f term always loses.
+const maxF = 256
+
+// Suggestion is a recommended parameter choice with its predictions.
+type Suggestion struct {
+	Params Params
+	// Cost is the predicted amortized nodes-touched per insertion.
+	Cost float64
+	// Bits is the predicted label width for the given document size.
+	Bits float64
+}
+
+func toSuggestion(c analysis.Choice) Suggestion {
+	return Suggestion{Params: Params{F: c.F, S: c.S}, Cost: c.Cost, Bits: c.Bits}
+}
+
+// SuggestParams returns the update-cost-optimal parameters for documents
+// of about n tags (§3.2, "Minimize the Update Cost").
+func SuggestParams(n int) Suggestion {
+	return toSuggestion(analysis.MinimizeCost(float64(n), maxF))
+}
+
+// SuggestParamsUnderBits returns the cheapest parameters whose labels fit
+// the bit budget (§3.2, "Minimize the Update Cost for Given Number of
+// Bits").
+func SuggestParamsUnderBits(n, budgetBits int) (Suggestion, error) {
+	c, err := analysis.MinimizeCostUnderBits(float64(n), float64(budgetBits), maxF)
+	if err != nil {
+		return Suggestion{}, err
+	}
+	return toSuggestion(c), nil
+}
+
+// SuggestParamsMixed returns parameters minimizing the combined
+// query+update cost for a workload with the given query fraction and
+// machine word width (§3.2, "Minimize the Overall Cost of Query and
+// Updates").
+func SuggestParamsMixed(n int, queryFrac float64, wordBits int) Suggestion {
+	return toSuggestion(analysis.MinimizeMixed(float64(n), queryFrac, float64(wordBits), maxF))
+}
+
+// PredictCost evaluates the §3.1 amortized-cost bound for given
+// parameters and document size.
+func PredictCost(p Params, n int) float64 {
+	return analysis.UpdateCost(float64(p.F), float64(p.S), float64(n))
+}
+
+// PredictBits evaluates the label-width bound for given parameters and
+// document size.
+func PredictBits(p Params, n int) float64 {
+	return analysis.LabelBits(float64(p.F), float64(p.S), float64(n))
+}
+
+// PredictBulkCost evaluates the §4.1 per-leaf bound for run insertions of
+// k leaves.
+func PredictBulkCost(p Params, n, k int) float64 {
+	return analysis.BulkCost(float64(p.F), float64(p.S), float64(n), float64(k))
+}
