@@ -9,6 +9,7 @@ package ltree
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"github.com/ltree-db/ltree/internal/core"
@@ -333,4 +334,71 @@ func BenchmarkStore(b *testing.B) {
 			}
 		}
 	})
+}
+
+// -------------------------------------------------------- E14 concurrency
+
+// BenchmarkStoreConcurrentQuery measures the engine's read path under
+// parallelism: GOMAXPROCS readers issue queries against the published
+// copy-on-write index, optionally with a background writer committing
+// inserts and deletes the whole time. The seed's exclusive-lock path made
+// the with-writer variant collapse to single-file throughput; now readers
+// only share an RLock and the index version they loaded.
+func BenchmarkStoreConcurrentQuery(b *testing.B) {
+	for _, withWriter := range []bool{false, true} {
+		name := "readonly"
+		if withWriter {
+			name = "with-writer"
+		}
+		b.Run(name, func(b *testing.B) {
+			x := workload.XMarkLite(20, 1)
+			st, err := OpenString(x.String(), DefaultParams)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var stop chan struct{}
+			var wg sync.WaitGroup
+			if withWriter {
+				// Population-stationary writer: inserting item subtrees and
+				// deleting random items keeps the workload alive for the
+				// whole run instead of draining the tag.
+				region := st.Elements("asia")[0]
+				stop = make(chan struct{})
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(6))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if rng.Intn(2) == 0 {
+							_, _ = st.InsertXML(region, 0, `<item><name>fresh</name></item>`)
+						} else if items := st.Elements("item"); len(items) > 0 {
+							_ = st.Delete(items[rng.Intn(len(items))])
+						}
+					}
+				}()
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := st.Query("//item/name"); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if withWriter {
+				close(stop)
+				wg.Wait()
+			}
+			if err := st.Check(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
 }

@@ -47,6 +47,7 @@ var experiments = []experiment{
 	{"delete", "§2.3: deletions relabel nothing; compaction", expDelete},
 	{"disk", "§3.1 cost unit: simulated disk accesses under an LRU pool", expDisk},
 	{"radix", "ablation: tight radix f−1 vs the paper's printed f+1", expRadix},
+	{"concurrent", "engine: concurrent reads over the COW index vs the exclusive-lock path", expConcurrent},
 }
 
 func main() {

@@ -21,8 +21,10 @@
 //
 // # Layers
 //
-//   - Store: concurrency-safe labeled document with cached query indexes
-//     (this file's API; start here).
+//   - Store: the concurrency-first engine — parallel readers over an
+//     immutable copy-on-write tag index, write batches that patch the
+//     index incrementally, versioned snapshots (this file's API; start
+//     here, and see DESIGN.md for the engine layering).
 //   - Tree / Node: the raw materialized L-Tree over abstract list slots
 //     (paper §2), for embedding in other systems.
 //   - Virtual: the B-tree-backed virtual L-Tree (paper §4.2) that stores

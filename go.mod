@@ -1,0 +1,3 @@
+module github.com/ltree-db/ltree
+
+go 1.21

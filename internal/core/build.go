@@ -80,6 +80,9 @@ func (t *Tree) assign(v *Node, num uint64) {
 	v.num = num
 	if v.height == 0 {
 		t.st.RelabeledLeaves++
+		if t.onRelabel != nil {
+			t.onRelabel(v)
+		}
 		return
 	}
 	t.st.RelabeledInternal++

@@ -141,6 +141,8 @@ type Tree struct {
 	pow    []uint64 // pow[h] = radix^h, maintained ≤ maxLabelSpace
 	rpow   []uint64 // rpow[h] = r^h (as uint64; bounded by pow growth)
 	st     stats.Counters
+
+	onRelabel func(*Node) // observer for leaf renumberings (may be nil)
 }
 
 // New returns an empty L-Tree with the given parameters.
@@ -193,6 +195,14 @@ func (t *Tree) BitsPerLabel() int {
 	}
 	return bits
 }
+
+// SetRelabelHook installs an observer called once for every leaf whose
+// number changes, including freshly numbered leaves. Incremental index
+// maintenance hangs off this: a caller that materializes labels elsewhere
+// (e.g. a tag index) learns exactly which slots went stale. The hook runs
+// inside the mutation, so it must not call back into the tree. Pass nil
+// to disable.
+func (t *Tree) SetRelabelHook(fn func(*Node)) { t.onRelabel = fn }
 
 // Stats returns a copy of the maintenance cost counters.
 func (t *Tree) Stats() stats.Counters { return t.st }

@@ -1,0 +1,79 @@
+package document
+
+import (
+	"github.com/ltree-db/ltree/internal/core"
+	"github.com/ltree-db/ltree/internal/xmldom"
+)
+
+// Changes is the index-relevant effect of a batch of document mutations:
+// which elements were bound (inserted), which were unbound (deleted or the
+// removal half of a move), and which kept their identity but had a leaf
+// renumbered by L-Tree maintenance (splits, rebuilds). Text nodes are not
+// recorded — the tag index only stores elements.
+//
+// The three sets are exactly what an incremental tag index needs to patch
+// itself copy-on-write: drop Removed, re-read labels for Touched, insert
+// Added with their fresh labels. A node may appear in more than one set
+// (a moved subtree's elements are Removed and then Added); consumers
+// resolve that by checking whether the node is still bound at apply time.
+type Changes struct {
+	Added   map[*xmldom.Node]struct{}
+	Removed map[*xmldom.Node]struct{}
+	Touched map[*xmldom.Node]struct{}
+}
+
+func newChanges() *Changes {
+	return &Changes{
+		Added:   make(map[*xmldom.Node]struct{}),
+		Removed: make(map[*xmldom.Node]struct{}),
+		Touched: make(map[*xmldom.Node]struct{}),
+	}
+}
+
+// Empty reports whether the batch recorded nothing.
+func (c *Changes) Empty() bool {
+	return c == nil || (len(c.Added) == 0 && len(c.Removed) == 0 && len(c.Touched) == 0)
+}
+
+// TrackChanges starts recording mutations into an internal change set and
+// installs the L-Tree relabel hook so maintenance renumberings are
+// captured too. Call TakeChanges to drain the set. Tracking stays enabled
+// for the lifetime of the document.
+func (d *Doc) TrackChanges() {
+	if d.rec != nil {
+		return
+	}
+	d.rec = newChanges()
+	d.tree.SetRelabelHook(func(lf *core.Node) {
+		n, ok := lf.Payload().(*xmldom.Node)
+		if !ok || n.Kind() != xmldom.Element {
+			return
+		}
+		d.rec.Touched[n] = struct{}{}
+	})
+}
+
+// TakeChanges returns the mutations recorded since the last call and
+// resets the set. It returns nil when tracking is off or nothing changed.
+func (d *Doc) TakeChanges() *Changes {
+	if d.rec == nil || d.rec.Empty() {
+		return nil
+	}
+	out := d.rec
+	d.rec = newChanges()
+	return out
+}
+
+// recordAdded notes a freshly bound element.
+func (d *Doc) recordAdded(n *xmldom.Node) {
+	if d.rec != nil && n.Kind() == xmldom.Element {
+		d.rec.Added[n] = struct{}{}
+	}
+}
+
+// recordRemoved notes an unbound element.
+func (d *Doc) recordRemoved(n *xmldom.Node) {
+	if d.rec != nil && n.Kind() == xmldom.Element {
+		d.rec.Removed[n] = struct{}{}
+	}
+}

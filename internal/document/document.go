@@ -48,6 +48,7 @@ type Doc struct {
 	X    *xmldom.Document
 	tree *core.Tree
 	bind map[*xmldom.Node]binding
+	rec  *Changes // mutation recorder (nil until TrackChanges)
 }
 
 // Load labels an entire XML document via bulk loading (§2.2).
@@ -87,6 +88,7 @@ func (d *Doc) bindTokens(tokens []xmldom.Token, leaves []*core.Node) {
 		case xmldom.Begin:
 			b.begin = lf
 			lf.SetPayload(tok.Node)
+			d.recordAdded(tok.Node)
 		case xmldom.End:
 			b.end = lf
 			lf.SetPayload(tok.Node)
@@ -229,6 +231,7 @@ func (d *Doc) DeleteSubtree(n *xmldom.Node) error {
 			}
 		}
 		delete(d.bind, v)
+		d.recordRemoved(v)
 		return true
 	})
 	if err != nil {
@@ -277,6 +280,7 @@ func (d *Doc) Move(n, parent *xmldom.Node, idx int) error {
 			}
 		}
 		delete(d.bind, v)
+		d.recordRemoved(v)
 		return true
 	})
 	if err != nil {
@@ -310,6 +314,21 @@ type Entry struct {
 // TagIndex maps each element tag to its postings sorted by begin label —
 // the per-tag clustering the paper assumes for query processing (§3.1).
 type TagIndex map[string][]Entry
+
+// Postings returns the begin-sorted posting list for a tag; "*" flattens
+// every element. This makes a plain TagIndex satisfy the query layer's
+// index interface (internal/index provides the incremental variant).
+func (ix TagIndex) Postings(tag string) []Entry {
+	if tag != "*" {
+		return ix[tag]
+	}
+	var all []Entry
+	for _, posts := range ix {
+		all = append(all, posts...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Label.Begin < all[j].Label.Begin })
+	return all
+}
 
 // BuildTagIndex snapshots the current labels into a tag index. It must be
 // rebuilt (or resynced via reltab) after updates that relabel.

@@ -1,49 +1,28 @@
 package document
 
 import (
-	"encoding/gob"
 	"fmt"
 	"io"
 
 	"github.com/ltree-db/ltree/internal/core"
+	"github.com/ltree-db/ltree/internal/storage"
 	"github.com/ltree-db/ltree/internal/xmldom"
 )
 
-// snapshot is the on-wire representation: the DOM (structurally, so token
-// boundaries survive exactly — textual XML would merge adjacent text
-// nodes on reparse) plus the exact L-Tree state (labels, tombstones,
-// height). Nothing else is needed: the tree structure is implicit in the
-// labels (paper §4.2).
-type snapshot struct {
-	Format  int // format version
-	F, S    int
-	Wide    bool
-	Height  int
-	Labels  []uint64
-	Deleted []bool
-	Root    nodeRec
-}
+// This file bridges the labeled document to the persistence layer: it
+// projects a Doc onto storage.Image (the codec-neutral snapshot: exact
+// L-Tree state plus the DOM, nothing more — the tree structure is
+// implicit in the labels, paper §4.2) and rebuilds a Doc from one. The
+// wire formats themselves live in internal/storage.
 
-// snapshotFormat is the current wire version.
-const snapshotFormat = 1
-
-// nodeRec is the gob-friendly recursive DOM image.
-type nodeRec struct {
-	Kind     int
-	Tag      string
-	Data     string
-	Attrs    []xmldom.Attr
-	Children []nodeRec
-}
-
-func toRec(n *xmldom.Node) nodeRec {
-	rec := nodeRec{
+func toRec(n *xmldom.Node) storage.NodeRec {
+	rec := storage.NodeRec{
 		Kind: int(n.Kind()),
 		Tag:  n.Tag(),
 		Data: n.Data(),
 	}
-	if attrs := n.Attrs(); len(attrs) > 0 {
-		rec.Attrs = append([]xmldom.Attr(nil), attrs...)
+	for _, a := range n.Attrs() {
+		rec.Attrs = append(rec.Attrs, storage.AttrRec{Name: a.Name, Value: a.Value})
 	}
 	for _, c := range n.Children() {
 		rec.Children = append(rec.Children, toRec(c))
@@ -51,18 +30,22 @@ func toRec(n *xmldom.Node) nodeRec {
 	return rec
 }
 
-func fromRec(rec nodeRec) (*xmldom.Node, error) {
+func fromRec(rec *storage.NodeRec) (*xmldom.Node, error) {
 	var n *xmldom.Node
 	switch xmldom.Kind(rec.Kind) {
 	case xmldom.Element:
-		n = xmldom.NewElement(rec.Tag, rec.Attrs...)
+		attrs := make([]xmldom.Attr, len(rec.Attrs))
+		for i, a := range rec.Attrs {
+			attrs[i] = xmldom.Attr{Name: a.Name, Value: a.Value}
+		}
+		n = xmldom.NewElement(rec.Tag, attrs...)
 	case xmldom.Text:
 		n = xmldom.NewText(rec.Data)
 	default:
 		return nil, fmt.Errorf("document: restore: unknown node kind %d", rec.Kind)
 	}
-	for _, cr := range rec.Children {
-		c, err := fromRec(cr)
+	for i := range rec.Children {
+		c, err := fromRec(&rec.Children[i])
 		if err != nil {
 			return nil, err
 		}
@@ -73,13 +56,11 @@ func fromRec(rec nodeRec) (*xmldom.Node, error) {
 	return n, nil
 }
 
-// Snapshot serializes the labeled document so Restore can bring it back
-// with bit-identical labels — no relabeling on restart.
-func (d *Doc) Snapshot(w io.Writer) error {
+// Image projects the document onto the codec-neutral snapshot image.
+func (d *Doc) Image() *storage.Image {
 	labels, deleted, height := d.tree.SnapshotState()
 	p := d.tree.Params()
-	return gob.NewEncoder(w).Encode(snapshot{
-		Format:  snapshotFormat,
+	return &storage.Image{
 		F:       p.F,
 		S:       p.S,
 		Wide:    p.WideRadix,
@@ -87,20 +68,13 @@ func (d *Doc) Snapshot(w io.Writer) error {
 		Labels:  labels,
 		Deleted: deleted,
 		Root:    toRec(d.X.Root),
-	})
+	}
 }
 
-// Restore reconstructs a labeled document from a Snapshot stream. Labels,
+// FromImage rebuilds a labeled document from a snapshot image. Labels,
 // tombstone slots and the tree height come back exactly as saved.
-func Restore(r io.Reader) (*Doc, error) {
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("document: restore: %w", err)
-	}
-	if snap.Format != snapshotFormat {
-		return nil, fmt.Errorf("document: restore: unsupported format %d", snap.Format)
-	}
-	root, err := fromRec(snap.Root)
+func FromImage(img *storage.Image) (*Doc, error) {
+	root, err := fromRec(&img.Root)
 	if err != nil {
 		return nil, err
 	}
@@ -108,8 +82,8 @@ func Restore(r io.Reader) (*Doc, error) {
 	if err != nil {
 		return nil, fmt.Errorf("document: restore: %w", err)
 	}
-	p := core.Params{F: snap.F, S: snap.S, WideRadix: snap.Wide}
-	tree, leaves, err := core.FromLabels(p, snap.Labels, snap.Deleted, snap.Height)
+	p := core.Params{F: img.F, S: img.S, WideRadix: img.Wide}
+	tree, leaves, err := core.FromLabels(p, img.Labels, img.Deleted, img.Height)
 	if err != nil {
 		return nil, fmt.Errorf("document: restore: %w", err)
 	}
@@ -131,4 +105,20 @@ func Restore(r io.Reader) (*Doc, error) {
 		return nil, fmt.Errorf("document: restore: %w", err)
 	}
 	return d, nil
+}
+
+// Snapshot serializes the labeled document (format v2) so Restore can
+// bring it back with bit-identical labels — no relabeling on restart.
+func (d *Doc) Snapshot(w io.Writer) error {
+	return storage.WriteSnapshot(w, d.Image())
+}
+
+// Restore reconstructs a labeled document from a Snapshot stream; both
+// the current v2 format and legacy v1 gob streams are accepted.
+func Restore(r io.Reader) (*Doc, error) {
+	img, err := storage.ReadSnapshot(r)
+	if err != nil {
+		return nil, fmt.Errorf("document: restore: %w", err)
+	}
+	return FromImage(img)
 }

@@ -1,0 +1,200 @@
+// Package index maintains the tag index incrementally. An Index is an
+// immutable snapshot: per-tag posting lists (elements with materialized
+// (begin, end) labels, begin-sorted — the per-tag clustering the paper
+// assumes for query processing, §3.1) that readers consume without any
+// lock. Writers never mutate a published Index; they derive the next
+// version with Apply, which copies only the posting lists a change batch
+// touched and shares the rest — copy-on-write in the style of versioned
+// snapshot stores.
+//
+// Incrementality leans on the L-Tree's own cost bound: an update relabels
+// O(log n) leaves amortized (paper §3), and the document layer reports
+// exactly which elements those were (document.Changes). Apply therefore
+// patches the few affected tags instead of re-walking the DOM the way
+// BuildTagIndex does.
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/ltree-db/ltree/internal/document"
+	"github.com/ltree-db/ltree/internal/xmldom"
+)
+
+// Index is one immutable tag-index version. The zero value is not usable;
+// build with Build or From, derive successors with Apply.
+type Index struct {
+	tags map[string][]document.Entry
+
+	// all caches the flattened "*" posting list, computed at most once per
+	// version on first use (a version is immutable, so the merge result
+	// never goes stale).
+	allOnce sync.Once
+	all     []document.Entry
+}
+
+// Build walks the document and materializes a fresh index version.
+func Build(d *document.Doc) *Index { return From(d.BuildTagIndex()) }
+
+// From wraps an already-built tag index. The map is owned by the Index
+// afterwards and must not be mutated by the caller.
+func From(ti document.TagIndex) *Index {
+	return &Index{tags: map[string][]document.Entry(ti)}
+}
+
+// Postings returns the begin-sorted posting list for a tag; "*" returns
+// every element. The slice is shared and must be treated as read-only.
+func (ix *Index) Postings(tag string) []document.Entry {
+	if tag == "*" {
+		return ix.All()
+	}
+	return ix.tags[tag]
+}
+
+// All returns every element in document order (the flattened "*" list),
+// computing it once per version via the shared TagIndex flatten.
+func (ix *Index) All() []document.Entry {
+	ix.allOnce.Do(func() {
+		ix.all = document.TagIndex(ix.tags).Postings("*")
+	})
+	return ix.all
+}
+
+// Tags returns the number of distinct tags.
+func (ix *Index) Tags() int { return len(ix.tags) }
+
+// Len returns the total number of postings.
+func (ix *Index) Len() int {
+	n := 0
+	for _, posts := range ix.tags {
+		n += len(posts)
+	}
+	return n
+}
+
+// Apply derives the next index version from a change batch. Posting lists
+// of unaffected tags are shared with the receiver; affected tags get a
+// fresh list in one merge pass: removed elements are dropped, surviving
+// labels are re-read from the document (relabelings preserve document
+// order, so no re-sort is needed), and added elements are merged in at
+// their begin position. The receiver is left untouched and stays valid
+// for readers still holding it.
+//
+// Apply must run with the document quiescent (the write path's exclusive
+// section); the returned Index is immutable and may be published to
+// readers immediately.
+func (ix *Index) Apply(d *document.Doc, ch *document.Changes) *Index {
+	if ch.Empty() {
+		return ix
+	}
+	// Bucket additions per tag up front so each patchTag pass is linear
+	// in its own postings, not in the whole batch.
+	addedByTag := make(map[string][]*xmldom.Node)
+	for n := range ch.Added {
+		addedByTag[n.Tag()] = append(addedByTag[n.Tag()], n)
+	}
+	affected := make(map[string]struct{}, len(addedByTag))
+	for tag := range addedByTag {
+		affected[tag] = struct{}{}
+	}
+	for n := range ch.Removed {
+		affected[n.Tag()] = struct{}{}
+	}
+	for n := range ch.Touched {
+		affected[n.Tag()] = struct{}{}
+	}
+
+	next := &Index{tags: make(map[string][]document.Entry, len(ix.tags)+len(affected))}
+	for tag, posts := range ix.tags {
+		if _, hit := affected[tag]; !hit {
+			next.tags[tag] = posts
+		}
+	}
+	for tag := range affected {
+		if posts := ix.patchTag(d, tag, addedByTag[tag], ch); len(posts) > 0 {
+			next.tags[tag] = posts
+		}
+	}
+	return next
+}
+
+// Verify checks an index version against a fresh ground-truth build:
+// same tags, same nodes in the same order, same labels and levels. It is
+// O(n) and meant for invariant suites and tests, not the hot path.
+func Verify(ix *Index, d *document.Doc) error {
+	want := d.BuildTagIndex()
+	total := 0
+	for tag, wposts := range want {
+		total += len(wposts)
+		gposts := ix.Postings(tag)
+		if len(gposts) != len(wposts) {
+			return fmt.Errorf("index: tag %q has %d postings, want %d", tag, len(gposts), len(wposts))
+		}
+		for i := range wposts {
+			switch {
+			case gposts[i].Node != wposts[i].Node:
+				return fmt.Errorf("index: tag %q posting %d binds the wrong node", tag, i)
+			case gposts[i].Label != wposts[i].Label:
+				return fmt.Errorf("index: tag %q posting %d has label %v, want %v",
+					tag, i, gposts[i].Label, wposts[i].Label)
+			case gposts[i].Level != wposts[i].Level:
+				return fmt.Errorf("index: tag %q posting %d has level %d, want %d",
+					tag, i, gposts[i].Level, wposts[i].Level)
+			}
+		}
+	}
+	if got := ix.Len(); got != total {
+		return fmt.Errorf("index: holds %d postings, want %d", got, total)
+	}
+	return nil
+}
+
+// patchTag rebuilds one tag's posting list against the current document
+// state: one pass over the old list plus a sorted merge of the additions.
+func (ix *Index) patchTag(d *document.Doc, tag string, added []*xmldom.Node, ch *document.Changes) []document.Entry {
+	old := ix.tags[tag]
+	kept := make([]document.Entry, 0, len(old))
+	for _, e := range old {
+		if _, gone := ch.Removed[e.Node]; gone {
+			continue
+		}
+		lab, err := d.Label(e.Node)
+		if err != nil {
+			// Unbound without a removal record cannot happen through the
+			// document API; drop defensively rather than serve a stale label.
+			continue
+		}
+		e.Label = lab
+		kept = append(kept, e)
+	}
+
+	var fresh []document.Entry
+	for _, n := range added {
+		lab, err := d.Label(n)
+		if err != nil {
+			continue // added and removed within the same batch
+		}
+		fresh = append(fresh, document.Entry{Node: n, Label: lab, Level: n.Level()})
+	}
+	if len(fresh) == 0 {
+		return kept
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].Label.Begin < fresh[j].Label.Begin })
+
+	merged := make([]document.Entry, 0, len(kept)+len(fresh))
+	i, j := 0, 0
+	for i < len(kept) && j < len(fresh) {
+		if kept[i].Label.Begin < fresh[j].Label.Begin {
+			merged = append(merged, kept[i])
+			i++
+		} else {
+			merged = append(merged, fresh[j])
+			j++
+		}
+	}
+	merged = append(merged, kept[i:]...)
+	merged = append(merged, fresh[j:]...)
+	return merged
+}

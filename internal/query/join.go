@@ -7,13 +7,22 @@ import (
 	"github.com/ltree-db/ltree/internal/xmldom"
 )
 
+// Index supplies begin-sorted posting lists per element tag; the tag "*"
+// stands for every element. Both document.TagIndex (a one-shot snapshot)
+// and index.Index (the incremental copy-on-write versions the Store
+// publishes) satisfy it. Implementations must be safe for concurrent
+// readers; the returned slices are shared and read-only.
+type Index interface {
+	Postings(tag string) []document.Entry
+}
+
 // Join evaluates the path with label-based structural joins over a tag
 // index. Every step is one linear merge of two begin-sorted posting lists
 // using the interval containment predicate — the relational plan the
 // paper's labeling scheme enables ("exactly one self-join with label
 // comparisons as predicates", §1). The child axis adds a level-equality
 // check on top of containment.
-func Join(d *document.Doc, idx document.TagIndex, p *Path) []*xmldom.Node {
+func Join(d *document.Doc, idx Index, p *Path) []*xmldom.Node {
 	if len(p.Steps) == 0 {
 		return nil
 	}
@@ -52,8 +61,8 @@ func Join(d *document.Doc, idx document.TagIndex, p *Path) []*xmldom.Node {
 
 // stepPostings returns the begin-sorted posting list for a step,
 // applying its attribute predicates as an index filter.
-func stepPostings(idx document.TagIndex, st Step) []document.Entry {
-	posts := postings(idx, st.Tag)
+func stepPostings(idx Index, st Step) []document.Entry {
+	posts := idx.Postings(st.Tag)
 	if len(st.Preds) == 0 {
 		return posts
 	}
@@ -64,19 +73,6 @@ func stepPostings(idx document.TagIndex, st Step) []document.Entry {
 		}
 	}
 	return out
-}
-
-// postings returns the begin-sorted posting list for a tag test.
-func postings(idx document.TagIndex, tag string) []document.Entry {
-	if tag != "*" {
-		return idx[tag]
-	}
-	var all []document.Entry
-	for _, posts := range idx {
-		all = append(all, posts...)
-	}
-	sortEntries(all)
-	return all
 }
 
 func sortEntries(es []document.Entry) {
@@ -128,7 +124,7 @@ func containedIn(candidates, ctx []document.Entry, childOnly bool) []document.En
 
 // findEntry builds the root's entry (the tag index stores it too, but this
 // avoids a scan when the tag is unknown).
-func findEntry(d *document.Doc, idx document.TagIndex, n *xmldom.Node) (document.Entry, bool) {
+func findEntry(d *document.Doc, idx Index, n *xmldom.Node) (document.Entry, bool) {
 	lab, err := d.Label(n)
 	if err != nil {
 		return document.Entry{}, false
@@ -171,6 +167,6 @@ func Descendants(d *document.Doc, all []document.Entry, n *xmldom.Node) []*xmldo
 }
 
 // AllElements flattens a tag index into one begin-sorted posting list.
-func AllElements(idx document.TagIndex) []document.Entry {
-	return postings(idx, "*")
+func AllElements(idx Index) []document.Entry {
+	return idx.Postings("*")
 }

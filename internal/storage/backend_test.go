@@ -1,0 +1,86 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func backends(t *testing.T) map[string]Backend {
+	file, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Backend{"memory": NewMemory(), "file": file}
+}
+
+func TestBackendVersioning(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := b.Latest(); !errors.Is(err, ErrNoVersion) {
+				t.Fatalf("empty Latest = %v", err)
+			}
+			v1, err := b.Put([]byte("one"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			v2, err := b.Put([]byte("two"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v2 <= v1 {
+				t.Fatalf("versions not increasing: %d then %d", v1, v2)
+			}
+			if got, _ := b.Get(v1); string(got) != "one" {
+				t.Fatalf("Get(v1) = %q", got)
+			}
+			latest, data, err := b.Latest()
+			if err != nil || latest != v2 || string(data) != "two" {
+				t.Fatalf("Latest = %d %q %v", latest, data, err)
+			}
+			vs, err := b.Versions()
+			if err != nil || len(vs) != 2 || vs[0] != v1 || vs[1] != v2 {
+				t.Fatalf("Versions = %v %v", vs, err)
+			}
+			if err := b.Prune(v2); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Get(v1); !errors.Is(err, ErrNoVersion) {
+				t.Fatalf("pruned Get = %v", err)
+			}
+			if got, _ := b.Get(v2); string(got) != "two" {
+				t.Fatal("prune removed the kept version")
+			}
+			// The newest version survives even an over-eager prune, so
+			// version numbers keep growing instead of being reissued.
+			if err := b.Prune(v2 + 10); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := b.Get(v2); string(got) != "two" {
+				t.Fatal("prune deleted the newest version")
+			}
+			v3, err := b.Put([]byte("three"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v3 <= v2 {
+				t.Fatalf("version reissued after prune: %d then %d", v2, v3)
+			}
+		})
+	}
+}
+
+func TestMemoryIsolation(t *testing.T) {
+	m := NewMemory()
+	blob := []byte("abc")
+	v, _ := m.Put(blob)
+	blob[0] = 'x'
+	got, _ := m.Get(v)
+	if string(got) != "abc" {
+		t.Fatal("backend shares the caller's buffer")
+	}
+	got[0] = 'y'
+	again, _ := m.Get(v)
+	if string(again) != "abc" {
+		t.Fatal("backend returned its internal buffer")
+	}
+}

@@ -1,25 +1,56 @@
 package ltree
 
 import (
+	"bytes"
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/ltree-db/ltree/internal/document"
+	"github.com/ltree-db/ltree/internal/index"
 	"github.com/ltree-db/ltree/internal/query"
+	"github.com/ltree-db/ltree/internal/storage"
 	"github.com/ltree-db/ltree/internal/xmldom"
 )
 
-// Store is the high-level entry point: a labeled XML document with cached
-// query indexes and a read-write lock, safe for concurrent readers with
-// exclusive writers. Queries run on the label-based structural-join plan;
-// updates maintain the labels through the L-Tree and lazily invalidate the
-// index cache.
+// Store is the high-level entry point: a labeled XML document behind a
+// concurrency-first engine split into a read path and a write path.
+//
+// Read path: queries run against an immutable tag-index version published
+// through an atomic pointer. Readers share an RLock only to keep the DOM
+// and label state quiescent — they never build or patch an index, never
+// upgrade to the write lock, and proceed in parallel with each other.
+// Elements is served from the published index alone and takes no lock at
+// all.
+//
+// Write path: updates maintain the labels through the L-Tree (the paper's
+// cheap-relabeling guarantee), collect the index-relevant effects as a
+// change batch, and at commit derive the next index version copy-on-write
+// — only the posting lists the batch touched are copied (see
+// internal/index) — then publish it atomically. Use Update to batch
+// several mutations into one commit and one published version.
 type Store struct {
-	mu    sync.RWMutex
-	doc   *document.Doc
-	idx   document.TagIndex
-	dirty bool
+	mu  sync.RWMutex // many readers xor one writer over doc
+	doc *document.Doc
+	idx atomic.Pointer[publishedIndex] // read lock-free
+}
+
+// publishedIndex pairs an index version with its number so lock-free
+// readers observe both atomically: same version number ⇒ same index.
+type publishedIndex struct {
+	ix      *index.Index
+	version uint64
+}
+
+// newStore wires a labeled document into the engine: change tracking on,
+// first index version built and published.
+func newStore(doc *document.Doc) *Store {
+	s := &Store{doc: doc}
+	doc.TrackChanges()
+	s.idx.Store(&publishedIndex{ix: index.Build(doc), version: 1})
+	doc.TakeChanges() // the build reflects everything up to here
+	return s
 }
 
 // Open parses and labels an XML document.
@@ -28,7 +59,7 @@ func Open(r io.Reader, p Params) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Store{doc: doc, dirty: true}, nil
+	return newStore(doc), nil
 }
 
 // OpenString is Open over a string.
@@ -38,38 +69,46 @@ func OpenString(src string, p Params) (*Store, error) {
 
 // FromDocument wraps an already-labeled document.
 func FromDocument(doc *Document) *Store {
-	return &Store{doc: doc, dirty: true}
+	return newStore(doc)
 }
 
-// Document exposes the underlying labeled document. The caller must not
-// mutate it while other goroutines use the Store.
+// Document exposes the underlying labeled document. Mutating it directly
+// bypasses the engine: the caller must hold off every other goroutine and
+// call Refresh afterwards so the published index resyncs.
 func (s *Store) Document() *Document { return s.doc }
 
 // Root returns the document's root element.
 func (s *Store) Root() *Elem { return s.doc.X.Root }
 
-// index returns the tag index, rebuilding it if updates invalidated it.
-// Callers hold at least the read lock; the rebuild path upgrades.
-func (s *Store) index() document.TagIndex {
-	if !s.dirty {
-		return s.idx
+// IndexVersion returns the published tag-index version number. It grows
+// by one per committed write batch — two queries seeing the same version
+// saw the same index.
+func (s *Store) IndexVersion() uint64 { return s.idx.Load().version }
+
+// commitLocked folds the write batch recorded since the last commit into
+// the next index version and publishes it. Caller holds the write lock.
+func (s *Store) commitLocked() {
+	ch := s.doc.TakeChanges()
+	if ch.Empty() {
+		return
 	}
-	s.idx = s.doc.BuildTagIndex()
-	s.dirty = false
-	return s.idx
+	cur := s.idx.Load()
+	s.idx.Store(&publishedIndex{ix: cur.ix.Apply(s.doc, ch), version: cur.version + 1})
 }
 
 // Query evaluates a path expression ("/site//item/name", "book//title",
-// "//*") with label-based structural joins and returns matches in
-// document order.
+// "//*") with label-based structural joins over the published index and
+// returns matches in document order. Readers run concurrently: the read
+// lock only keeps writers from mutating the DOM mid-join; no index is
+// built or patched here.
 func (s *Store) Query(expr string) ([]*Elem, error) {
 	p, err := query.Parse(expr)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock() // index() may rebuild; keep locking simple and exclusive
-	defer s.mu.Unlock()
-	return query.Join(s.doc, s.index(), p), nil
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return query.Join(s.doc, s.idx.Load().ix, p), nil
 }
 
 // QueryNav evaluates the same path by plain navigation (no labels) — the
@@ -106,27 +145,92 @@ func (s *Store) Compare(a, b *Elem) (int, error) {
 	return s.doc.Compare(a, b)
 }
 
+// Elements returns the elements with the given tag ("*" = all) in
+// document order, straight from the published index — no lock taken.
+func (s *Store) Elements(tag string) []*Elem {
+	posts := s.idx.Load().ix.Postings(tag)
+	out := make([]*Elem, len(posts))
+	for i, e := range posts {
+		out[i] = e.Node
+	}
+	return out
+}
+
+// Update runs fn as one write batch: every mutation made through the
+// Batch lands in the same change set, and a single index version is
+// derived and published when fn returns. Batching amortizes the
+// copy-on-write patching across all the mutations. Update holds the
+// write lock for the duration of fn.
+//
+// A Batch is not a transaction: an error from fn rolls nothing back —
+// the commit still publishes whatever fn changed, keeping the index in
+// sync with the document. Callers needing rollback should SaveVersion
+// first and LoadVersion on failure.
+func (s *Store) Update(fn func(*Batch) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.commitLocked()
+	return fn(&Batch{doc: s.doc})
+}
+
+// Batch is the write handle passed to Update. It is only valid during
+// the Update call and must not escape it.
+type Batch struct {
+	doc *document.Doc
+}
+
+// InsertElement creates and labels an empty element as parent's idx-th
+// child.
+func (tx *Batch) InsertElement(parent *Elem, idx int, tag string, attrs ...Attr) (*Elem, error) {
+	return tx.doc.InsertElement(parent, idx, tag, attrs...)
+}
+
+// InsertText creates and labels a text node as parent's idx-th child.
+func (tx *Batch) InsertText(parent *Elem, idx int, data string) (*Elem, error) {
+	return tx.doc.InsertText(parent, idx, data)
+}
+
+// InsertSubtree splices a detached subtree as parent's idx-th child with
+// one bulk run insertion (paper §4.1).
+func (tx *Batch) InsertSubtree(parent *Elem, idx int, sub *Elem) error {
+	return tx.doc.InsertSubtree(parent, idx, sub)
+}
+
+// InsertXML parses an XML fragment and splices it as parent's idx-th
+// child in one bulk insertion.
+func (tx *Batch) InsertXML(parent *Elem, idx int, fragment string) (*Elem, error) {
+	frag, err := xmldom.ParseString(fragment)
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.doc.InsertSubtree(parent, idx, frag.Root); err != nil {
+		return nil, err
+	}
+	return frag.Root, nil
+}
+
+// Delete detaches a subtree; its labels become tombstones and nothing is
+// relabeled (paper §2.3).
+func (tx *Batch) Delete(n *Elem) error { return tx.doc.DeleteSubtree(n) }
+
+// Move relocates a subtree to become parent's idx-th child.
+func (tx *Batch) Move(n, parent *Elem, idx int) error { return tx.doc.Move(n, parent, idx) }
+
 // InsertElement creates and labels an empty element as parent's idx-th
 // child.
 func (s *Store) InsertElement(parent *Elem, idx int, tag string, attrs ...Attr) (*Elem, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	el, err := s.doc.InsertElement(parent, idx, tag, attrs...)
-	if err == nil {
-		s.dirty = true
-	}
-	return el, err
+	defer s.commitLocked()
+	return s.doc.InsertElement(parent, idx, tag, attrs...)
 }
 
 // InsertText creates and labels a text node as parent's idx-th child.
 func (s *Store) InsertText(parent *Elem, idx int, data string) (*Elem, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	txt, err := s.doc.InsertText(parent, idx, data)
-	if err == nil {
-		s.dirty = true
-	}
-	return txt, err
+	defer s.commitLocked()
+	return s.doc.InsertText(parent, idx, data)
 }
 
 // InsertSubtree splices a detached subtree (built with NewElement/NewText
@@ -135,11 +239,8 @@ func (s *Store) InsertText(parent *Elem, idx int, data string) (*Elem, error) {
 func (s *Store) InsertSubtree(parent *Elem, idx int, sub *Elem) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	err := s.doc.InsertSubtree(parent, idx, sub)
-	if err == nil {
-		s.dirty = true
-	}
-	return err
+	defer s.commitLocked()
+	return s.doc.InsertSubtree(parent, idx, sub)
 }
 
 // InsertXML parses an XML fragment and splices it as parent's idx-th
@@ -151,10 +252,10 @@ func (s *Store) InsertXML(parent *Elem, idx int, fragment string) (*Elem, error)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.commitLocked()
 	if err := s.doc.InsertSubtree(parent, idx, frag.Root); err != nil {
 		return nil, err
 	}
-	s.dirty = true
 	return frag.Root, nil
 }
 
@@ -163,11 +264,8 @@ func (s *Store) InsertXML(parent *Elem, idx int, fragment string) (*Elem, error)
 func (s *Store) Delete(n *Elem) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	err := s.doc.DeleteSubtree(n)
-	if err == nil {
-		s.dirty = true
-	}
-	return err
+	defer s.commitLocked()
+	return s.doc.DeleteSubtree(n)
 }
 
 // Move relocates a subtree to become parent's idx-th child, preserving
@@ -176,49 +274,93 @@ func (s *Store) Delete(n *Elem) error {
 func (s *Store) Move(n, parent *Elem, idx int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	err := s.doc.Move(n, parent, idx)
-	if err == nil {
-		s.dirty = true
-	}
-	return err
+	defer s.commitLocked()
+	return s.doc.Move(n, parent, idx)
 }
 
-// Snapshot serializes the store — DOM plus exact label state — so that
-// Restore brings it back with bit-identical labels (no relabeling on
-// restart; the tree structure is implicit in the labels, paper §4.2).
+// Refresh resyncs the published index after direct mutations of the
+// underlying Document. It is a no-op when nothing changed.
+func (s *Store) Refresh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commitLocked()
+}
+
+// Snapshot serializes the store — DOM plus exact label state, snapshot
+// format v2 — so that Restore brings it back with bit-identical labels
+// (no relabeling on restart; the tree structure is implicit in the
+// labels, paper §4.2).
 func (s *Store) Snapshot(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.doc.Snapshot(w)
 }
 
-// Restore reconstructs a Store from a Snapshot stream.
+// Restore reconstructs a Store from a Snapshot stream (format v2 or the
+// legacy v1 gob format).
 func Restore(r io.Reader) (*Store, error) {
 	doc, err := document.Restore(r)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{doc: doc, dirty: true}, nil
+	return newStore(doc), nil
+}
+
+// Backend is a versioned snapshot store: every save appends a new
+// version, old versions stay readable until pruned. See DESIGN.md §5.3.
+type Backend = storage.Backend
+
+// ErrNoVersion reports a missing snapshot version.
+var ErrNoVersion = storage.ErrNoVersion
+
+// NewMemoryBackend returns an in-process Backend (tests, ephemeral
+// stores).
+func NewMemoryBackend() Backend { return storage.NewMemory() }
+
+// NewFileBackend opens (creating if needed) a directory-backed Backend:
+// one file per version, crash-safe writes.
+func NewFileBackend(dir string) (Backend, error) { return storage.NewFile(dir) }
+
+// SaveVersion snapshots the store into a storage backend as the next
+// version and returns its number. Old versions stay readable until
+// pruned, so a mis-applied batch can be rolled back by loading an
+// earlier version.
+func (s *Store) SaveVersion(b Backend) (uint64, error) {
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		return 0, err
+	}
+	return b.Put(buf.Bytes())
+}
+
+// LoadVersion reconstructs a Store from one stored snapshot version.
+func LoadVersion(b Backend, version uint64) (*Store, error) {
+	data, err := b.Get(version)
+	if err != nil {
+		return nil, err
+	}
+	return Restore(bytes.NewReader(data))
+}
+
+// LoadLatest reconstructs a Store from the newest stored snapshot.
+func LoadLatest(b Backend) (*Store, error) {
+	_, data, err := b.Latest()
+	if err != nil {
+		return nil, err
+	}
+	return Restore(bytes.NewReader(data))
 }
 
 // Compact rebuilds the label tree without tombstones (extension; see
-// DESIGN.md §2.3).
+// DESIGN.md §2.3). Compaction relabels everything, so the index is
+// rebuilt outright rather than patched.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	err := s.doc.CompactLabels()
-	if err == nil {
-		s.dirty = true
-	}
+	s.doc.TakeChanges() // everything moved; a patch would refresh it all anyway
+	s.idx.Store(&publishedIndex{ix: index.Build(s.doc), version: s.idx.Load().version + 1})
 	return err
-}
-
-// Elements returns the elements with the given tag ("*" = all) in
-// document order.
-func (s *Store) Elements(tag string) []*Elem {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.doc.Elements(tag)
 }
 
 // Stats returns the accumulated maintenance counters.
@@ -249,9 +391,13 @@ func (s *Store) String() string {
 	return s.doc.X.String()
 }
 
-// Check runs the full invariant suite (labels, binding, structure).
+// Check runs the full invariant suite (labels, binding, structure) plus
+// the engine's own: the published index must agree with a fresh build.
 func (s *Store) Check() error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.doc.Check()
+	if err := s.doc.Check(); err != nil {
+		return err
+	}
+	return index.Verify(s.idx.Load().ix, s.doc)
 }
