@@ -48,6 +48,7 @@ var experiments = []experiment{
 	{"disk", "§3.1 cost unit: simulated disk accesses under an LRU pool", expDisk},
 	{"radix", "ablation: tight radix f−1 vs the paper's printed f+1", expRadix},
 	{"concurrent", "engine: concurrent reads over the COW index vs the exclusive-lock path", expConcurrent},
+	{"wal", "engine: commit latency — snapshot-per-save vs WAL append vs batched WAL", expWal},
 }
 
 func main() {

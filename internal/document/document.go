@@ -15,6 +15,7 @@ import (
 
 	"github.com/ltree-db/ltree/internal/core"
 	"github.com/ltree-db/ltree/internal/stats"
+	"github.com/ltree-db/ltree/internal/storage"
 	"github.com/ltree-db/ltree/internal/xmldom"
 )
 
@@ -49,6 +50,13 @@ type Doc struct {
 	tree *core.Tree
 	bind map[*xmldom.Node]binding
 	rec  *Changes // mutation recorder (nil until TrackChanges)
+
+	// Logical op log (oplog.go): the ordered, serializable mutations the
+	// WAL persists. opdepth suppresses recording inside compound ops
+	// (Move's internal insert) and during replay.
+	ops       []storage.Op
+	oplogging bool
+	opdepth   int
 }
 
 // Load labels an entire XML document via bulk loading (§2.2).
@@ -156,6 +164,14 @@ func (d *Doc) InsertSubtree(parent *xmldom.Node, idx int, sub *xmldom.Node) erro
 	if !ok {
 		return ErrUnbound
 	}
+	logged := d.recordingOps()
+	var ppath []uint32
+	if logged {
+		var err error
+		if ppath, err = d.PathOf(parent); err != nil {
+			return err
+		}
+	}
 	// The leaf after which the subtree's token run starts: the begin leaf
 	// of the parent when inserting first, otherwise the last leaf of the
 	// preceding sibling's subtree.
@@ -181,6 +197,16 @@ func (d *Doc) InsertSubtree(parent *xmldom.Node, idx int, sub *xmldom.Node) erro
 		return err
 	}
 	d.bindTokens(tokens, run)
+	if logged {
+		rec := toRec(sub)
+		d.ops = append(d.ops, storage.Op{
+			Kind:   storage.OpInsert,
+			Path:   ppath,
+			Idx:    uint32(idx),
+			Labels: d.subtreeLabels(sub),
+			Sub:    &rec,
+		})
+	}
 	return nil
 }
 
@@ -214,8 +240,19 @@ func (d *Doc) DeleteSubtree(n *xmldom.Node) error {
 	if n == d.X.Root {
 		return ErrRootEdit
 	}
-	if _, ok := d.bind[n]; !ok {
+	nb, ok := d.bind[n]
+	if !ok {
 		return ErrUnbound
+	}
+	logged := d.recordingOps()
+	var npath []uint32
+	var begin uint64
+	if logged {
+		var perr error
+		if npath, perr = d.PathOf(n); perr != nil {
+			return perr
+		}
+		begin = nb.begin.Num()
 	}
 	var err error
 	n.Walk(func(v *xmldom.Node) bool {
@@ -238,18 +275,57 @@ func (d *Doc) DeleteSubtree(n *xmldom.Node) error {
 		return err
 	}
 	n.Detach()
+	if logged {
+		d.ops = append(d.ops, storage.Op{Kind: storage.OpDelete, Path: npath, Labels: []uint64{begin}})
+	}
 	return nil
 }
 
 // CompactLabels rebuilds the L-Tree without tombstones (extension beyond
 // the paper; see core.Compact).
-func (d *Doc) CompactLabels() error { return d.tree.Compact() }
+func (d *Doc) CompactLabels() error {
+	logged := d.recordingOps()
+	err := d.tree.Compact()
+	if logged && err == nil {
+		d.ops = append(d.ops, storage.Op{Kind: storage.OpCompact})
+	}
+	return err
+}
 
 // Move relocates the subtree rooted at n to become parent's idx-th child,
 // preserving XML node identities. The old leaves are tombstoned (free,
 // §2.3) and the subtree's tokens are relabeled at the target with one
 // §4.1 run insertion.
 func (d *Doc) Move(n, parent *xmldom.Node, idx int) error {
+	logged := d.recordingOps()
+	var npath, dpath []uint32
+	if logged {
+		var err error
+		if npath, err = d.PathOf(n); err != nil {
+			return err
+		}
+		if dpath, err = d.PathOf(parent); err != nil {
+			return err
+		}
+	}
+	// The internal insert half must not log a second op.
+	d.opdepth++
+	err := d.move(n, parent, idx)
+	d.opdepth--
+	if logged && err == nil {
+		d.ops = append(d.ops, storage.Op{
+			Kind:   storage.OpMove,
+			Path:   npath,
+			Dst:    dpath,
+			Idx:    uint32(idx),
+			Labels: d.subtreeLabels(n),
+		})
+	}
+	return err
+}
+
+// move is Move without op recording (the compound body).
+func (d *Doc) move(n, parent *xmldom.Node, idx int) error {
 	if n == d.X.Root {
 		return ErrRootEdit
 	}
@@ -263,6 +339,21 @@ func (d *Doc) Move(n, parent *xmldom.Node, idx int) error {
 		if v == n {
 			return xmldom.ErrCycle
 		}
+	}
+	// Pre-validate the insert half so its failure cannot strand the
+	// subtree half-moved (already tombstoned and detached): the target
+	// must accept children and idx must be in range against the
+	// post-detach child count (detaching n from the same parent shrinks
+	// the valid range by one).
+	if parent.Kind() == xmldom.Text {
+		return xmldom.ErrTextKids
+	}
+	limit := parent.NumChildren()
+	if n.Parent() == parent {
+		limit--
+	}
+	if idx < 0 || idx > limit {
+		return xmldom.ErrRange
 	}
 	// Tombstone the old labels before detaching (order irrelevant: marks
 	// never relabel).

@@ -1,0 +1,183 @@
+package document
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ltree-db/ltree/internal/storage"
+	"github.com/ltree-db/ltree/internal/xmldom"
+)
+
+// This file records the logical operation log behind write-ahead logging:
+// alongside the index-relevant Changes sets, a Doc can keep the ordered,
+// serializable list of mutations (storage.Op) a batch performed, and can
+// replay such a list — ApplyOps — through the exact same mutation code
+// paths, so L-Tree maintenance, the relabel hook, and change tracking all
+// fire identically on recovery as they did at runtime.
+//
+// Ops reference nodes by child-index paths from the root, captured at the
+// moment each op ran; since replay applies ops in order against the same
+// evolving document state, the paths resolve to the same nodes. Each op
+// also records the labels it produced (the spliced run for inserts and
+// moves, the victim's begin label for deletes). L-Tree relabeling is a
+// deterministic function of tree state, so replay from a bit-identical
+// checkpoint must reproduce these labels bit-identically; the recorded
+// labels let replay verify that instead of assuming it.
+
+// ErrReplayDiverged reports a replayed op that produced different labels
+// than the recorded run — the log does not describe this document.
+var ErrReplayDiverged = errors.New("document: replay diverged from recorded labels")
+
+// TrackOps starts recording the ordered logical op log. Call TakeOps to
+// drain it; like change tracking it stays enabled for the document's
+// lifetime. Mutations made below this API (directly on X) are invisible
+// to the log — a WAL-backed store must mutate through the Doc methods.
+func (d *Doc) TrackOps() { d.oplogging = true }
+
+// OpLogging reports whether the logical op log is being recorded.
+func (d *Doc) OpLogging() bool { return d.oplogging }
+
+// TakeOps returns the ops recorded since the last call and resets the
+// log. It returns nil when tracking is off or nothing was recorded.
+func (d *Doc) TakeOps() []storage.Op {
+	out := d.ops
+	d.ops = nil
+	return out
+}
+
+// recordingOps reports whether the current mutation should be logged:
+// tracking is on and we are not inside a compound op (Move) or a replay.
+func (d *Doc) recordingOps() bool { return d.oplogging && d.opdepth == 0 }
+
+// PathOf returns n's child-index path from the root.
+func (d *Doc) PathOf(n *xmldom.Node) ([]uint32, error) {
+	if _, ok := d.bind[n]; !ok {
+		return nil, ErrUnbound
+	}
+	var rev []uint32
+	for v := n; v != d.X.Root; v = v.Parent() {
+		i := v.Index()
+		if i < 0 {
+			return nil, ErrUnbound
+		}
+		rev = append(rev, uint32(i))
+	}
+	path := make([]uint32, len(rev))
+	for i, step := range rev {
+		path[len(rev)-1-i] = step
+	}
+	return path, nil
+}
+
+// ResolvePath walks a child-index path down from the root.
+func (d *Doc) ResolvePath(path []uint32) (*xmldom.Node, error) {
+	n := d.X.Root
+	for depth, step := range path {
+		c := n.Child(int(step))
+		if c == nil {
+			return nil, fmt.Errorf("document: path step %d (child %d of <%s>) does not resolve",
+				depth, step, n.Tag())
+		}
+		n = c
+	}
+	return n, nil
+}
+
+// subtreeLabels reads the current labels of sub's token run in document
+// order — strictly increasing, exactly what the WAL op codec delta-codes.
+func (d *Doc) subtreeLabels(sub *xmldom.Node) []uint64 {
+	tokens := xmldom.SubtreeTokens(sub)
+	out := make([]uint64, len(tokens))
+	for i, tok := range tokens {
+		b := d.bind[tok.Node]
+		if tok.Kind == xmldom.End {
+			out[i] = b.end.Num()
+		} else {
+			out[i] = b.begin.Num()
+		}
+	}
+	return out
+}
+
+// verifyRunLabels checks a replayed splice against the recorded run.
+func (d *Doc) verifyRunLabels(sub *xmldom.Node, want []uint64) error {
+	got := d.subtreeLabels(sub)
+	if len(got) != len(want) {
+		return fmt.Errorf("%w: run of %d labels, recorded %d", ErrReplayDiverged, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("%w: token %d labeled %d, recorded %d", ErrReplayDiverged, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// ApplyOps replays a recorded op batch through the normal mutation
+// methods: the L-Tree performs the same maintenance, the relabel hook and
+// change tracking fire exactly as they did at runtime (so an incremental
+// index patches identically), and every op's recorded labels are verified
+// against what the replay produced. Ops applied here are not re-recorded
+// into the op log.
+func (d *Doc) ApplyOps(ops []storage.Op) error {
+	d.opdepth++
+	defer func() { d.opdepth-- }()
+	for i := range ops {
+		if err := d.applyOp(&ops[i]); err != nil {
+			return fmt.Errorf("document: replay op %d/%d: %w", i+1, len(ops), err)
+		}
+	}
+	return nil
+}
+
+func (d *Doc) applyOp(op *storage.Op) error {
+	switch op.Kind {
+	case storage.OpInsert:
+		parent, err := d.ResolvePath(op.Path)
+		if err != nil {
+			return err
+		}
+		if op.Sub == nil {
+			return errors.New("document: insert op without subtree")
+		}
+		sub, err := fromRec(op.Sub)
+		if err != nil {
+			return err
+		}
+		if err := d.InsertSubtree(parent, int(op.Idx), sub); err != nil {
+			return err
+		}
+		return d.verifyRunLabels(sub, op.Labels)
+	case storage.OpDelete:
+		n, err := d.ResolvePath(op.Path)
+		if err != nil {
+			return err
+		}
+		b, ok := d.bind[n]
+		if !ok {
+			return ErrUnbound
+		}
+		if len(op.Labels) != 1 || b.begin.Num() != op.Labels[0] {
+			return fmt.Errorf("%w: deleting node labeled %d, recorded %v",
+				ErrReplayDiverged, b.begin.Num(), op.Labels)
+		}
+		return d.DeleteSubtree(n)
+	case storage.OpMove:
+		n, err := d.ResolvePath(op.Path)
+		if err != nil {
+			return err
+		}
+		dst, err := d.ResolvePath(op.Dst)
+		if err != nil {
+			return err
+		}
+		if err := d.Move(n, dst, int(op.Idx)); err != nil {
+			return err
+		}
+		return d.verifyRunLabels(n, op.Labels)
+	case storage.OpCompact:
+		return d.CompactLabels()
+	default:
+		return fmt.Errorf("document: unknown op kind %d", op.Kind)
+	}
+}

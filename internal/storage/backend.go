@@ -32,6 +32,34 @@ type Backend interface {
 	Prune(keep uint64) error
 }
 
+// WALBackend extends Backend with incremental persistence: commits append
+// framed change batches to a write-ahead log instead of rewriting a
+// snapshot, and recovery is the newest checkpoint plus a replay of the
+// durable log tail. The snapshot-versioned half of the interface keeps
+// working — a WALBackend's versions are its checkpoints.
+//
+// The *WAL type is the file-backed implementation; the Store engine
+// detects a WALBackend in LoadLatest and recovers through ReplaySince.
+type WALBackend interface {
+	Backend
+	// AppendBatch appends one encoded change batch (an EncodeOps payload)
+	// as the next log record and returns its sequence number (sequence
+	// numbers start at 1 and grow by one per batch).
+	AppendBatch(payload []byte) (uint64, error)
+	// ReplaySince streams every durable batch with sequence number >
+	// since, in order. A torn or corrupt log tail ends the replay
+	// silently — recovery semantics are "longest durable prefix".
+	ReplaySince(since uint64, fn func(seq uint64, payload []byte) error) error
+	// Checkpoint stores snapshot as covering every batch appended so far
+	// and truncates the log; it returns the checkpoint's version (the
+	// covered sequence number).
+	Checkpoint(snapshot []byte) (uint64, error)
+	// Sync makes group-committed appends durable.
+	Sync() error
+	// Close flushes and releases the log; appending afterwards fails.
+	Close() error
+}
+
 // ErrNoVersion reports a missing snapshot version.
 var ErrNoVersion = errors.New("storage: no such snapshot version")
 

@@ -1,0 +1,547 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// WAL is a write-ahead-logged Backend: commits append one fsync'd framed
+// record to a log segment instead of rewriting a snapshot, and a
+// checkpoint writes a full snapshot and truncates the log. The recovery
+// contract is graviton-style append-only durability: after any crash,
+// reopening yields exactly the longest durable prefix — the newest
+// checkpoint plus every intact log record after it; a torn tail or a
+// corrupt record is detected (length + CRC-32C framing) and discarded.
+//
+// On-disk layout (one directory):
+//
+//	ckpt-%016d.ltsnap   checkpoint snapshots; the number is the sequence
+//	                    number of the last batch the snapshot covers
+//	wal-%016d.log       log segments; the number is the sequence number
+//	                    the segment starts after (its first record is
+//	                    base+1). Segment header: 8-byte magic "LTWAL\0\1"
+//	                    + base as uint64 LE; then framed records
+//	                    (walrecord.go).
+//
+// As a Backend, a WAL's versions are its checkpoints: Put == Checkpoint,
+// Get/Latest/Versions/Prune address checkpoint snapshots. Because a
+// checkpoint's version is the sequence number it covers, two checkpoints
+// with no batches between them share a version (same state, same number)
+// — the only departure from the plain backends' strictly-growing Put.
+type WAL struct {
+	mu       sync.Mutex
+	dir      string
+	opt      WALOptions
+	seg      *os.File // current segment, positioned at its durable end
+	segBase  uint64
+	segEnd   int64  // byte offset of the segment's last complete record
+	seq      uint64 // last appended batch sequence number
+	unsynced int    // appends since the last fsync (group commit)
+	broken   error  // a partial append this handle could not roll back
+}
+
+// WALOptions tunes a WAL.
+type WALOptions struct {
+	// SyncEvery groups commits: the segment is fsync'd once per SyncEvery
+	// appends instead of on every append. 0 or 1 syncs every append (full
+	// durability); larger values trade the tail of a crash for latency.
+	// Sync and Checkpoint always flush regardless.
+	SyncEvery int
+}
+
+// walMagic heads every log segment: "LTWAL" + NUL + format version 1.
+var walMagic = [8]byte{'L', 'T', 'W', 'A', 'L', 0, 0, 1}
+
+// segHeaderLen is the segment header: magic + base sequence number.
+const segHeaderLen = len(walMagic) + 8
+
+// OpenWAL opens (creating if needed) a write-ahead log in dir and
+// recovers its durable state: the newest segment is scanned and its torn
+// or corrupt tail, if any, is truncated away so appends continue from the
+// last durable record.
+func OpenWAL(dir string, opt WALOptions) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &WAL{dir: dir, opt: opt}
+	// Sweep checkpoint temp files a crash mid-Checkpoint left behind:
+	// they are incomplete by definition (a finished checkpoint is renamed
+	// to its ckpt-*.ltsnap name before Checkpoint returns).
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if name := e.Name(); filepath.Ext(name) == ".tmp" && strings.HasPrefix(name, "ckpt-") {
+				_ = os.Remove(filepath.Join(dir, name))
+			}
+		}
+	}
+	segs, err := w.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		base := uint64(0)
+		if cks, err := w.listCheckpoints(); err != nil {
+			return nil, err
+		} else if len(cks) > 0 {
+			base = cks[len(cks)-1]
+		}
+		if err := w.newSegment(base); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	base := segs[len(segs)-1]
+	f, err := os.OpenFile(w.segPath(base), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	good, lastSeq, err := repairSegment(f, base)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.seg, w.segBase, w.segEnd, w.seq = f, base, good, lastSeq
+	return w, nil
+}
+
+// repairSegment scans an opened segment, truncates any torn or corrupt
+// tail (including a torn header, which resets the file to an empty
+// segment), and returns the durable end offset and the last durable
+// sequence number.
+func repairSegment(f *os.File, base uint64) (int64, uint64, error) {
+	if err := checkSegHeader(f, base); err != nil {
+		if !errors.Is(err, ErrCorruptWAL) {
+			return 0, 0, err // real I/O failure: do not destroy the file
+		}
+		// Torn or foreign header: treat the whole file as torn and
+		// rewrite it as an empty segment rather than appending after junk.
+		if err := writeSegHeader(f, base); err != nil {
+			return 0, 0, err
+		}
+		return int64(segHeaderLen), base, nil
+	}
+	lastSeq := base
+	good, err := scanRecords(f, base, func(seq uint64, payload []byte) error {
+		lastSeq = seq
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	end := int64(segHeaderLen) + good
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	if st.Size() > end {
+		if err := f.Truncate(end); err != nil {
+			return 0, 0, err
+		}
+		if err := f.Sync(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return end, lastSeq, nil
+}
+
+// checkSegHeader reads and verifies the segment header; the file offset
+// is left just past it on success. A short or mismatched header reports
+// ErrCorruptWAL (repairable); a real read failure comes back as-is.
+func checkSegHeader(r io.Reader, wantBase uint64) error {
+	var head [segHeaderLen]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		if isStreamEnd(err) {
+			return fmt.Errorf("%w: segment header: %v", ErrCorruptWAL, err)
+		}
+		return err
+	}
+	for i, b := range walMagic {
+		if head[i] != b {
+			return fmt.Errorf("%w: bad segment magic", ErrCorruptWAL)
+		}
+	}
+	if base := binary.LittleEndian.Uint64(head[len(walMagic):]); base != wantBase {
+		return fmt.Errorf("%w: segment base %d, want %d", ErrCorruptWAL, base, wantBase)
+	}
+	return nil
+}
+
+// writeSegHeader truncates f and writes a fresh header for base.
+func writeSegHeader(f *os.File, base uint64) error {
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	var head [segHeaderLen]byte
+	copy(head[:], walMagic[:])
+	binary.LittleEndian.PutUint64(head[len(walMagic):], base)
+	if _, err := f.Write(head[:]); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// newSegment creates and syncs an empty segment for base and makes it
+// current (caller holds the lock or is the constructor).
+func (w *WAL) newSegment(base uint64) error {
+	f, err := os.OpenFile(w.segPath(base), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := writeSegHeader(f, base); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.syncDir(); err != nil {
+		f.Close()
+		return err
+	}
+	if w.seg != nil {
+		w.seg.Close()
+	}
+	w.seg, w.segBase, w.segEnd, w.seq, w.unsynced = f, base, int64(segHeaderLen), base, 0
+	w.broken = nil
+	return nil
+}
+
+// Close releases the segment file handle. Appending after Close fails.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.seg == nil {
+		return nil
+	}
+	err := w.seg.Sync()
+	if cerr := w.seg.Close(); err == nil {
+		err = cerr
+	}
+	w.seg = nil
+	return err
+}
+
+// Seq returns the sequence number of the last appended batch (0 before
+// any append or checkpoint).
+func (w *WAL) Seq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// AppendBatch implements WALBackend: it frames payload as the next record
+// and appends it to the current segment. With SyncEvery ≤ 1 the append is
+// fsync'd before returning — the batch is durable once AppendBatch
+// returns; with group commit it becomes durable at the next flush.
+func (w *WAL) AppendBatch(payload []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.seg == nil {
+		return 0, errors.New("storage: WAL is closed")
+	}
+	if w.broken != nil {
+		return 0, fmt.Errorf("storage: WAL poisoned by an unrepaired partial append: %w", w.broken)
+	}
+	if len(payload) > maxRecord {
+		return 0, fmt.Errorf("storage: WAL batch of %d bytes exceeds the record limit", len(payload))
+	}
+	seq := w.seq + 1
+	frame := frameRecord(seq, payload)
+	if _, err := w.seg.Write(frame); err != nil {
+		// The record may be half-written. Roll the file back to the last
+		// complete record so later appends cannot land after torn bytes
+		// (recovery would silently discard them); if the rollback itself
+		// fails, poison the handle — reopening repairs the file.
+		if terr := w.seg.Truncate(w.segEnd); terr != nil {
+			w.broken = err
+		} else if _, serr := w.seg.Seek(w.segEnd, io.SeekStart); serr != nil {
+			w.broken = err
+		}
+		return 0, fmt.Errorf("storage: WAL append: %w", err)
+	}
+	w.segEnd += int64(len(frame))
+	w.seq = seq
+	w.unsynced++
+	if w.opt.SyncEvery <= 1 || w.unsynced >= w.opt.SyncEvery {
+		if err := w.seg.Sync(); err != nil {
+			return 0, fmt.Errorf("storage: WAL sync: %w", err)
+		}
+		w.unsynced = 0
+	}
+	return seq, nil
+}
+
+// Sync flushes any group-committed appends to disk.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.seg == nil || w.unsynced == 0 {
+		return nil
+	}
+	if err := w.seg.Sync(); err != nil {
+		return err
+	}
+	w.unsynced = 0
+	return nil
+}
+
+// ReplaySince implements WALBackend: it streams every durable batch with
+// sequence number > since, in order. A torn or corrupt tail ends the
+// replay silently (longest-durable-prefix semantics); a gap in the middle
+// — records missing although later segments exist — is data loss and is
+// reported as ErrCorruptWAL.
+func (w *WAL) ReplaySince(since uint64, fn func(seq uint64, payload []byte) error) error {
+	w.mu.Lock()
+	if w.seg != nil && w.unsynced > 0 {
+		// Replay reads the files; make sure everything appended through
+		// this handle is visible and durable first.
+		if err := w.seg.Sync(); err != nil {
+			w.mu.Unlock()
+			return err
+		}
+		w.unsynced = 0
+	}
+	segs, err := w.listSegments()
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Drop segments that end at or before since: segment i covers
+	// (segs[i], segs[i+1]] (the last one is open-ended).
+	start := 0
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1] <= since {
+			start = i + 1
+		}
+	}
+	next := since // last sequence number delivered (or skipped)
+	for i := start; i < len(segs); i++ {
+		base := segs[i]
+		if base > next {
+			return fmt.Errorf("%w: log gap: segment starts after %d but batch %d is missing",
+				ErrCorruptWAL, base, next+1)
+		}
+		f, err := os.Open(w.segPath(base))
+		if err != nil {
+			return err
+		}
+		herr := checkSegHeader(f, base)
+		if herr != nil {
+			f.Close()
+			if errors.Is(herr, ErrCorruptWAL) && i == len(segs)-1 {
+				return nil // torn newest segment: nothing durable in it
+			}
+			return herr
+		}
+		_, err = scanRecords(f, base, func(seq uint64, payload []byte) error {
+			if seq <= since {
+				next = seq
+				return nil
+			}
+			if seq != next+1 {
+				return fmt.Errorf("%w: log gap: batch %d follows %d", ErrCorruptWAL, seq, next)
+			}
+			if err := fn(seq, payload); err != nil {
+				return err
+			}
+			next = seq
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint implements WALBackend: it writes snapshot as the checkpoint
+// covering every batch appended so far (temp-write + rename + dir sync,
+// so a crash never exposes a torn checkpoint) and truncates the log — a
+// fresh segment starts after the checkpointed sequence number and the
+// older segments are deleted. Returns the checkpoint's version (= the
+// sequence number it covers).
+func (w *WAL) Checkpoint(snapshot []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.seg == nil {
+		return 0, errors.New("storage: WAL is closed")
+	}
+	// Batches the checkpoint covers must be durable before the checkpoint
+	// claims to cover them.
+	if w.unsynced > 0 {
+		if err := w.seg.Sync(); err != nil {
+			return 0, err
+		}
+		w.unsynced = 0
+	}
+	seq := w.seq
+	tmp, err := os.CreateTemp(w.dir, "ckpt-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tmp.Write(snapshot); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), w.ckptPath(seq)); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := w.syncDir(); err != nil {
+		return 0, err
+	}
+	// Log truncation: switch to a fresh segment starting after seq, then
+	// drop the now-redundant older segments. Skip the switch when the
+	// current segment is already empty at seq (repeat checkpoint) — but a
+	// poisoned empty segment is rewritten so the handle is usable again
+	// (the checkpoint supersedes whatever the torn append lost).
+	if seq == w.segBase && w.broken != nil {
+		if err := writeSegHeader(w.seg, w.segBase); err != nil {
+			return 0, err
+		}
+		w.segEnd = int64(segHeaderLen)
+		w.broken = nil
+	}
+	if seq > w.segBase {
+		if err := w.newSegment(seq); err != nil {
+			return 0, err
+		}
+		segs, err := w.listSegments()
+		if err != nil {
+			return 0, err
+		}
+		for _, base := range segs {
+			if base < seq {
+				if err := os.Remove(w.segPath(base)); err != nil {
+					return 0, err
+				}
+			}
+		}
+		if err := w.syncDir(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// ---------------------------------------------------------------- Backend
+
+// Put implements Backend: for a WAL, storing a snapshot is a checkpoint.
+func (w *WAL) Put(data []byte) (uint64, error) { return w.Checkpoint(data) }
+
+// Get implements Backend over checkpoint snapshots.
+func (w *WAL) Get(version uint64) ([]byte, error) {
+	data, err := os.ReadFile(w.ckptPath(version))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %d", ErrNoVersion, version)
+	}
+	return data, err
+}
+
+// Latest implements Backend: the newest checkpoint snapshot. Batches
+// appended after it are not reflected — recovery is Latest + ReplaySince
+// (the Store's LoadLatest does exactly that for WAL backends).
+func (w *WAL) Latest() (uint64, []byte, error) {
+	cks, err := w.listCheckpoints()
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(cks) == 0 {
+		return 0, nil, ErrNoVersion
+	}
+	v := cks[len(cks)-1]
+	data, err := w.Get(v)
+	return v, data, err
+}
+
+// Versions implements Backend: the checkpoint versions, ascending.
+func (w *WAL) Versions() ([]uint64, error) { return w.listCheckpoints() }
+
+// Prune implements Backend: drops checkpoints strictly below keep, always
+// retaining the newest one (the log after it is the live tail).
+func (w *WAL) Prune(keep uint64) error {
+	cks, err := w.listCheckpoints()
+	if err != nil || len(cks) == 0 {
+		return err
+	}
+	newest := cks[len(cks)-1]
+	for _, v := range cks {
+		if v < keep && v != newest {
+			if err := os.Remove(w.ckptPath(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------------- dir utils
+
+func (w *WAL) segPath(base uint64) string {
+	return filepath.Join(w.dir, fmt.Sprintf("wal-%016d.log", base))
+}
+
+func (w *WAL) ckptPath(seq uint64) string {
+	return filepath.Join(w.dir, fmt.Sprintf("ckpt-%016d.ltsnap", seq))
+}
+
+// listSegments returns the segment base numbers, ascending.
+func (w *WAL) listSegments() ([]uint64, error) {
+	return w.scanDir("wal-%016d.log")
+}
+
+// listCheckpoints returns the checkpoint versions, ascending.
+func (w *WAL) listCheckpoints() ([]uint64, error) {
+	return w.scanDir("ckpt-%016d.ltsnap")
+}
+
+func (w *WAL) scanDir(pattern string) ([]uint64, error) {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, err
+	}
+	out := []uint64{}
+	for _, e := range entries {
+		var v uint64
+		if n, err := fmt.Sscanf(e.Name(), pattern, &v); err == nil && n == 1 {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// syncDir makes directory-entry changes (create/rename/delete) durable.
+func (w *WAL) syncDir() error {
+	dir, err := os.Open(w.dir)
+	if err != nil {
+		return err
+	}
+	err = dir.Sync()
+	if cerr := dir.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

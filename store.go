@@ -2,6 +2,8 @@ package ltree
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"io"
 	"strings"
 	"sync"
@@ -34,6 +36,16 @@ type Store struct {
 	mu  sync.RWMutex // many readers xor one writer over doc
 	doc *document.Doc
 	idx atomic.Pointer[publishedIndex] // read lock-free
+
+	// wal, when non-nil, receives every committed batch as one appended
+	// log record (see WithWAL); commits are then durable without
+	// rewriting a snapshot. walErr, once set, suspends appending: the log
+	// is missing a committed batch, so appending later batches would
+	// leave a logical hole that poisons recovery of the whole tail. A
+	// successful Checkpoint clears it (the snapshot covers the missed
+	// batches and truncates the log).
+	wal    storage.WALBackend
+	walErr error
 }
 
 // publishedIndex pairs an index version with its number so lock-free
@@ -86,14 +98,53 @@ func (s *Store) Root() *Elem { return s.doc.X.Root }
 func (s *Store) IndexVersion() uint64 { return s.idx.Load().version }
 
 // commitLocked folds the write batch recorded since the last commit into
-// the next index version and publishes it. Caller holds the write lock.
-func (s *Store) commitLocked() {
+// the next index version, publishes it, and — when a WAL is attached —
+// appends the batch's logical ops as one fsync'd log record. Caller holds
+// the write lock. The index is published even when the append fails, so
+// the in-memory engine stays consistent; the returned error then means
+// "this commit may not be durable" and the caller should checkpoint or
+// stop trusting the log.
+func (s *Store) commitLocked() error {
 	ch := s.doc.TakeChanges()
-	if ch.Empty() {
-		return
+	ops := s.doc.TakeOps()
+	if !ch.Empty() {
+		cur := s.idx.Load()
+		s.idx.Store(&publishedIndex{ix: cur.ix.Apply(s.doc, ch), version: cur.version + 1})
 	}
-	cur := s.idx.Load()
-	s.idx.Store(&publishedIndex{ix: cur.ix.Apply(s.doc, ch), version: cur.version + 1})
+	return s.appendOpsLocked(ops)
+}
+
+// appendOpsLocked logs one committed batch to the attached WAL (no-op
+// without one), maintaining the suspension state: after a lost batch no
+// further batch may be appended — the hole would poison replay of the
+// whole tail — until a successful Checkpoint re-bases the log.
+func (s *Store) appendOpsLocked(ops []storage.Op) error {
+	if s.wal == nil || len(ops) == 0 {
+		return nil
+	}
+	if s.walErr != nil {
+		return fmt.Errorf("ltree: wal suspended after a lost batch (Checkpoint to recover): %w", s.walErr)
+	}
+	payload, err := storage.EncodeOps(ops)
+	if err != nil {
+		s.walErr = err
+		return fmt.Errorf("ltree: wal encode: %w", err)
+	}
+	if _, err := s.wal.AppendBatch(payload); err != nil {
+		s.walErr = err
+		return fmt.Errorf("ltree: wal append: %w", err)
+	}
+	return nil
+}
+
+// firstErr returns the first non-nil error.
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Query evaluates a path expression ("/site//item/name", "book//title",
@@ -163,13 +214,18 @@ func (s *Store) Elements(tag string) []*Elem {
 // write lock for the duration of fn.
 //
 // A Batch is not a transaction: an error from fn rolls nothing back —
-// the commit still publishes whatever fn changed, keeping the index in
-// sync with the document. Callers needing rollback should SaveVersion
-// first and LoadVersion on failure.
-func (s *Store) Update(fn func(*Batch) error) error {
+// the commit still publishes (and, with a WAL attached, logs) whatever fn
+// changed, keeping the index and the log in sync with the document.
+// Callers needing rollback should SaveVersion first and LoadVersion on
+// failure.
+func (s *Store) Update(fn func(*Batch) error) (err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.commitLocked()
+	// Deferred so a panic in fn still commits: the index (and WAL) must
+	// reflect whatever fn mutated before the panic unwinds past us.
+	defer func() {
+		err = firstErr(err, s.commitLocked())
+	}()
 	return fn(&Batch{doc: s.doc})
 }
 
@@ -218,41 +274,41 @@ func (tx *Batch) Move(n, parent *Elem, idx int) error { return tx.doc.Move(n, pa
 
 // InsertElement creates and labels an empty element as parent's idx-th
 // child.
-func (s *Store) InsertElement(parent *Elem, idx int, tag string, attrs ...Attr) (*Elem, error) {
+func (s *Store) InsertElement(parent *Elem, idx int, tag string, attrs ...Attr) (el *Elem, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.commitLocked()
+	defer func() { err = firstErr(err, s.commitLocked()) }()
 	return s.doc.InsertElement(parent, idx, tag, attrs...)
 }
 
 // InsertText creates and labels a text node as parent's idx-th child.
-func (s *Store) InsertText(parent *Elem, idx int, data string) (*Elem, error) {
+func (s *Store) InsertText(parent *Elem, idx int, data string) (txt *Elem, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.commitLocked()
+	defer func() { err = firstErr(err, s.commitLocked()) }()
 	return s.doc.InsertText(parent, idx, data)
 }
 
 // InsertSubtree splices a detached subtree (built with NewElement/NewText
 // or parsed via ParseXML) as parent's idx-th child, labeling all of its
 // tags with one bulk run insertion (paper §4.1).
-func (s *Store) InsertSubtree(parent *Elem, idx int, sub *Elem) error {
+func (s *Store) InsertSubtree(parent *Elem, idx int, sub *Elem) (err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.commitLocked()
+	defer func() { err = firstErr(err, s.commitLocked()) }()
 	return s.doc.InsertSubtree(parent, idx, sub)
 }
 
 // InsertXML parses an XML fragment and splices it as parent's idx-th
 // child in one bulk insertion.
-func (s *Store) InsertXML(parent *Elem, idx int, fragment string) (*Elem, error) {
+func (s *Store) InsertXML(parent *Elem, idx int, fragment string) (el *Elem, err error) {
 	frag, err := xmldom.ParseString(fragment)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.commitLocked()
+	defer func() { err = firstErr(err, s.commitLocked()) }()
 	if err := s.doc.InsertSubtree(parent, idx, frag.Root); err != nil {
 		return nil, err
 	}
@@ -261,29 +317,34 @@ func (s *Store) InsertXML(parent *Elem, idx int, fragment string) (*Elem, error)
 
 // Delete detaches a subtree; its labels become tombstones and nothing is
 // relabeled (paper §2.3).
-func (s *Store) Delete(n *Elem) error {
+func (s *Store) Delete(n *Elem) (err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.commitLocked()
+	defer func() { err = firstErr(err, s.commitLocked()) }()
 	return s.doc.DeleteSubtree(n)
 }
 
 // Move relocates a subtree to become parent's idx-th child, preserving
 // node identities: the old labels become tombstones and the subtree is
 // relabeled at the target with one bulk run.
-func (s *Store) Move(n, parent *Elem, idx int) error {
+func (s *Store) Move(n, parent *Elem, idx int) (err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer s.commitLocked()
+	defer func() { err = firstErr(err, s.commitLocked()) }()
 	return s.doc.Move(n, parent, idx)
 }
 
 // Refresh resyncs the published index after direct mutations of the
-// underlying Document. It is a no-op when nothing changed.
-func (s *Store) Refresh() {
+// underlying Document, committing them exactly like a batch (mutations
+// made through the Document's methods are op-logged, so on a WAL-backed
+// store Refresh persists them too). It is a no-op when nothing changed.
+// Only raw DOM edits below the document layer (SetData, SetAttr, or
+// xmldom surgery) are invisible to both the change tracker and the op
+// log — those need a Checkpoint to become durable.
+func (s *Store) Refresh() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.commitLocked()
+	return s.commitLocked()
 }
 
 // Snapshot serializes the store — DOM plus exact label state, snapshot
@@ -321,6 +382,171 @@ func NewMemoryBackend() Backend { return storage.NewMemory() }
 // one file per version, crash-safe writes.
 func NewFileBackend(dir string) (Backend, error) { return storage.NewFile(dir) }
 
+// WALBackend is a write-ahead-logged Backend: commits append one framed,
+// CRC-checked, fsync'd record per batch instead of rewriting a snapshot;
+// a checkpoint writes a snapshot and truncates the log. See DESIGN.md §6.
+type WALBackend = storage.WALBackend
+
+// WALOptions tunes a WAL backend (group-commit sync cadence).
+type WALOptions = storage.WALOptions
+
+// NewWALBackend opens (creating if needed) a write-ahead log in dir. A
+// torn or corrupt log tail left by a crash is detected and truncated on
+// open. Recover a store from it with LoadLatest; attach it to a fresh
+// store with WithWAL.
+func NewWALBackend(dir string, opt WALOptions) (WALBackend, error) {
+	return storage.OpenWAL(dir, opt)
+}
+
+// errStopReplay is a sentinel used to probe a WAL for appended batches.
+var errStopReplay = errors.New("ltree: stop replay")
+
+// WithWAL attaches an empty WAL backend to the store and switches it to
+// incremental persistence: every committed batch is appended to the log
+// as one record of logical ops, and Checkpoint writes a snapshot and
+// truncates the log. The attach writes the baseline checkpoint (the
+// current document state) so recovery always has a snapshot to replay
+// onto. A WAL that already holds history belongs to some other store —
+// recover it with LoadLatest instead; attaching it here is an error.
+//
+// Once attached, mutate through the Store/Batch API (or through the
+// Document's methods followed by Refresh, which commits them). Only raw
+// DOM edits below the document layer (SetData and friends) escape the op
+// log; those need a Checkpoint to become durable.
+func (s *Store) WithWAL(w WALBackend) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		return errors.New("ltree: store already has a WAL attached")
+	}
+	if _, _, err := w.Latest(); err == nil {
+		return errors.New("ltree: WAL already holds a checkpoint; recover it with LoadLatest")
+	} else if !errors.Is(err, ErrNoVersion) {
+		return err
+	}
+	hasBatches := false
+	if err := w.ReplaySince(0, func(uint64, []byte) error {
+		hasBatches = true
+		return errStopReplay
+	}); err != nil && !errors.Is(err, errStopReplay) {
+		return err
+	}
+	if hasBatches {
+		return errors.New("ltree: WAL already holds log records; recover it with LoadLatest")
+	}
+	var buf bytes.Buffer
+	if err := s.doc.Snapshot(&buf); err != nil {
+		return err
+	}
+	if _, err := w.Checkpoint(buf.Bytes()); err != nil {
+		return err
+	}
+	// Only now that the baseline is durable: a failed attach must not
+	// leave op recording (and its per-mutation path/label bookkeeping)
+	// permanently on for a store with no WAL.
+	s.doc.TrackOps()
+	s.wal = w
+	return nil
+}
+
+// Checkpoint snapshots the store into its WAL and truncates the log: the
+// recovery path becomes "this snapshot, no replay" until further commits
+// append to the fresh log. Returns the checkpoint's version. Commits are
+// O(batch); this is the one deliberately O(document) operation, so run it
+// on whatever cadence bounds your recovery time.
+//
+// Checkpoint is also the repair path after a failed append: the snapshot
+// covers the batches the log lost, so a success lifts the suspension and
+// commits log again.
+func (s *Store) Checkpoint() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return 0, errors.New("ltree: no WAL attached (WithWAL, or LoadLatest on a WAL backend)")
+	}
+	// Fold any uncommitted state (direct Document() mutations since the
+	// last commit) into this checkpoint: publish the index and discard
+	// the pending ops — the snapshot below covers them, and appending
+	// them after it would replay them twice.
+	if ch := s.doc.TakeChanges(); !ch.Empty() {
+		cur := s.idx.Load()
+		s.idx.Store(&publishedIndex{ix: cur.ix.Apply(s.doc, ch), version: cur.version + 1})
+	}
+	s.doc.TakeOps()
+	var buf bytes.Buffer
+	if err := s.doc.Snapshot(&buf); err != nil {
+		// The drained ops are gone but the snapshot never happened:
+		// appending later batches would leave a hole, so suspend until a
+		// checkpoint succeeds.
+		s.walErr = firstErr(s.walErr, err)
+		return 0, err
+	}
+	v, err := s.wal.Checkpoint(buf.Bytes())
+	if err != nil {
+		// Whether or not the checkpoint file became visible, the only
+		// coherent continuation is another (successful) checkpoint: the
+		// drained ops exist nowhere else, and appending past them would
+		// poison replay.
+		s.walErr = firstErr(s.walErr, err)
+		return 0, err
+	}
+	s.walErr = nil
+	return v, nil
+}
+
+// replayBatch applies one recovered WAL batch: ops replay through the
+// normal mutation paths (ApplyOps verifies the recorded labels), then the
+// index advances exactly as a live commit would — one version per batch,
+// patched copy-on-write from the change set the replay produced. A batch
+// containing a compaction rebuilds the index outright, as Compact does.
+func (s *Store) replayBatch(ops []storage.Op) error {
+	if err := s.doc.ApplyOps(ops); err != nil {
+		return err
+	}
+	s.doc.TakeOps() // replay records nothing; drain defensively
+	for _, op := range ops {
+		if op.Kind == storage.OpCompact {
+			s.doc.TakeChanges()
+			s.idx.Store(&publishedIndex{ix: index.Build(s.doc), version: s.idx.Load().version + 1})
+			return nil
+		}
+	}
+	ch := s.doc.TakeChanges()
+	if ch.Empty() {
+		return nil
+	}
+	cur := s.idx.Load()
+	s.idx.Store(&publishedIndex{ix: cur.ix.Apply(s.doc, ch), version: cur.version + 1})
+	return nil
+}
+
+// loadWAL recovers a store from a WAL backend: newest checkpoint plus a
+// replay of the durable log tail. The WAL stays attached — subsequent
+// commits keep appending where the log left off.
+func loadWAL(w WALBackend) (*Store, error) {
+	seq, data, err := w.Latest()
+	if err != nil {
+		return nil, err
+	}
+	doc, err := document.Restore(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	s := newStore(doc)
+	s.doc.TrackOps()
+	if err := w.ReplaySince(seq, func(_ uint64, payload []byte) error {
+		ops, err := storage.DecodeOps(payload)
+		if err != nil {
+			return err
+		}
+		return s.replayBatch(ops)
+	}); err != nil {
+		return nil, fmt.Errorf("ltree: wal replay: %w", err)
+	}
+	s.wal = w
+	return s, nil
+}
+
 // SaveVersion snapshots the store into a storage backend as the next
 // version and returns its number. Old versions stay readable until
 // pruned, so a mis-applied batch can be rolled back by loading an
@@ -342,8 +568,14 @@ func LoadVersion(b Backend, version uint64) (*Store, error) {
 	return Restore(bytes.NewReader(data))
 }
 
-// LoadLatest reconstructs a Store from the newest stored snapshot.
+// LoadLatest reconstructs a Store from the newest stored snapshot. For a
+// WAL backend this is crash recovery: the newest checkpoint plus a replay
+// of the durable log tail (torn or corrupt tail records are discarded),
+// and the WAL stays attached so commits keep appending.
 func LoadLatest(b Backend) (*Store, error) {
+	if w, ok := b.(WALBackend); ok {
+		return loadWAL(w)
+	}
 	_, data, err := b.Latest()
 	if err != nil {
 		return nil, err
@@ -360,7 +592,19 @@ func (s *Store) Compact() error {
 	err := s.doc.CompactLabels()
 	s.doc.TakeChanges() // everything moved; a patch would refresh it all anyway
 	s.idx.Store(&publishedIndex{ix: index.Build(s.doc), version: s.idx.Load().version + 1})
-	return err
+	// Compaction logs as a single op — replay re-runs the deterministic
+	// rebuild, so the log stays O(1) for an O(document) relabeling.
+	ops := s.doc.TakeOps()
+	if err != nil {
+		// The tree may be partially compacted with nothing logged (and
+		// any pending direct-mutation ops were just dropped): suspend
+		// appends until a Checkpoint captures the actual state.
+		if s.wal != nil {
+			s.walErr = firstErr(s.walErr, err)
+		}
+		return err
+	}
+	return s.appendOpsLocked(ops)
 }
 
 // Stats returns the accumulated maintenance counters.
