@@ -14,6 +14,7 @@ import (
 
 	"github.com/ltree-db/ltree/internal/core"
 	"github.com/ltree-db/ltree/internal/document"
+	"github.com/ltree-db/ltree/internal/index"
 	"github.com/ltree-db/ltree/internal/labeling"
 	"github.com/ltree-db/ltree/internal/ostree"
 	"github.com/ltree-db/ltree/internal/query"
@@ -259,6 +260,17 @@ func BenchmarkQuery(b *testing.B) {
 			}
 		}
 	})
+	b.Run("labeljoin-chunked", func(b *testing.B) {
+		// Same join streamed through the chunked index's cursors: Seek
+		// skips whole chunks of candidates outside the context intervals.
+		cix := index.Build(d)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := query.Join(d, cix, path); len(res) == 0 {
+				b.Fatal("no results")
+			}
+		}
+	})
 	b.Run("navigation", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if res := query.Nav(d, path); len(res) == 0 {
@@ -298,6 +310,27 @@ func BenchmarkStore(b *testing.B) {
 			b.Fatal(err)
 		}
 		parent := st.Root()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.InsertElement(parent, i%(parent.NumChildren()+1), "x"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("insert-element-hot", func(b *testing.B) {
+		// The chunked-postings acceptance case: single-op commits into a
+		// tag already holding 500 postings. The flat COW representation
+		// paid an O(tag) copy per commit here; chunking pays O(chunk).
+		st, err := OpenString(`<r><a/></r>`, DefaultParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parent := st.Root()
+		for i := 0; i < 500; i++ {
+			if _, err := st.InsertElement(parent, i%(parent.NumChildren()+1), "x"); err != nil {
+				b.Fatal(err)
+			}
+		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := st.InsertElement(parent, i%(parent.NumChildren()+1), "x"); err != nil {

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -49,6 +50,7 @@ var experiments = []experiment{
 	{"radix", "ablation: tight radix f−1 vs the paper's printed f+1", expRadix},
 	{"concurrent", "engine: concurrent reads over the COW index vs the exclusive-lock path", expConcurrent},
 	{"wal", "engine: commit latency — snapshot-per-save vs WAL append vs batched WAL", expWal},
+	{"chunk", "engine: chunked COW posting lists — single-op patch cost vs tag fan-in, flat baseline", expChunk},
 }
 
 func main() {
@@ -58,6 +60,9 @@ func main() {
 	flag.Parse()
 
 	c := config{quick: *quick, n: *n}
+	// Every table is CPU-sensitive; print the parallelism up front so no
+	// archived run circulates without its hardware context again.
+	fmt.Printf("runtime: GOMAXPROCS=%d NumCPU=%d\n\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
 	want := strings.Split(*expFlag, ",")
 	ran := 0
 	for _, e := range experiments {

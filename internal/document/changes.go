@@ -16,16 +16,22 @@ import (
 // Added with their fresh labels. A node may appear in more than one set
 // (a moved subtree's elements are Removed and then Added); consumers
 // resolve that by checking whether the node is still bound at apply time.
+//
+// Removed carries the element's begin label captured at its first unbind
+// in the batch — the last position the element verifiably held. A chunked
+// index uses it to route the removal to the one chunk that holds the
+// entry instead of scanning the tag (sound whenever the tag saw no
+// relabeling in the same batch; see index.patchTag).
 type Changes struct {
 	Added   map[*xmldom.Node]struct{}
-	Removed map[*xmldom.Node]struct{}
+	Removed map[*xmldom.Node]uint64
 	Touched map[*xmldom.Node]struct{}
 }
 
 func newChanges() *Changes {
 	return &Changes{
 		Added:   make(map[*xmldom.Node]struct{}),
-		Removed: make(map[*xmldom.Node]struct{}),
+		Removed: make(map[*xmldom.Node]uint64),
 		Touched: make(map[*xmldom.Node]struct{}),
 	}
 }
@@ -45,6 +51,12 @@ func (d *Doc) TrackChanges() {
 	}
 	d.rec = newChanges()
 	d.tree.SetRelabelHook(func(lf *core.Node) {
+		// Tombstoned leaves still get renumbered by maintenance, but their
+		// nodes left the index when they were removed — recording them
+		// would resurrect long-dead elements as "touched".
+		if lf.Deleted() {
+			return
+		}
 		n, ok := lf.Payload().(*xmldom.Node)
 		if !ok || n.Kind() != xmldom.Element {
 			return
@@ -71,9 +83,14 @@ func (d *Doc) recordAdded(n *xmldom.Node) {
 	}
 }
 
-// recordRemoved notes an unbound element.
-func (d *Doc) recordRemoved(n *xmldom.Node) {
+// recordRemoved notes an unbound element and the begin label it held.
+// The first removal in a batch wins: a node removed, re-added, and
+// removed again still sat at its original position in the last published
+// index, which is the position the label must name.
+func (d *Doc) recordRemoved(n *xmldom.Node, begin uint64) {
 	if d.rec != nil && n.Kind() == xmldom.Element {
-		d.rec.Removed[n] = struct{}{}
+		if _, dup := d.rec.Removed[n]; !dup {
+			d.rec.Removed[n] = begin
+		}
 	}
 }

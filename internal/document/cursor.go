@@ -1,0 +1,64 @@
+package document
+
+import "sort"
+
+// Cursor streams one begin-sorted posting list. It is the query layer's
+// view of an index: implementations back it with whatever physical layout
+// they use (a contiguous slice here, immutable chunks in internal/index),
+// and the structural joins consume postings one at a time instead of
+// demanding a contiguous slice.
+//
+// A cursor is forward-only and single-use: Next yields the next posting
+// in begin order, Seek advances to the first posting whose Label.Begin is
+// >= begin (never retreating — seeking behind the current position is a
+// plain Next) and yields it. Both report ok=false once the list is
+// exhausted. Cursors are not safe for concurrent use; obtain one per
+// traversal. The underlying postings are shared and read-only.
+type Cursor interface {
+	Next() (Entry, bool)
+	Seek(begin uint64) (Entry, bool)
+}
+
+// SliceCursor adapts a begin-sorted []Entry to the Cursor interface —
+// the one-shot TagIndex snapshot and any materialized intermediate result
+// stream through it.
+type SliceCursor struct {
+	es []Entry
+	i  int
+}
+
+// NewSliceCursor wraps a begin-sorted entry slice. The slice is shared,
+// not copied, and must not be mutated while the cursor lives.
+func NewSliceCursor(es []Entry) *SliceCursor { return &SliceCursor{es: es} }
+
+// Next implements Cursor.
+func (c *SliceCursor) Next() (Entry, bool) {
+	if c.i >= len(c.es) {
+		return Entry{}, false
+	}
+	e := c.es[c.i]
+	c.i++
+	return e, true
+}
+
+// Seek implements Cursor by binary search over the remaining entries.
+func (c *SliceCursor) Seek(begin uint64) (Entry, bool) {
+	rest := c.es[c.i:]
+	c.i += sort.Search(len(rest), func(i int) bool { return rest[i].Label.Begin >= begin })
+	return c.Next()
+}
+
+// Cursor returns a streaming view of the begin-sorted posting list for a
+// tag ("*" flattens every element). This makes a plain TagIndex satisfy
+// the query layer's cursor-based index interface; internal/index provides
+// the incremental chunked variant whose Seek skips whole chunks.
+func (ix TagIndex) Cursor(tag string) Cursor { return NewSliceCursor(ix.Postings(tag)) }
+
+// DrainCursor materializes the rest of a cursor into a slice.
+func DrainCursor(c Cursor) []Entry {
+	var out []Entry
+	for e, ok := c.Next(); ok; e, ok = c.Next() {
+		out = append(out, e)
+	}
+	return out
+}

@@ -268,7 +268,7 @@ func (d *Doc) DeleteSubtree(n *xmldom.Node) error {
 			}
 		}
 		delete(d.bind, v)
-		d.recordRemoved(v)
+		d.recordRemoved(v, b.begin.Num())
 		return true
 	})
 	if err != nil {
@@ -371,7 +371,7 @@ func (d *Doc) move(n, parent *xmldom.Node, idx int) error {
 			}
 		}
 		delete(d.bind, v)
-		d.recordRemoved(v)
+		d.recordRemoved(v, b.begin.Num())
 		return true
 	})
 	if err != nil {

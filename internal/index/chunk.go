@@ -1,0 +1,267 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ltree-db/ltree/internal/document"
+)
+
+// DefaultChunkSize is the target chunk capacity: the copy-on-write floor
+// of a single-posting patch. 256 entries keeps a chunk around 10KB — big
+// enough that the per-chunk directory stays tiny, small enough that the
+// copy is a short memmove.
+const DefaultChunkSize = 256
+
+// chunk is an immutable run of begin-sorted postings. Once a chunk is
+// referenced by a published index version it is never mutated; patches
+// build replacement chunks and share the rest.
+type chunk struct {
+	entries []document.Entry // 1 <= len <= chunkSize
+}
+
+func (c *chunk) minBegin() uint64 { return c.entries[0].Label.Begin }
+func (c *chunk) maxBegin() uint64 { return c.entries[len(c.entries)-1].Label.Begin }
+
+// fence summarizes one chunk for routing and skip scans: its first and
+// last begin labels. Fences are kept in their own pointer-free packed
+// array so a directory copy is a plain memmove (no write barriers) and
+// a cursor's Seek binary-searches cache-dense uint64 pairs — the fences
+// double as a skip index over the chunk sequence, in the spirit of the
+// clustered per-tag layouts of succinct labeled-tree representations.
+type fence struct {
+	min uint64
+	max uint64
+}
+
+// postings is one tag's chunked posting list: parallel fence and chunk
+// arrays (the directory; fences[i] describes chunks[i]) plus the entry
+// total. A patch copies the directory — 16 pointer-free bytes plus one
+// pointer per chunk — and the chunks it touches; everything else is
+// shared between versions.
+type postings struct {
+	fences []fence
+	chunks []*chunk
+	count  int
+}
+
+// builder accumulates a directory during a patch pass.
+type builder struct {
+	fences []fence
+	chunks []*chunk
+}
+
+// grown pre-sizes a builder for about n chunks.
+func grown(n int) builder {
+	return builder{fences: make([]fence, 0, n), chunks: make([]*chunk, 0, n)}
+}
+
+// share appends an existing chunk with its fence unchanged.
+func (b *builder) share(f fence, c *chunk) {
+	b.fences = append(b.fences, f)
+	b.chunks = append(b.chunks, c)
+}
+
+// add wraps a fresh entry run as one chunk and computes its fence.
+func (b *builder) add(es []document.Entry) {
+	c := &chunk{entries: es}
+	b.fences = append(b.fences, fence{min: c.minBegin(), max: c.maxBegin()})
+	b.chunks = append(b.chunks, c)
+}
+
+// addRun splits a begin-sorted entry run into balanced chunks of at
+// most size entries each. Balancing (rather than greedy filling) keeps
+// every emitted chunk at least size/2 when the run overflows, so splits
+// never create an undersized remainder.
+func (b *builder) addRun(es []document.Entry, size int) {
+	n := len(es)
+	if n == 0 {
+		return
+	}
+	k := (n + size - 1) / size
+	base, rem := n/k, n%k
+	for lo := 0; lo < n; {
+		hi := lo + base
+		if rem > 0 {
+			hi++
+			rem--
+		}
+		b.add(es[lo:hi:hi])
+		lo = hi
+	}
+}
+
+// posting finalizes the builder into a postings value.
+func (b *builder) postings() *postings {
+	p := &postings{fences: b.fences, chunks: b.chunks}
+	for _, c := range b.chunks {
+		p.count += len(c.entries)
+	}
+	return p
+}
+
+// chunkify builds a tag's chunked postings from a begin-sorted run.
+func chunkify(es []document.Entry, size int) *postings {
+	b := grown((len(es) + size - 1) / size)
+	b.addRun(es, size)
+	return b.postings()
+}
+
+// flatten materializes the full begin-sorted run.
+func (p *postings) flatten() []document.Entry {
+	if p == nil {
+		return nil
+	}
+	out := make([]document.Entry, 0, p.count)
+	for _, c := range p.chunks {
+		out = append(out, c.entries...)
+	}
+	return out
+}
+
+// appendTo appends every entry to dst (an allocation-free flatten step
+// for the all-elements merge).
+func (p *postings) appendTo(dst []document.Entry) []document.Entry {
+	if p == nil {
+		return dst
+	}
+	for _, c := range p.chunks {
+		dst = append(dst, c.entries...)
+	}
+	return dst
+}
+
+// mergeUnderflow re-balances a patched directory: a chunk that shrank
+// below size/4 absorbs following chunks (or, at the tail, its
+// predecessor) until the run reaches the floor again, then re-splits
+// balanced. Chunks already at or above the floor pass through untouched,
+// so the work stays proportional to the chunks the batch shrank. A tag
+// whose entire population fits below the floor keeps one undersized
+// chunk — the only-chunk exception.
+func mergeUnderflow(b builder, size int) builder {
+	min := size / 4
+	if min < 1 {
+		min = 1
+	}
+	if len(b.chunks) < 2 {
+		return b
+	}
+	ok := true
+	for _, c := range b.chunks {
+		if len(c.entries) < min {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return b
+	}
+	out := grown(len(b.chunks))
+	for i := 0; i < len(b.chunks); {
+		if len(b.chunks[i].entries) >= min {
+			out.share(b.fences[i], b.chunks[i])
+			i++
+			continue
+		}
+		run := append([]document.Entry(nil), b.chunks[i].entries...)
+		i++
+		for len(run) < min && i < len(b.chunks) {
+			run = append(run, b.chunks[i].entries...)
+			i++
+		}
+		if len(run) < min && len(out.chunks) > 0 {
+			prev := out.chunks[len(out.chunks)-1]
+			out.fences = out.fences[:len(out.fences)-1]
+			out.chunks = out.chunks[:len(out.chunks)-1]
+			run = append(append([]document.Entry(nil), prev.entries...), run...)
+		}
+		out.addRun(run, size)
+	}
+	return out
+}
+
+// checkChunks validates the chunk invariants for one tag: fences match
+// the entries, sizes stay within [size/4, size] (the floor waived for a
+// tag's only chunk), begins strictly increase within and across chunks,
+// and the directory count matches the entry total.
+func (p *postings) checkChunks(tag string, size int) error {
+	min := size / 4
+	if min < 1 {
+		min = 1
+	}
+	if len(p.fences) != len(p.chunks) {
+		return fmt.Errorf("index: tag %q has %d fences for %d chunks", tag, len(p.fences), len(p.chunks))
+	}
+	total := 0
+	prev := uint64(0)
+	first := true
+	for i, c := range p.chunks {
+		n := len(c.entries)
+		if n == 0 {
+			return fmt.Errorf("index: tag %q chunk %d is empty", tag, i)
+		}
+		if n > size {
+			return fmt.Errorf("index: tag %q chunk %d holds %d entries, max %d", tag, i, n, size)
+		}
+		if n < min && len(p.chunks) > 1 {
+			return fmt.Errorf("index: tag %q chunk %d holds %d entries, floor %d", tag, i, n, min)
+		}
+		if p.fences[i].min != c.minBegin() || p.fences[i].max != c.maxBegin() {
+			return fmt.Errorf("index: tag %q chunk %d fences (%d,%d) disagree with entries (%d,%d)",
+				tag, i, p.fences[i].min, p.fences[i].max, c.minBegin(), c.maxBegin())
+		}
+		for _, e := range c.entries {
+			if !first && e.Label.Begin <= prev {
+				return fmt.Errorf("index: tag %q begin %d out of order in chunk %d", tag, e.Label.Begin, i)
+			}
+			prev = e.Label.Begin
+			first = false
+			total++
+		}
+	}
+	if total != p.count {
+		return fmt.Errorf("index: tag %q directory count %d, entries %d", tag, p.count, total)
+	}
+	return nil
+}
+
+// chunkCursor streams a chunked posting list. Seek uses the packed
+// fence array to discard whole chunks before descending into one — the
+// skip step that accelerates structural joins over large tags.
+type chunkCursor struct {
+	fences []fence
+	chunks []*chunk
+	ci     int // current chunk
+	ei     int // next entry within it
+}
+
+// Next implements document.Cursor.
+func (c *chunkCursor) Next() (document.Entry, bool) {
+	for c.ci < len(c.chunks) {
+		es := c.chunks[c.ci].entries
+		if c.ei < len(es) {
+			e := es[c.ei]
+			c.ei++
+			return e, true
+		}
+		c.ci++
+		c.ei = 0
+	}
+	return document.Entry{}, false
+}
+
+// Seek implements document.Cursor: binary search over the remaining
+// fences, then over the landing chunk's remaining entries.
+func (c *chunkCursor) Seek(begin uint64) (document.Entry, bool) {
+	if c.ci < len(c.chunks) && c.fences[c.ci].max < begin {
+		rest := c.fences[c.ci:]
+		c.ci += sort.Search(len(rest), func(i int) bool { return rest[i].max >= begin })
+		c.ei = 0
+	}
+	if c.ci >= len(c.chunks) {
+		return document.Entry{}, false
+	}
+	es := c.chunks[c.ci].entries[c.ei:]
+	c.ei += sort.Search(len(es), func(i int) bool { return es[i].Label.Begin >= begin })
+	return c.Next()
+}

@@ -23,12 +23,24 @@ func loadTracked(t *testing.T, src string) *document.Doc {
 }
 
 // equal checks an incremental index against a freshly built ground-truth
-// snapshot: same tags, same nodes, same labels, same levels, same order.
+// snapshot: same tags, same nodes, same labels, same levels, same order
+// (plus the chunk invariants, via Verify).
 func equal(t *testing.T, got *Index, d *document.Doc) {
 	t.Helper()
 	if err := Verify(got, d); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// apply drains the pending change batch into the next index version,
+// failing the test on a patch error.
+func apply(t *testing.T, ix *Index, d *document.Doc) *Index {
+	t.Helper()
+	next, err := ix.Apply(d, d.TakeChanges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return next
 }
 
 func TestApplyInsert(t *testing.T) {
@@ -39,7 +51,7 @@ func TestApplyInsert(t *testing.T) {
 	if _, err := d.InsertElement(d.X.Root, 1, "c"); err != nil {
 		t.Fatal(err)
 	}
-	ix = ix.Apply(d, d.TakeChanges())
+	ix = apply(t, ix, d)
 	equal(t, ix, d)
 	if len(ix.Postings("c")) != 1 {
 		t.Fatal("inserted element missing from index")
@@ -54,7 +66,7 @@ func TestApplyDelete(t *testing.T) {
 	if err := d.DeleteSubtree(d.X.Root.Child(0)); err != nil {
 		t.Fatal(err)
 	}
-	ix = ix.Apply(d, d.TakeChanges())
+	ix = apply(t, ix, d)
 	equal(t, ix, d)
 	if len(ix.Postings("a")) != 0 || len(ix.Postings("x")) != 0 {
 		t.Fatal("deleted subtree still indexed")
@@ -71,7 +83,7 @@ func TestApplyMove(t *testing.T) {
 	if err := d.Move(x, b, 0); err != nil {
 		t.Fatal(err)
 	}
-	ix = ix.Apply(d, d.TakeChanges())
+	ix = apply(t, ix, d)
 	equal(t, ix, d)
 }
 
@@ -123,7 +135,7 @@ func TestApplyRandomized(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		ix = ix.Apply(d, d.TakeChanges())
+		ix = apply(t, ix, d)
 		// Checking every step is O(n) each; the stream is small enough.
 		equal(t, ix, d)
 	}
@@ -153,7 +165,7 @@ func TestApplyBatched(t *testing.T) {
 	if err := d.Move(a.Child(0), d.X.Root, 0); err != nil { // y to the front
 		t.Fatal(err)
 	}
-	ix = ix.Apply(d, d.TakeChanges())
+	ix = apply(t, ix, d)
 	equal(t, ix, d)
 }
 
@@ -168,16 +180,24 @@ func TestCopyOnWriteSharing(t *testing.T) {
 	if _, err := d.InsertElement(d.X.Root, 0, "a"); err != nil {
 		t.Fatal(err)
 	}
-	v2 := v1.Apply(d, d.TakeChanges())
+	v2 := apply(t, v1, d)
 
 	if len(v1.Postings("a")) != 2 {
 		t.Fatal("old version mutated by Apply")
 	}
+	if len(bBefore) != 1 || len(v1.Postings("b")) != 1 {
+		t.Fatal("old version's b postings changed")
+	}
 	if len(v2.Postings("a")) != 3 {
 		t.Fatal("new version missing the insert")
 	}
-	if &bBefore[0] != &v2.Postings("b")[0] {
-		t.Fatal("untouched tag list not shared between versions")
+	// Postings materializes, so sharing is asserted on the chunks
+	// themselves: the untouched tag must point at the same chunk.
+	if v1.tags["b"].chunks[0] != v2.tags["b"].chunks[0] {
+		t.Fatal("untouched tag chunks not shared between versions")
+	}
+	if v1.tags["a"].chunks[0] == v2.tags["a"].chunks[0] {
+		t.Fatal("patched tag still shares its chunk with the old version")
 	}
 }
 

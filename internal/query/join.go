@@ -7,19 +7,26 @@ import (
 	"github.com/ltree-db/ltree/internal/xmldom"
 )
 
-// Index supplies begin-sorted posting lists per element tag; the tag "*"
-// stands for every element. Both document.TagIndex (a one-shot snapshot)
-// and index.Index (the incremental copy-on-write versions the Store
-// publishes) satisfy it. Implementations must be safe for concurrent
-// readers; the returned slices are shared and read-only.
+// Index supplies begin-sorted posting streams per element tag; the tag
+// "*" stands for every element. Both document.TagIndex (a one-shot
+// snapshot) and index.Index (the incremental chunked copy-on-write
+// versions the Store publishes) satisfy it. Implementations must be safe
+// for concurrent readers; each traversal obtains its own cursor, and the
+// postings behind it are shared and read-only.
+//
+// The cursor abstraction is what frees the index from contiguous
+// slices: the chunked index serves postings straight out of its
+// immutable chunks, and its Seek skips whole chunks by fence comparison,
+// which the structural joins below exploit to jump over candidates that
+// cannot have an ancestor in the context set.
 type Index interface {
-	Postings(tag string) []document.Entry
+	Cursor(tag string) document.Cursor
 }
 
 // Join evaluates the path with label-based structural joins over a tag
-// index. Every step is one linear merge of two begin-sorted posting lists
-// using the interval containment predicate — the relational plan the
-// paper's labeling scheme enables ("exactly one self-join with label
+// index. Every step is one linear merge of two begin-sorted posting
+// streams using the interval containment predicate — the relational plan
+// the paper's labeling scheme enables ("exactly one self-join with label
 // comparisons as predicates", §1). The child axis adds a level-equality
 // check on top of containment.
 func Join(d *document.Doc, idx Index, p *Path) []*xmldom.Node {
@@ -43,14 +50,14 @@ func Join(d *document.Doc, idx Index, p *Path) []*xmldom.Node {
 			if matchesStep(d.X.Root, first) {
 				ctx = append(ctx, rootEntry)
 			}
-			ctx = append(ctx, containedIn(stepPostings(idx, first), []document.Entry{rootEntry}, false)...)
+			ctx = append(ctx, containedIn(stepCursor(idx, first), []document.Entry{rootEntry}, false)...)
 			ctx = dedupEntries(ctx)
 		}
 	} else {
-		ctx = stepPostings(idx, first)
+		ctx = document.DrainCursor(stepCursor(idx, first))
 	}
 	for _, st := range p.Steps[1:] {
-		ctx = containedIn(stepPostings(idx, st), ctx, st.Axis == Child)
+		ctx = containedIn(stepCursor(idx, st), ctx, st.Axis == Child)
 	}
 	out := make([]*xmldom.Node, len(ctx))
 	for i, e := range ctx {
@@ -59,20 +66,44 @@ func Join(d *document.Doc, idx Index, p *Path) []*xmldom.Node {
 	return out
 }
 
-// stepPostings returns the begin-sorted posting list for a step,
-// applying its attribute predicates as an index filter.
-func stepPostings(idx Index, st Step) []document.Entry {
-	posts := idx.Postings(st.Tag)
+// stepCursor returns the begin-sorted posting stream for a step,
+// applying its attribute predicates as a streaming filter.
+func stepCursor(idx Index, st Step) document.Cursor {
+	cur := idx.Cursor(st.Tag)
 	if len(st.Preds) == 0 {
-		return posts
+		return cur
 	}
-	out := make([]document.Entry, 0, len(posts))
-	for _, e := range posts {
-		if passesPreds(e.Node, st.Preds) {
-			out = append(out, e)
+	return &predCursor{cur: cur, preds: st.Preds}
+}
+
+// predCursor filters a posting stream through a step's attribute
+// predicates without materializing the list.
+type predCursor struct {
+	cur   document.Cursor
+	preds []Pred
+}
+
+func (c *predCursor) Next() (document.Entry, bool) {
+	for {
+		e, ok := c.cur.Next()
+		if !ok {
+			return document.Entry{}, false
+		}
+		if passesPreds(e.Node, c.preds) {
+			return e, true
 		}
 	}
-	return out
+}
+
+func (c *predCursor) Seek(begin uint64) (document.Entry, bool) {
+	e, ok := c.cur.Seek(begin)
+	for ok && !passesPreds(e.Node, c.preds) {
+		e, ok = c.cur.Next()
+	}
+	if !ok {
+		return document.Entry{}, false
+	}
+	return e, true
 }
 
 func sortEntries(es []document.Entry) {
@@ -81,16 +112,24 @@ func sortEntries(es []document.Entry) {
 
 // containedIn returns the candidates that have an ancestor (or parent,
 // when childOnly) in ctx — the stack-based structural merge join: both
-// lists are begin-sorted; ancestors are pushed while their intervals are
-// open and popped once passed, so each element is touched O(1) times.
-func containedIn(candidates, ctx []document.Entry, childOnly bool) []document.Entry {
-	if len(candidates) == 0 || len(ctx) == 0 {
+// inputs are begin-sorted; ancestors are pushed while their intervals
+// are open and popped once passed, so each element is touched O(1)
+// times. Candidates stream through a cursor: whenever the ancestor stack
+// runs empty, every candidate before the next context interval is
+// provably unmatched, so the join Seeks past all of them — on the
+// chunked index that discards whole chunks by fence comparison instead
+// of scanning every posting.
+func containedIn(candidates document.Cursor, ctx []document.Entry, childOnly bool) []document.Entry {
+	if len(ctx) == 0 {
 		return nil
 	}
 	var out []document.Entry
 	var stack []document.Entry
 	ai := 0
-	for _, cand := range candidates {
+	// Containment is strict (anc.Begin < cand.Begin), so nothing at or
+	// before the first context begin can qualify.
+	cand, ok := candidates.Seek(ctx[0].Label.Begin + 1)
+	for ok {
 		// Pop closed ancestors.
 		for len(stack) > 0 && stack[len(stack)-1].Label.End < cand.Label.Begin {
 			stack = stack[:len(stack)-1]
@@ -103,21 +142,24 @@ func containedIn(candidates, ctx []document.Entry, childOnly bool) []document.En
 			ai++
 		}
 		if len(stack) == 0 {
+			if ai >= len(ctx) {
+				break // no context intervals left to open
+			}
+			// Skip every candidate before the next context interval.
+			cand, ok = candidates.Seek(ctx[ai].Label.Begin + 1)
 			continue
 		}
 		top := stack[len(stack)-1]
-		if !top.Label.Contains(cand.Label) {
-			continue
-		}
-		if childOnly {
-			// The innermost ctx ancestor is the parent iff it sits one
-			// level above; deeper ctx ancestors cannot be (nesting).
-			if top.Level == cand.Level-1 {
+		if top.Label.Contains(cand.Label) {
+			if !childOnly {
+				out = append(out, cand)
+			} else if top.Level == cand.Level-1 {
+				// The innermost ctx ancestor is the parent iff it sits one
+				// level above; deeper ctx ancestors cannot be (nesting).
 				out = append(out, cand)
 			}
-			continue
 		}
-		out = append(out, cand)
+		cand, ok = candidates.Next()
 	}
 	return out
 }
@@ -147,26 +189,27 @@ func dedupEntries(es []document.Entry) []document.Entry {
 	return out
 }
 
-// Descendants returns all elements strictly inside n, found by one binary
-// search plus a contiguous scan over a begin-sorted element list — the
-// primitive that turns "give me the subtree" into an index range lookup.
-// Pass the result of AllElements (reusable across calls).
-func Descendants(d *document.Doc, all []document.Entry, n *xmldom.Node) []*xmldom.Node {
+// Descendants returns all elements strictly inside n, found by one Seek
+// plus a contiguous scan of the "*" posting stream — the primitive that
+// turns "give me the subtree" into an index range lookup. On the chunked
+// index the Seek lands mid-chunk without touching anything before it.
+func Descendants(d *document.Doc, idx Index, n *xmldom.Node) []*xmldom.Node {
 	lab, err := d.Label(n)
 	if err != nil {
 		return nil
 	}
-	lo := sort.Search(len(all), func(i int) bool { return all[i].Label.Begin > lab.Begin })
 	var out []*xmldom.Node
-	for i := lo; i < len(all) && all[i].Label.Begin < lab.End; i++ {
-		if all[i].Label.End < lab.End {
-			out = append(out, all[i].Node)
+	cur := idx.Cursor("*")
+	for e, ok := cur.Seek(lab.Begin + 1); ok && e.Label.Begin < lab.End; e, ok = cur.Next() {
+		if e.Label.End < lab.End {
+			out = append(out, e.Node)
 		}
 	}
 	return out
 }
 
-// AllElements flattens a tag index into one begin-sorted posting list.
+// AllElements materializes the "*" posting stream: every element in
+// document order.
 func AllElements(idx Index) []document.Entry {
-	return idx.Postings("*")
+	return document.DrainCursor(idx.Cursor("*"))
 }

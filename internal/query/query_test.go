@@ -190,9 +190,11 @@ func TestDescendantsRangeScan(t *testing.T) {
 		t.Fatal(err)
 	}
 	idx := d.BuildTagIndex()
-	all := AllElements(idx)
+	if len(AllElements(idx)) == 0 {
+		t.Fatal("AllElements drained nothing")
+	}
 	for _, anchor := range d.Elements("item") {
-		got := Descendants(d, all, anchor)
+		got := Descendants(d, idx, anchor)
 		want := 0
 		anchor.Walk(func(n *xmldom.Node) bool {
 			if n != anchor && n.Kind() == xmldom.Element {

@@ -240,6 +240,19 @@ func (w *WAL) Seq() uint64 {
 	return w.seq
 }
 
+// LiveLog reports the size of the live log — framed record bytes and
+// record count appended since the last checkpoint. Segments rotate
+// exactly at checkpoints, so the live log is the current segment. The
+// Store's auto-checkpoint policy polls this after each logged commit.
+func (w *WAL) LiveLog() (bytes int64, records int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.seg == nil {
+		return 0, 0
+	}
+	return w.segEnd - int64(segHeaderLen), int(w.seq - w.segBase)
+}
+
 // AppendBatch implements WALBackend: it frames payload as the next record
 // and appends it to the current segment. With SyncEvery ≤ 1 the append is
 // fsync'd before returning — the batch is durable once AppendBatch

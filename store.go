@@ -46,6 +46,48 @@ type Store struct {
 	// batches and truncates the log).
 	wal    storage.WALBackend
 	walErr error
+
+	// walPolicy, when enabled, checkpoints automatically at commit time
+	// once the live log outgrows its thresholds (see AutoCheckpoint).
+	walPolicy walPolicy
+}
+
+// walPolicy is the auto-checkpoint configuration attached by WithWAL
+// options. The zero value disables auto-checkpointing.
+type walPolicy struct {
+	maxBytes   int64
+	maxRecords int
+}
+
+func (p walPolicy) enabled() bool { return p.maxBytes > 0 || p.maxRecords > 0 }
+
+// exceeded reports whether a live log of the given size trips the policy.
+func (p walPolicy) exceeded(bytes int64, records int) bool {
+	return (p.maxBytes > 0 && bytes >= p.maxBytes) ||
+		(p.maxRecords > 0 && records >= p.maxRecords)
+}
+
+// WALOption configures WithWAL.
+type WALOption func(*walPolicy)
+
+// AutoCheckpoint makes the store checkpoint automatically: after a commit
+// is appended, if the live log (records since the last checkpoint) has
+// reached maxBytes bytes or maxRecords records, the commit triggers a
+// Checkpoint — snapshotting the store and truncating the log — before
+// returning. Either threshold can be 0 to disable it; auto-checkpointing
+// is off entirely by default. The backend must report its live log size
+// (the built-in WAL does); WithWAL rejects the option otherwise.
+func AutoCheckpoint(maxBytes int64, maxRecords int) WALOption {
+	return func(p *walPolicy) {
+		p.maxBytes = maxBytes
+		p.maxRecords = maxRecords
+	}
+}
+
+// liveLogger is the optional capability auto-checkpointing needs from a
+// WAL backend: the size of the log appended since the last checkpoint.
+type liveLogger interface {
+	LiveLog() (bytes int64, records int)
 }
 
 // publishedIndex pairs an index version with its number so lock-free
@@ -99,19 +141,62 @@ func (s *Store) IndexVersion() uint64 { return s.idx.Load().version }
 
 // commitLocked folds the write batch recorded since the last commit into
 // the next index version, publishes it, and — when a WAL is attached —
-// appends the batch's logical ops as one fsync'd log record. Caller holds
-// the write lock. The index is published even when the append fails, so
-// the in-memory engine stays consistent; the returned error then means
-// "this commit may not be durable" and the caller should checkpoint or
-// stop trusting the log.
+// appends the batch's logical ops as one fsync'd log record (triggering
+// an auto-checkpoint when the policy says the log outgrew its budget).
+// Caller holds the write lock. The index is published even when the
+// append fails, so the in-memory engine stays consistent; the returned
+// error then means "this commit may not be durable" and the caller
+// should checkpoint or stop trusting the log.
 func (s *Store) commitLocked() error {
-	ch := s.doc.TakeChanges()
-	ops := s.doc.TakeOps()
-	if !ch.Empty() {
-		cur := s.idx.Load()
-		s.idx.Store(&publishedIndex{ix: cur.ix.Apply(s.doc, ch), version: cur.version + 1})
+	if err := s.advanceIndexLocked(); err != nil {
+		return err
 	}
-	return s.appendOpsLocked(ops)
+	ops := s.doc.TakeOps()
+	if err := s.appendOpsLocked(ops); err != nil {
+		return err
+	}
+	return s.maybeAutoCheckpointLocked()
+}
+
+// advanceIndexLocked derives and publishes the next index version from
+// the pending change batch. If the incremental patch reports the batch
+// contradicts the document — an indexed entry unbound with no removal
+// record — the index is rebuilt from the document outright (so readers
+// never see a quietly shrunken version) and the violation is returned as
+// an error: the store stays consistent but fails loudly.
+func (s *Store) advanceIndexLocked() error {
+	ch := s.doc.TakeChanges()
+	if ch.Empty() {
+		return nil
+	}
+	cur := s.idx.Load()
+	next, err := cur.ix.Apply(s.doc, ch)
+	if err != nil {
+		s.idx.Store(&publishedIndex{ix: index.Build(s.doc), version: cur.version + 1})
+		return fmt.Errorf("ltree: index patch rejected the change batch (index rebuilt): %w", err)
+	}
+	s.idx.Store(&publishedIndex{ix: next, version: cur.version + 1})
+	return nil
+}
+
+// maybeAutoCheckpointLocked runs the auto-checkpoint policy after a
+// logged commit: when the live log has outgrown the configured budget,
+// checkpoint now so recovery time stays bounded without the caller
+// scheduling anything.
+func (s *Store) maybeAutoCheckpointLocked() error {
+	if s.wal == nil || !s.walPolicy.enabled() {
+		return nil
+	}
+	ll, ok := s.wal.(liveLogger)
+	if !ok {
+		return nil // WithWAL rejects this pairing; defensive
+	}
+	bytes, records := ll.LiveLog()
+	if !s.walPolicy.exceeded(bytes, records) {
+		return nil
+	}
+	_, err := s.checkpointLocked()
+	return err
 }
 
 // appendOpsLocked logs one committed batch to the attached WAL (no-op
@@ -197,12 +282,14 @@ func (s *Store) Compare(a, b *Elem) (int, error) {
 }
 
 // Elements returns the elements with the given tag ("*" = all) in
-// document order, straight from the published index — no lock taken.
+// document order, streamed straight off the published index's chunks —
+// no lock taken, no posting list materialized.
 func (s *Store) Elements(tag string) []*Elem {
-	posts := s.idx.Load().ix.Postings(tag)
-	out := make([]*Elem, len(posts))
-	for i, e := range posts {
-		out[i] = e.Node
+	ix := s.idx.Load().ix
+	out := make([]*Elem, 0, ix.Count(tag))
+	cur := ix.Cursor(tag)
+	for e, ok := cur.Next(); ok; e, ok = cur.Next() {
+		out = append(out, e.Node)
 	}
 	return out
 }
@@ -413,11 +500,23 @@ var errStopReplay = errors.New("ltree: stop replay")
 // Document's methods followed by Refresh, which commits them). Only raw
 // DOM edits below the document layer (SetData and friends) escape the op
 // log; those need a Checkpoint to become durable.
-func (s *Store) WithWAL(w WALBackend) error {
+//
+// Options tune the attachment; see AutoCheckpoint for the size/record
+// policy that keeps the log truncated without manual Checkpoint calls.
+func (s *Store) WithWAL(w WALBackend, opts ...WALOption) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal != nil {
 		return errors.New("ltree: store already has a WAL attached")
+	}
+	var pol walPolicy
+	for _, opt := range opts {
+		opt(&pol)
+	}
+	if pol.enabled() {
+		if _, ok := w.(liveLogger); !ok {
+			return errors.New("ltree: AutoCheckpoint needs a backend that reports its live log size (LiveLog)")
+		}
 	}
 	if _, _, err := w.Latest(); err == nil {
 		return errors.New("ltree: WAL already holds a checkpoint; recover it with LoadLatest")
@@ -446,6 +545,7 @@ func (s *Store) WithWAL(w WALBackend) error {
 	// permanently on for a store with no WAL.
 	s.doc.TrackOps()
 	s.wal = w
+	s.walPolicy = pol
 	return nil
 }
 
@@ -461,6 +561,12 @@ func (s *Store) WithWAL(w WALBackend) error {
 func (s *Store) Checkpoint() (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+// checkpointLocked is Checkpoint's body; the auto-checkpoint policy
+// calls it from inside an already-locked commit.
+func (s *Store) checkpointLocked() (uint64, error) {
 	if s.wal == nil {
 		return 0, errors.New("ltree: no WAL attached (WithWAL, or LoadLatest on a WAL backend)")
 	}
@@ -468,9 +574,8 @@ func (s *Store) Checkpoint() (uint64, error) {
 	// last commit) into this checkpoint: publish the index and discard
 	// the pending ops — the snapshot below covers them, and appending
 	// them after it would replay them twice.
-	if ch := s.doc.TakeChanges(); !ch.Empty() {
-		cur := s.idx.Load()
-		s.idx.Store(&publishedIndex{ix: cur.ix.Apply(s.doc, ch), version: cur.version + 1})
+	if err := s.advanceIndexLocked(); err != nil {
+		return 0, err
 	}
 	s.doc.TakeOps()
 	var buf bytes.Buffer
@@ -511,13 +616,7 @@ func (s *Store) replayBatch(ops []storage.Op) error {
 			return nil
 		}
 	}
-	ch := s.doc.TakeChanges()
-	if ch.Empty() {
-		return nil
-	}
-	cur := s.idx.Load()
-	s.idx.Store(&publishedIndex{ix: cur.ix.Apply(s.doc, ch), version: cur.version + 1})
-	return nil
+	return s.advanceIndexLocked()
 }
 
 // loadWAL recovers a store from a WAL backend: newest checkpoint plus a
