@@ -51,6 +51,7 @@ var experiments = []experiment{
 	{"concurrent", "engine: concurrent reads over the COW index vs the exclusive-lock path", expConcurrent},
 	{"wal", "engine: commit latency — snapshot-per-save vs WAL append vs batched WAL", expWal},
 	{"chunk", "engine: chunked COW posting lists — single-op patch cost vs tag fan-in, flat baseline", expChunk},
+	{"pipeline", "engine: lazy cursor pipeline — deep-path intermediate memory + first-result latency vs materialized join", expPipeline},
 }
 
 func main() {

@@ -19,12 +19,24 @@
 //	ch, _ := st.InsertElement(st.Root(), 1, "chapter")   // labels stay valid
 //	lab, _ := st.Label(ch)                               // (begin, end) interval
 //
+// Reads scale through snapshot-isolated transactions: View pins one
+// index version for a whole block of reads, and queries stream their
+// matches through cursors instead of materializing result sets:
+//
+//	_ = st.View(func(tx *ltree.Txn) error {
+//	    res, _ := tx.Query("//chapter//title")
+//	    for el := range res.All() { ... }   // lazy; break any time
+//	    return nil
+//	})
+//
 // # Layers
 //
 //   - Store: the concurrency-first engine — parallel readers over an
 //     immutable copy-on-write tag index, write batches that patch the
 //     index incrementally, versioned snapshots (this file's API; start
 //     here, and see DESIGN.md for the engine layering).
+//   - Txn / Results: snapshot-isolated read transactions pinning one
+//     index version, with lazy streaming query results (DESIGN.md §3.4).
 //   - Tree / Node: the raw materialized L-Tree over abstract list slots
 //     (paper §2), for embedding in other systems.
 //   - Virtual: the B-tree-backed virtual L-Tree (paper §4.2) that stores

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"strings"
 
 	"github.com/ltree-db/ltree"
 )
@@ -27,6 +28,65 @@ func Example() {
 	// Output:
 	// titles: 2
 	// titles after insert: 3
+}
+
+// View pins one index version for a whole block of reads: both queries
+// see the same snapshot even though a writer commits between them.
+func ExampleStore_View() {
+	st, _ := ltree.OpenString(`<shop><item/><item/></shop>`, ltree.DefaultParams)
+	done := make(chan struct{})
+	_ = st.View(func(tx *ltree.Txn) error {
+		first, _ := tx.Query("//item")
+		n1 := len(first.Collect())
+
+		// A concurrent writer commits mid-transaction…
+		go func() {
+			_, _ = st.InsertElement(st.Root(), 0, "item")
+			close(done)
+		}()
+		<-done
+
+		// …but this Txn still reads its pinned version.
+		second, _ := tx.Query("//item")
+		fmt.Println("inside the txn:", n1, "then", len(second.Collect()))
+		return nil
+	})
+	after, _ := st.Query("//item")
+	fmt.Println("after the txn:", len(after))
+	// Output:
+	// inside the txn: 2 then 2
+	// after the txn: 3
+}
+
+// Queries stream: a large result can be consumed one element at a time
+// — or abandoned early — without ever materializing the full set. Here
+// only the first two of ten thousand matches are ever pulled through
+// the pipeline.
+func ExampleTxn_Query() {
+	var sb strings.Builder
+	sb.WriteString("<log>")
+	for i := 0; i < 10_000; i++ {
+		sb.WriteString("<entry><msg/></entry>")
+	}
+	sb.WriteString("</log>")
+	st, _ := ltree.OpenString(sb.String(), ltree.DefaultParams)
+
+	_ = st.View(func(tx *ltree.Txn) error {
+		res, err := tx.Query("/log/entry/msg")
+		if err != nil {
+			return err
+		}
+		seen := 0
+		for range res.All() { // iter.Seq — break stops the pipeline
+			seen++
+			if seen == 2 {
+				break
+			}
+		}
+		fmt.Println("pulled:", seen, "of", tx.Count("msg"))
+		return nil
+	})
+	// Output: pulled: 2 of 10000
 }
 
 // Labels are intervals; ancestry is containment (paper Figure 1).

@@ -48,6 +48,25 @@ func main() {
 	titles, _ = st.Query("book//title")
 	fmt.Printf("book//title now -> %d matches\n", len(titles))
 
+	// For a block of reads that must agree with each other while writers
+	// run, pin one index version with View and stream the matches lazily.
+	if err := st.View(func(tx *ltree.Txn) error {
+		res, err := tx.Query("book//title")
+		if err != nil {
+			return err
+		}
+		n := 0
+		for el, lab := range res.Labeled() { // pulled one at a time
+			_ = el
+			_ = lab
+			n++
+		}
+		fmt.Printf("inside View (index version %d): %d titles\n", tx.Version(), n)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
 	st2 := st.Stats()
 	fmt.Printf("maintenance: %d relabeled labels over %d updates (amortized %.1f nodes/insert)\n",
 		st2.RelabeledLeaves, st2.Ops(), st2.AmortizedCost())

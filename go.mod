@@ -1,3 +1,3 @@
 module github.com/ltree-db/ltree
 
-go 1.21
+go 1.23

@@ -1,0 +1,125 @@
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Version pairs one immutable Index with its version number. Readers that
+// obtained a Version through Retained.Pin hold it for the lifetime of
+// their read transaction: the number identifies the snapshot (two reads
+// seeing the same number saw the same index), the pin keeps the version
+// registered so other transactions can attach to it by number even after
+// a writer publishes a successor.
+type Version struct {
+	Ix *Index
+	N  uint64
+
+	// pins counts the open transactions holding this version; guarded by
+	// the owning Retained's mutex. Ix and N are written once before the
+	// Version is published and are safe to read lock-free.
+	pins int
+}
+
+// Retained is the version registry behind the store's read transactions:
+// it tracks the current published index version plus every retired
+// version still pinned by an open transaction.
+//
+// The registry is the whole retire-accounting story: publishing a new
+// version retires the previous one, but a retired version stays
+// registered — and therefore attachable by number — until its last pin
+// is released. Unpinned retired versions are forgotten immediately; the
+// garbage collector reclaims their unshared chunks once no published
+// successor shares them.
+//
+// Current is lock-free (single-shot readers stay on the fast path);
+// Pin/release/Publish synchronize on one mutex, which is touched only at
+// transaction open/close and at commit — never per read.
+type Retained struct {
+	mu  sync.Mutex
+	cur atomic.Pointer[Version]
+	old map[uint64]*Version // retired versions with pins > 0
+}
+
+// NewRetained starts the registry at version 1.
+func NewRetained(ix *Index) *Retained {
+	r := &Retained{old: make(map[uint64]*Version)}
+	r.cur.Store(&Version{Ix: ix, N: 1})
+	return r
+}
+
+// Current returns the published version without locking.
+func (r *Retained) Current() *Version { return r.cur.Load() }
+
+// Publish registers ix as the next version and returns its number. The
+// previous version is retired: if transactions still pin it, it stays
+// registered until the last one releases; otherwise it is dropped on the
+// spot. Publish must be serialized by the writer (the store's write
+// lock); it may race freely with Pin/Current.
+func (r *Retained) Publish(ix *Index) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev := r.cur.Load()
+	if prev.pins > 0 {
+		r.old[prev.N] = prev
+	}
+	next := &Version{Ix: ix, N: prev.N + 1}
+	r.cur.Store(next)
+	return next.N
+}
+
+// Pin attaches to the current version and returns it with a release
+// closure. Until release is called, the version stays registered even
+// after writers publish successors.
+func (r *Retained) Pin() (*Version, func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.cur.Load()
+	v.pins++
+	return v, r.releaser(v)
+}
+
+// PinAt attaches to a version by number: the current version, or a
+// retired one some open transaction still pins. It reports false when
+// the version was never published or has already been forgotten.
+func (r *Retained) PinAt(n uint64) (*Version, func(), bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.cur.Load()
+	if v.N != n {
+		if v = r.old[n]; v == nil {
+			return nil, nil, false
+		}
+	}
+	v.pins++
+	return v, r.releaser(v), true
+}
+
+// releaser returns the idempotent unpin closure for v. Caller holds mu.
+func (r *Retained) releaser(v *Version) func() {
+	done := false
+	return func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if done {
+			return
+		}
+		done = true
+		v.pins--
+		if v.pins == 0 && r.cur.Load() != v {
+			delete(r.old, v.N)
+		}
+	}
+}
+
+// Stats reports the open pin count across all versions and how many
+// retired versions the registry is keeping alive for them.
+func (r *Retained) Stats() (open, retired int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	open = r.cur.Load().pins
+	for _, v := range r.old {
+		open += v.pins
+	}
+	return open, len(r.old)
+}

@@ -1,0 +1,114 @@
+package index
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/ltree-db/ltree/internal/core"
+	"github.com/ltree-db/ltree/internal/document"
+)
+
+func retainedDoc(t *testing.T) *document.Doc {
+	t.Helper()
+	d, err := document.Parse(strings.NewReader(`<r><a/><b/></r>`), core.Params{F: 4, S: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestRetainedLifecycle walks the registry through publish/pin/release
+// and checks the accounting at every step.
+func TestRetainedLifecycle(t *testing.T) {
+	d := retainedDoc(t)
+	r := NewRetained(Build(d))
+	if got := r.Current().N; got != 1 {
+		t.Fatalf("initial version %d, want 1", got)
+	}
+
+	v1, rel1 := r.Pin()
+	if v1.N != 1 {
+		t.Fatalf("pinned %d, want 1", v1.N)
+	}
+	if n := r.Publish(Build(d)); n != 2 {
+		t.Fatalf("publish -> %d, want 2", n)
+	}
+	if open, retired := r.Stats(); open != 1 || retired != 1 {
+		t.Fatalf("stats after retire = (%d, %d), want (1, 1)", open, retired)
+	}
+
+	// Retired-but-pinned is attachable; the new pin extends its life.
+	v1b, rel1b, ok := r.PinAt(1)
+	if !ok || v1b != v1 {
+		t.Fatal("PinAt(1) should attach to the pinned retired version")
+	}
+	rel1()
+	rel1() // idempotent
+	_, rel1c, ok := r.PinAt(1)
+	if !ok {
+		t.Fatal("version 1 dropped while still pinned by the second handle")
+	}
+	rel1c()
+	rel1b()
+	if _, _, ok := r.PinAt(1); ok {
+		t.Fatal("version 1 attachable after its last pin released")
+	}
+	if open, retired := r.Stats(); open != 0 || retired != 0 {
+		t.Fatalf("stats after drain = (%d, %d), want (0, 0)", open, retired)
+	}
+
+	// Unpinned versions retire silently.
+	if n := r.Publish(Build(d)); n != 3 {
+		t.Fatalf("publish -> %d, want 3", n)
+	}
+	if _, _, ok := r.PinAt(2); ok {
+		t.Fatal("unpinned version 2 should not be attachable")
+	}
+	if _, _, ok := r.PinAt(3); !ok {
+		t.Fatal("current version must be attachable by number")
+	}
+}
+
+// TestRetainedConcurrentPins hammers Pin/release against Publish: run
+// under -race this pins the lock-free Current fast path against the
+// registry bookkeeping, and the final accounting must come out empty.
+func TestRetainedConcurrentPins(t *testing.T) {
+	d := retainedDoc(t)
+	r := NewRetained(Build(d))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, rel := r.Pin()
+				if v.Ix == nil || v.N == 0 {
+					t.Error("pinned an incomplete version")
+				}
+				cur := r.Current()
+				if cur.N < v.N {
+					t.Error("current version went backwards")
+				}
+				rel()
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		r.Publish(Build(d))
+	}
+	close(stop)
+	wg.Wait()
+	if open, retired := r.Stats(); open != 0 || retired != 0 {
+		t.Fatalf("stats after workload = (%d, %d), want (0, 0)", open, retired)
+	}
+	if got := r.Current().N; got != 201 {
+		t.Fatalf("final version %d, want 201", got)
+	}
+}

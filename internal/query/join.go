@@ -24,12 +24,33 @@ type Index interface {
 }
 
 // Join evaluates the path with label-based structural joins over a tag
-// index. Every step is one linear merge of two begin-sorted posting
-// streams using the interval containment predicate — the relational plan
-// the paper's labeling scheme enables ("exactly one self-join with label
-// comparisons as predicates", §1). The child axis adds a level-equality
-// check on top of containment.
+// index and materializes the matches in document order. Every step is
+// one linear merge of two begin-sorted posting streams using the
+// interval containment predicate — the relational plan the paper's
+// labeling scheme enables ("exactly one self-join with label comparisons
+// as predicates", §1). The child axis adds a level-equality check on top
+// of containment.
+//
+// Join drains the lazy cursor pipeline (JoinCursor, stream.go): steps
+// compose as cursors end-to-end, so only the final result set is
+// allocated here. The d parameter is kept for call-site compatibility;
+// evaluation reads the index alone.
 func Join(d *document.Doc, idx Index, p *Path) []*xmldom.Node {
+	_ = d
+	var out []*xmldom.Node
+	cur := JoinCursor(idx, p)
+	for e, ok := cur.Next(); ok; e, ok = cur.Next() {
+		out = append(out, e.Node)
+	}
+	return out
+}
+
+// JoinMaterialized is the eager evaluator: each step's result set is
+// materialized as a begin-sorted entry slice before the next step joins
+// against it. It is retained as the differential oracle for the lazy
+// pipeline (fuzz_test.go) and as the memory baseline the `-exp pipeline`
+// experiment measures against; production paths use Join/JoinCursor.
+func JoinMaterialized(d *document.Doc, idx Index, p *Path) []*xmldom.Node {
 	if len(p.Steps) == 0 {
 		return nil
 	}

@@ -1,0 +1,271 @@
+package query
+
+import "github.com/ltree-db/ltree/internal/document"
+
+// This file is the lazy evaluation pipeline: every step of a path is a
+// cursor whose *output* is again a begin-sorted cursor, so a whole path
+// composes into one pull-driven operator tree. Nothing is materialized
+// between steps — the only per-step state is the structural join's stack
+// of open ancestor intervals, which tree nesting bounds by the document
+// depth. A k-step path over a snapshot therefore evaluates in
+// O(k · depth) intermediate memory no matter how large the step results
+// are, and the first match surfaces after touching only the postings
+// before it.
+//
+// JoinMaterialized (join.go) is the PR-3 evaluator kept as the
+// differential oracle; the two are verified equivalent on random
+// documents and random paths (fuzz_test.go).
+
+// JoinCursor evaluates the path lazily against a tag index and returns a
+// begin-sorted, duplicate-free cursor of the matching elements. The
+// cursor borrows the index version it was built from: with an immutable
+// snapshot (index.Index, or a Txn's pinned version) it stays valid for
+// as long as the caller keeps pulling.
+//
+// Rooted paths anchor at the root element, which is recovered from the
+// index itself (the minimal begin of the "*" stream) rather than the
+// live document, so a pinned snapshot never consults mutable label
+// state.
+func JoinCursor(idx Index, p *Path) document.Cursor {
+	if len(p.Steps) == 0 {
+		return emptyCursor{}
+	}
+	first := p.Steps[0]
+	var ctx document.Cursor
+	if p.Rooted {
+		root, ok := rootEntry(idx)
+		if !ok {
+			return emptyCursor{}
+		}
+		switch first.Axis {
+		case Child:
+			// A rooted child first step matches only the root itself.
+			if !matchesStep(root.Node, first) {
+				return emptyCursor{}
+			}
+			ctx = document.NewSliceCursor([]document.Entry{root})
+		case Descendant:
+			anchor := document.NewSliceCursor([]document.Entry{root})
+			ctx = newJoinCursor(stepCursor(idx, first), anchor, false)
+			if matchesStep(root.Node, first) {
+				// The root precedes every descendant in begin order, so
+				// prepending keeps the stream sorted (and duplicate-free:
+				// the join emits strictly contained candidates only).
+				ctx = &prependCursor{head: root, rest: ctx}
+			}
+		}
+	} else {
+		ctx = stepCursor(idx, first)
+	}
+	for _, st := range p.Steps[1:] {
+		ctx = newJoinCursor(stepCursor(idx, st), ctx, st.Axis == Child)
+	}
+	return ctx
+}
+
+// rootEntry recovers the document root's posting from the index: the
+// first entry of the "*" stream (the root owns the minimal begin label).
+func rootEntry(idx Index) (document.Entry, bool) {
+	return idx.Cursor("*").Next()
+}
+
+// emptyCursor is the always-exhausted stream.
+type emptyCursor struct{}
+
+func (emptyCursor) Next() (document.Entry, bool)       { return document.Entry{}, false }
+func (emptyCursor) Seek(uint64) (document.Entry, bool) { return document.Entry{}, false }
+
+// prependCursor yields one entry ahead of an already-sorted rest stream.
+type prependCursor struct {
+	head document.Entry
+	rest document.Cursor
+	used bool
+}
+
+func (c *prependCursor) Next() (document.Entry, bool) {
+	if !c.used {
+		c.used = true
+		return c.head, true
+	}
+	return c.rest.Next()
+}
+
+func (c *prependCursor) Seek(begin uint64) (document.Entry, bool) {
+	if !c.used {
+		c.used = true
+		if c.head.Label.Begin >= begin {
+			return c.head, true
+		}
+	}
+	return c.rest.Seek(begin)
+}
+
+// peekCursor adds one-entry lookahead to a cursor; the streaming join
+// needs to inspect the next context interval without consuming it (it
+// decides whether to open it only once a candidate reaches it).
+type peekCursor struct {
+	cur  document.Cursor
+	head document.Entry
+	has  bool
+}
+
+func (c *peekCursor) peek() (document.Entry, bool) {
+	if !c.has {
+		c.head, c.has = c.cur.Next()
+		if !c.has {
+			return document.Entry{}, false
+		}
+	}
+	return c.head, true
+}
+
+func (c *peekCursor) next() (document.Entry, bool) {
+	if c.has {
+		c.has = false
+		return c.head, true
+	}
+	return c.cur.Next()
+}
+
+// joinCursor is containedIn as a cursor-composing operator: it streams
+// the candidates that have an ancestor (parent, when childOnly) in the
+// context stream. Both inputs arrive begin-sorted; the output is too.
+//
+// The merge is the same stack join as the materialized evaluator —
+// context intervals are pushed while open and popped once passed — but
+// the context side is pulled lazily, one entry ahead of the current
+// candidate, so chaining k of these keeps only k stacks of open
+// ancestors alive: O(depth) each by tree nesting, independent of how
+// many entries either side produces. Whenever the stack runs empty the
+// candidate side Seeks past everything before the next context interval,
+// which the chunked index turns into fence-directory skips.
+type joinCursor struct {
+	cand      document.Cursor
+	ctx       *peekCursor
+	childOnly bool
+	stack     []document.Entry
+	started   bool
+}
+
+func newJoinCursor(cand, ctx document.Cursor, childOnly bool) *joinCursor {
+	return &joinCursor{cand: cand, ctx: &peekCursor{cur: ctx}, childOnly: childOnly}
+}
+
+func (j *joinCursor) Next() (document.Entry, bool) {
+	var cand document.Entry
+	var ok bool
+	if !j.started {
+		j.started = true
+		// Containment is strict, so nothing at or before the first
+		// context begin can qualify.
+		first, have := j.ctx.peek()
+		if !have {
+			return document.Entry{}, false
+		}
+		cand, ok = j.cand.Seek(first.Label.Begin + 1)
+	} else {
+		cand, ok = j.cand.Next()
+	}
+	return j.advance(cand, ok)
+}
+
+func (j *joinCursor) Seek(begin uint64) (document.Entry, bool) {
+	j.started = true
+	cand, ok := j.cand.Seek(begin)
+	return j.advance(cand, ok)
+}
+
+// advance runs the stack merge from the given candidate until a match
+// surfaces or a side exhausts.
+func (j *joinCursor) advance(cand document.Entry, ok bool) (document.Entry, bool) {
+	for ok {
+		// Pop closed ancestors.
+		for n := len(j.stack); n > 0 && j.stack[n-1].Label.End < cand.Label.Begin; n-- {
+			j.stack = j.stack[:n-1]
+		}
+		// Pull context intervals opening before this candidate.
+		for {
+			c, have := j.ctx.peek()
+			if !have || c.Label.Begin >= cand.Label.Begin {
+				break
+			}
+			j.ctx.next()
+			if c.Label.End > cand.Label.Begin { // still open
+				j.stack = append(j.stack, c)
+			}
+		}
+		if len(j.stack) == 0 {
+			c, have := j.ctx.peek()
+			if !have {
+				return document.Entry{}, false // no context intervals left to open
+			}
+			// Skip every candidate before the next context interval.
+			cand, ok = j.cand.Seek(c.Label.Begin + 1)
+			continue
+		}
+		top := j.stack[len(j.stack)-1]
+		if top.Label.Contains(cand.Label) {
+			if !j.childOnly {
+				return cand, true
+			}
+			if top.Level == cand.Level-1 {
+				// The innermost ctx ancestor is the parent iff it sits one
+				// level above; deeper ctx ancestors cannot be (nesting).
+				return cand, true
+			}
+		}
+		cand, ok = j.cand.Next()
+	}
+	return document.Entry{}, false
+}
+
+// DescendantsCursor streams all elements strictly inside the anchor
+// entry in document order: one Seek plus a bounded scan of the "*"
+// stream — the subtree-as-index-range primitive, now usable against a
+// pinned snapshot (the anchor's label comes from the same index version,
+// not the live document).
+func DescendantsCursor(idx Index, anchor document.Entry) document.Cursor {
+	return &rangeCursor{cur: idx.Cursor("*"), anchor: anchor.Label}
+}
+
+// rangeCursor bounds a begin-sorted stream to entries strictly contained
+// in an interval.
+type rangeCursor struct {
+	cur     document.Cursor
+	anchor  document.Label
+	started bool
+}
+
+func (c *rangeCursor) Next() (document.Entry, bool) {
+	var e document.Entry
+	var ok bool
+	if !c.started {
+		c.started = true
+		e, ok = c.cur.Seek(c.anchor.Begin + 1)
+	} else {
+		e, ok = c.cur.Next()
+	}
+	return c.bound(e, ok)
+}
+
+func (c *rangeCursor) Seek(begin uint64) (document.Entry, bool) {
+	if begin <= c.anchor.Begin {
+		begin = c.anchor.Begin + 1 // nothing before the anchor's interior qualifies
+	}
+	c.started = true
+	e, ok := c.cur.Seek(begin)
+	return c.bound(e, ok)
+}
+
+// bound filters the underlying stream down to strict containment: skip
+// entries reaching past the anchor's end (tombstone-free trees nest, so
+// the first entry with Begin >= anchor.End also ends the scan).
+func (c *rangeCursor) bound(e document.Entry, ok bool) (document.Entry, bool) {
+	for ok && e.Label.Begin < c.anchor.End {
+		if e.Label.End < c.anchor.End {
+			return e, true
+		}
+		e, ok = c.cur.Next()
+	}
+	return document.Entry{}, false
+}

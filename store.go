@@ -7,7 +7,6 @@ import (
 	"io"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"github.com/ltree-db/ltree/internal/document"
 	"github.com/ltree-db/ltree/internal/index"
@@ -35,7 +34,12 @@ import (
 type Store struct {
 	mu  sync.RWMutex // many readers xor one writer over doc
 	doc *document.Doc
-	idx atomic.Pointer[publishedIndex] // read lock-free
+
+	// vers is the published-version registry: the current index version is
+	// read lock-free, and read transactions (View/SnapshotView) pin the
+	// version they captured so it stays attachable until they end. See
+	// txn.go for the read-transaction surface.
+	vers *index.Retained
 
 	// wal, when non-nil, receives every committed batch as one appended
 	// log record (see WithWAL); commits are then durable without
@@ -90,19 +94,12 @@ type liveLogger interface {
 	LiveLog() (bytes int64, records int)
 }
 
-// publishedIndex pairs an index version with its number so lock-free
-// readers observe both atomically: same version number ⇒ same index.
-type publishedIndex struct {
-	ix      *index.Index
-	version uint64
-}
-
 // newStore wires a labeled document into the engine: change tracking on,
 // first index version built and published.
 func newStore(doc *document.Doc) *Store {
 	s := &Store{doc: doc}
 	doc.TrackChanges()
-	s.idx.Store(&publishedIndex{ix: index.Build(doc), version: 1})
+	s.vers = index.NewRetained(index.Build(doc))
 	doc.TakeChanges() // the build reflects everything up to here
 	return s
 }
@@ -136,8 +133,9 @@ func (s *Store) Root() *Elem { return s.doc.X.Root }
 
 // IndexVersion returns the published tag-index version number. It grows
 // by one per committed write batch — two queries seeing the same version
-// saw the same index.
-func (s *Store) IndexVersion() uint64 { return s.idx.Load().version }
+// saw the same index. To make a whole sequence of reads observe one
+// version, open a read transaction instead (View, SnapshotView).
+func (s *Store) IndexVersion() uint64 { return s.vers.Current().N }
 
 // commitLocked folds the write batch recorded since the last commit into
 // the next index version, publishes it, and — when a WAL is attached —
@@ -169,13 +167,13 @@ func (s *Store) advanceIndexLocked() error {
 	if ch.Empty() {
 		return nil
 	}
-	cur := s.idx.Load()
-	next, err := cur.ix.Apply(s.doc, ch)
+	cur := s.vers.Current()
+	next, err := cur.Ix.Apply(s.doc, ch)
 	if err != nil {
-		s.idx.Store(&publishedIndex{ix: index.Build(s.doc), version: cur.version + 1})
+		s.vers.Publish(index.Build(s.doc))
 		return fmt.Errorf("ltree: index patch rejected the change batch (index rebuilt): %w", err)
 	}
-	s.idx.Store(&publishedIndex{ix: next, version: cur.version + 1})
+	s.vers.Publish(next)
 	return nil
 }
 
@@ -233,30 +231,43 @@ func firstErr(errs ...error) error {
 }
 
 // Query evaluates a path expression ("/site//item/name", "book//title",
-// "//*") with label-based structural joins over the published index and
-// returns matches in document order. Readers run concurrently: the read
-// lock only keeps writers from mutating the DOM mid-join; no index is
-// built or patched here.
+// "//*") with label-based structural joins and returns matches in
+// document order. It is the compatibility layer over the transactional
+// read path: a single-shot View that pins one index version, streams the
+// lazy pipeline, and collects. For mutually consistent multi-read
+// snapshots or streaming results without materializing, use View /
+// SnapshotView and Txn.Query directly (txn.go).
 func (s *Store) Query(expr string) ([]*Elem, error) {
-	p, err := query.Parse(expr)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return query.Join(s.doc, s.idx.Load().ix, p), nil
+	return s.evalPath(expr, func(tx *Txn, p *query.Path) []*Elem {
+		return tx.resultsFor(p).Collect()
+	})
 }
 
 // QueryNav evaluates the same path by plain navigation (no labels) — the
-// reference evaluator, useful for cross-checking and benchmarks.
+// reference evaluator, useful for cross-checking and benchmarks. Like
+// Query it is a single-shot View wrapper; see Txn.QueryNav for the
+// consistency caveat (navigation reads the live DOM, not the pinned
+// snapshot).
 func (s *Store) QueryNav(expr string) ([]*Elem, error) {
+	return s.evalPath(expr, func(tx *Txn, p *query.Path) []*Elem {
+		return tx.navFor(p)
+	})
+}
+
+// evalPath is the one parse/eval funnel both query entry points share:
+// parse once, evaluate inside a single-shot read transaction. The
+// transaction borrows the current version instead of pinning it —
+// holding the immutable Version keeps the index alive on its own, and
+// registry accounting only matters for handles that must stay
+// attachable by number (SnapshotAt) — so the hottest read path costs a
+// lock-free load, not two global mutex acquisitions.
+func (s *Store) evalPath(expr string, eval func(*Txn, *query.Path) []*Elem) ([]*Elem, error) {
 	p, err := query.Parse(expr)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return query.Nav(s.doc, p), nil
+	tx := &Txn{s: s, ver: s.vers.Current()}
+	return eval(tx, p), nil
 }
 
 // Label returns the node's current (begin, end) label.
@@ -283,15 +294,12 @@ func (s *Store) Compare(a, b *Elem) (int, error) {
 
 // Elements returns the elements with the given tag ("*" = all) in
 // document order, streamed straight off the published index's chunks —
-// no lock taken, no posting list materialized.
+// no lock taken, no posting list materialized. Like Query, it is a
+// single-shot read over a borrowed current version; Txn.Elements is the
+// snapshot-pinned equivalent.
 func (s *Store) Elements(tag string) []*Elem {
-	ix := s.idx.Load().ix
-	out := make([]*Elem, 0, ix.Count(tag))
-	cur := ix.Cursor(tag)
-	for e, ok := cur.Next(); ok; e, ok = cur.Next() {
-		out = append(out, e.Node)
-	}
-	return out
+	tx := Txn{s: s, ver: s.vers.Current()}
+	return tx.Elements(tag)
 }
 
 // Update runs fn as one write batch: every mutation made through the
@@ -612,7 +620,7 @@ func (s *Store) replayBatch(ops []storage.Op) error {
 	for _, op := range ops {
 		if op.Kind == storage.OpCompact {
 			s.doc.TakeChanges()
-			s.idx.Store(&publishedIndex{ix: index.Build(s.doc), version: s.idx.Load().version + 1})
+			s.vers.Publish(index.Build(s.doc))
 			return nil
 		}
 	}
@@ -690,7 +698,7 @@ func (s *Store) Compact() error {
 	defer s.mu.Unlock()
 	err := s.doc.CompactLabels()
 	s.doc.TakeChanges() // everything moved; a patch would refresh it all anyway
-	s.idx.Store(&publishedIndex{ix: index.Build(s.doc), version: s.idx.Load().version + 1})
+	s.vers.Publish(index.Build(s.doc))
 	// Compaction logs as a single op — replay re-runs the deterministic
 	// rebuild, so the log stays O(1) for an O(document) relabeling.
 	ops := s.doc.TakeOps()
@@ -742,5 +750,5 @@ func (s *Store) Check() error {
 	if err := s.doc.Check(); err != nil {
 		return err
 	}
-	return index.Verify(s.idx.Load().ix, s.doc)
+	return index.Verify(s.vers.Current().Ix, s.doc)
 }

@@ -1,0 +1,387 @@
+package ltree
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ltree-db/ltree/internal/workload"
+)
+
+// TestTxnSnapshotIsolation is the deterministic pin for the ISSUE-4
+// acceptance criterion: a View body that queries, waits for a concurrent
+// Update to commit, and queries again must observe the same IndexVersion
+// and byte-identical results — while a fresh View right afterwards sees
+// the commit.
+func TestTxnSnapshotIsolation(t *testing.T) {
+	st, err := OpenString(`<site><item><name>a</name></item><item><name>b</name></item></site>`, DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := make(chan struct{})
+	inTxn := make(chan struct{})
+	go func() {
+		<-inTxn
+		if err := st.Update(func(tx *Batch) error {
+			_, err := tx.InsertXML(st.Root(), 0, `<item><name>c</name></item>`)
+			return err
+		}); err != nil {
+			t.Error(err)
+		}
+		close(committed)
+	}()
+
+	err = st.View(func(tx *Txn) error {
+		v := tx.Version()
+		first, err := tx.Query("//item/name")
+		if err != nil {
+			return err
+		}
+		before := first.Collect()
+
+		close(inTxn)
+		<-committed
+		if got := st.IndexVersion(); got == v {
+			return errors.New("writer did not publish a new version")
+		}
+
+		if tx.Version() != v {
+			t.Errorf("Txn version moved: %d -> %d", v, tx.Version())
+		}
+		second, err := tx.Query("//item/name")
+		if err != nil {
+			return err
+		}
+		after := second.Collect()
+		if len(after) != len(before) {
+			t.Errorf("snapshot leaked the concurrent commit: %d results, then %d", len(before), len(after))
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				t.Errorf("result %d differs across the concurrent commit", i)
+			}
+		}
+		if n := len(tx.Elements("name")); n != len(before) {
+			t.Errorf("Txn.Elements sees %d names, queries saw %d", n, len(before))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A transaction opened after the commit sees it.
+	if got, _ := st.Query("//item/name"); len(got) != 3 {
+		t.Fatalf("post-commit query = %d results, want 3", len(got))
+	}
+}
+
+// TestTxnStressSnapshotIsolation floods the store with View transactions
+// that each read several times while writers commit continuously: every
+// read inside one Txn must agree with the others (-race makes this the
+// isolation torture test). Reads mix the lazy Query pipeline, Elements,
+// Stream and label lookups so all Txn surfaces pin the same version.
+func TestTxnStressSnapshotIsolation(t *testing.T) {
+	x := workload.XMarkLite(10, 2)
+	st, err := OpenString(x.String(), DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers  = 8
+		writers  = 2
+		duration = 300 * time.Millisecond
+	)
+	var (
+		stop  atomic.Bool
+		views atomic.Int64
+		wg    sync.WaitGroup
+	)
+	exprs := []string{"//item/name", "//site//name", "/site//item", "//keyword", "//*"}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				expr := exprs[rng.Intn(len(exprs))]
+				err := st.View(func(tx *Txn) error {
+					v := tx.Version()
+					res, err := tx.Query(expr)
+					if err != nil {
+						return err
+					}
+					first := res.Collect()
+					// Let a writer in, then re-read everything.
+					time.Sleep(time.Duration(rng.Intn(100)) * time.Microsecond)
+					if tx.Version() != v {
+						t.Error("Txn version drifted mid-transaction")
+					}
+					res2, err := tx.Query(expr)
+					if err != nil {
+						return err
+					}
+					i := 0
+					for el := range res2.All() {
+						if i >= len(first) || first[i] != el {
+							t.Errorf("%s: re-read diverged at result %d within one Txn", expr, i)
+							return nil
+						}
+						i++
+					}
+					if i != len(first) {
+						t.Errorf("%s: re-read returned %d results, first read %d", expr, i, len(first))
+					}
+					// Elements/Stream/labels come from the same version.
+					items := tx.Elements("item")
+					if got := tx.Count("item"); got != len(items) {
+						t.Errorf("Count(item)=%d, Elements=%d within one Txn", got, len(items))
+					}
+					if len(items) > 1 {
+						a, b := items[0], items[len(items)-1]
+						if ord, err := tx.Compare(a, b); err != nil {
+							t.Errorf("Compare inside Txn: %v", err)
+						} else if ord != -1 {
+							t.Errorf("Elements order disagrees with snapshot labels")
+						}
+						if la, err := tx.Label(a); err != nil || la.Begin >= la.End {
+							t.Errorf("Label inside Txn: %v %v", la, err)
+						}
+						if desc, err := tx.Descendants(a); err != nil {
+							t.Errorf("Descendants inside Txn: %v", err)
+						} else {
+							for el, lab := range desc.Labeled() {
+								ok, err := tx.IsAncestor(a, el)
+								if err != nil || !ok {
+									t.Errorf("Descendants returned a non-descendant (label %v): %v", lab, err)
+								}
+								break // one containment probe per view is enough
+							}
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				views.Add(1)
+			}
+		}(int64(r))
+	}
+
+	regions := st.Elements("asia")
+	regions = append(regions, st.Elements("europe")...)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(200 + seed))
+			for !stop.Load() {
+				region := regions[rng.Intn(len(regions))]
+				var err error
+				if rng.Intn(3) == 0 {
+					els := st.Elements("item")
+					if len(els) == 0 {
+						continue
+					}
+					err = st.Delete(els[rng.Intn(len(els))])
+				} else {
+					_, err = st.InsertXML(region, 0, `<item><name>fresh</name><keyword>k</keyword></item>`)
+				}
+				if err != nil && err != ErrUnbound && err != ErrRootEdit {
+					continue // racing picks can surface stale slots
+				}
+			}
+		}(int64(w))
+	}
+
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+
+	if views.Load() == 0 {
+		t.Fatal("no View transactions completed")
+	}
+	if open, retired := st.TxnStats(); open != 0 || retired != 0 {
+		t.Fatalf("leaked transactions: %d open, %d retired versions pinned", open, retired)
+	}
+	if err := st.Check(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d views, final index version %d", views.Load(), st.IndexVersion())
+}
+
+// TestTxnSnapshotAtLifecycle pins the retire accounting: a retired
+// version stays attachable by number exactly while some open Txn pins
+// it, and is forgotten once the last pin drops.
+func TestTxnSnapshotAtLifecycle(t *testing.T) {
+	st, err := OpenString(`<r><a/></r>`, DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := st.SnapshotView()
+	v := tx.Version()
+	if v != st.IndexVersion() {
+		t.Fatalf("fresh Txn pinned %d, store at %d", v, st.IndexVersion())
+	}
+
+	if _, err := st.InsertElement(st.Root(), 0, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if st.IndexVersion() == v {
+		t.Fatal("write did not retire the pinned version")
+	}
+	if open, retired := st.TxnStats(); open != 1 || retired != 1 {
+		t.Fatalf("TxnStats = (%d, %d), want (1, 1)", open, retired)
+	}
+
+	// The retired version is still attachable while tx pins it…
+	tx2, err := st.SnapshotAt(v)
+	if err != nil {
+		t.Fatalf("SnapshotAt(%d) while pinned: %v", v, err)
+	}
+	if got := len(tx2.Elements("b")); got != 0 {
+		t.Fatalf("retired version leaked the later write: %d <b> elements", got)
+	}
+	if got := len(tx2.Elements("a")); got != 1 {
+		t.Fatalf("retired version lost its own state: %d <a> elements", got)
+	}
+	tx2.Close()
+	tx.Close()
+	if err := tx.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	// …and forgotten after the last pin drops.
+	if _, err := st.SnapshotAt(v); !errors.Is(err, ErrVersionRetired) {
+		t.Fatalf("SnapshotAt after release = %v, want ErrVersionRetired", err)
+	}
+	if open, retired := st.TxnStats(); open != 0 || retired != 0 {
+		t.Fatalf("TxnStats after close = (%d, %d), want (0, 0)", open, retired)
+	}
+	// The current version is always attachable.
+	cur, err := st.SnapshotAt(st.IndexVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if got := len(cur.Elements("b")); got != 1 {
+		t.Fatalf("current version missing the write: %d <b> elements", got)
+	}
+}
+
+// TestTxnClosedAndUnbound covers the contract edges: reads after Close
+// report ErrTxnClosed; nodes outside the snapshot (inserted after the
+// pin, or text nodes, which the tag index does not cover) report
+// ErrUnbound while the live Store.Label still resolves them.
+func TestTxnClosedAndUnbound(t *testing.T) {
+	st, err := OpenString(`<r><a>text</a></r>`, DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := st.SnapshotView()
+
+	fresh, err := st.InsertElement(st.Root(), 0, "late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Label(fresh); !errors.Is(err, ErrUnbound) {
+		t.Fatalf("Label of post-pin insert = %v, want ErrUnbound", err)
+	}
+	a := st.Elements("a")[0]
+	text := a.Child(0)
+	if _, err := tx.Label(text); !errors.Is(err, ErrUnbound) {
+		t.Fatalf("Txn.Label of a text node = %v, want ErrUnbound", err)
+	}
+	if _, err := st.Label(text); err != nil {
+		t.Fatalf("live Store.Label of a text node: %v", err)
+	}
+	if _, err := tx.Label(a); err != nil {
+		t.Fatalf("Label of a pinned element: %v", err)
+	}
+
+	tx.Close()
+	if _, err := tx.Query("//a"); !errors.Is(err, ErrTxnClosed) {
+		t.Fatalf("Query after Close = %v, want ErrTxnClosed", err)
+	}
+	if _, err := tx.Label(a); !errors.Is(err, ErrTxnClosed) {
+		t.Fatalf("Label after Close = %v, want ErrTxnClosed", err)
+	}
+	if _, err := tx.Descendants(a); !errors.Is(err, ErrTxnClosed) {
+		t.Fatalf("Descendants after Close = %v, want ErrTxnClosed", err)
+	}
+	if tx.Version() != 0 {
+		t.Fatalf("Version after Close = %d, want 0", tx.Version())
+	}
+	if got := tx.Elements("a"); got != nil {
+		t.Fatalf("Elements after Close = %d results, want none", len(got))
+	}
+}
+
+// TestTxnStreamingMatchesCollect: consuming a Results cursor via
+// Next/Seek/All must visit exactly the Collect set, in order — the
+// public streaming surface agrees with the materializing adapter.
+func TestTxnStreamingMatchesCollect(t *testing.T) {
+	x := workload.XMarkLite(4, 7)
+	st, err := OpenString(x.String(), DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = st.View(func(tx *Txn) error {
+		for _, expr := range []string{"//item/name", "/site//keyword", "//bidder", "//*"} {
+			res, err := tx.Query(expr)
+			if err != nil {
+				return err
+			}
+			want := res.Collect()
+
+			res2, _ := tx.Query(expr)
+			var got []*Elem
+			for el, ok := res2.Next(); ok; el, ok = res2.Next() {
+				got = append(got, el)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: Next drained %d, Collect %d", expr, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: Next and Collect disagree at %d", expr, i)
+				}
+			}
+
+			// Seek past the first half must resume exactly at the oracle's
+			// corresponding position.
+			if len(want) > 2 {
+				mid, err := tx.Label(want[len(want)/2])
+				if err != nil {
+					return err
+				}
+				res3, _ := tx.Query(expr)
+				el, ok := res3.Seek(mid.Begin)
+				if !ok || el != want[len(want)/2] {
+					t.Fatalf("%s: Seek(mid) landed wrong", expr)
+				}
+			}
+
+			// Early termination via the iterator adapter is clean.
+			res4, _ := tx.Query(expr)
+			n := 0
+			for range res4.All() {
+				n++
+				if n == 2 {
+					break
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

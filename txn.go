@@ -1,0 +1,366 @@
+package ltree
+
+import (
+	"errors"
+	"iter"
+
+	"github.com/ltree-db/ltree/internal/document"
+	"github.com/ltree-db/ltree/internal/index"
+	"github.com/ltree-db/ltree/internal/query"
+	"github.com/ltree-db/ltree/internal/xmldom"
+)
+
+// Errors reported by the read-transaction layer.
+var (
+	// ErrTxnClosed reports a read on a transaction after Close.
+	ErrTxnClosed = errors.New("ltree: read transaction is closed")
+	// ErrVersionRetired reports SnapshotAt on a version number that is
+	// neither current nor pinned by any open transaction.
+	ErrVersionRetired = errors.New("ltree: index version retired (no open transaction pins it)")
+)
+
+// Txn is a snapshot-isolated read transaction: it captures one published
+// index version at open and serves every read — Query, Elements,
+// Descendants, Label, IsAncestor, Compare — from that version for its
+// whole lifetime. Reads inside one Txn are therefore mutually
+// consistent: a writer committing concurrently publishes new versions,
+// but this handle never observes them, and the pinned version (including
+// every label it materialized) stays fully readable until Close.
+//
+// A Txn never blocks writers and holds no lock: the pinned version is
+// immutable, so its reads are plain memory reads. The one deliberate
+// exception is QueryNav, the label-free reference evaluator, which
+// navigates the live DOM under the read lock and is documented as not
+// snapshot-pinned.
+//
+// What a pinned version guarantees — and what it does not: labels,
+// document order, ancestry and query results all come from the capture
+// instant. The *Elem pointers returned are the live DOM nodes, though;
+// their tag and attributes are read from the document as it is now, and
+// a node deleted after the capture still appears in this Txn's results
+// (detached, but structurally frozen in the snapshot's labels). See
+// DESIGN.md §3.4.
+//
+// A Txn is not safe for concurrent use by multiple goroutines; open one
+// per goroutine (opening is cheap — a counter increment, no copying).
+type Txn struct {
+	s       *Store
+	ver     *index.Version
+	release func()
+
+	// byTag lazily memoizes node→posting lookups against the pinned
+	// version, per tag, for the label reads (Label, IsAncestor, Compare,
+	// Descendants): the first lookup of a tag drains its cursor once, and
+	// every later lookup is a hash probe.
+	byTag map[string]map[*Elem]document.Entry
+}
+
+// View runs fn inside a read transaction: every read through the Txn
+// observes the one index version current when View began, regardless of
+// concurrent commits. The transaction is released when fn returns; fn's
+// error is returned as-is. This is the Store's analogue of a database
+// View/ReadTx block, and the primitive the single-shot Query/Elements
+// wrappers are built on.
+func (s *Store) View(fn func(*Txn) error) error {
+	tx := s.SnapshotView()
+	defer tx.Close()
+	return fn(tx)
+}
+
+// SnapshotView opens a read transaction pinned to the current index
+// version and returns the handle. The caller owns its lifetime and must
+// Close it; prefer View unless the transaction has to cross function or
+// goroutine boundaries.
+func (s *Store) SnapshotView() *Txn {
+	ver, release := s.vers.Pin()
+	return &Txn{s: s, ver: ver, release: release}
+}
+
+// SnapshotAt opens a read transaction pinned to an explicit version
+// number: the current version, or a retired one that some open
+// transaction still pins (pinning is what keeps a retired version
+// attachable — see DESIGN.md §3.4). ErrVersionRetired otherwise.
+func (s *Store) SnapshotAt(version uint64) (*Txn, error) {
+	ver, release, ok := s.vers.PinAt(version)
+	if !ok {
+		return nil, ErrVersionRetired
+	}
+	return &Txn{s: s, ver: ver, release: release}, nil
+}
+
+// TxnStats reports the open read-transaction pin count and how many
+// retired index versions those pins are keeping attachable — the
+// engine's retire accounting, useful for spotting leaked handles.
+func (s *Store) TxnStats() (open, retired int) { return s.vers.Stats() }
+
+// Close releases the transaction's pin on its index version. Idempotent.
+// After Close, error-returning reads (Query, QueryNav, Descendants,
+// Label, IsAncestor, Compare) report ErrTxnClosed; the errorless ones
+// degrade to their empty values (Elements nil, Stream exhausted, Count
+// and Version 0). Results cursors obtained before Close keep working
+// (the version is immutable and reachable through them), but the
+// version's registry entry may be retired.
+func (t *Txn) Close() error {
+	if t.release != nil {
+		t.release()
+		t.release = nil
+		t.ver = nil
+	}
+	return nil
+}
+
+// Version returns the pinned index version number: every read through
+// this Txn observes exactly this version.
+func (t *Txn) Version() uint64 {
+	if t.ver == nil {
+		return 0
+	}
+	return t.ver.N
+}
+
+// ix returns the pinned index or fails if the transaction is closed.
+func (t *Txn) ix() (*index.Index, error) {
+	if t.ver == nil {
+		return nil, ErrTxnClosed
+	}
+	return t.ver.Ix, nil
+}
+
+// Query evaluates a path expression against the pinned version and
+// returns a streaming Results cursor: matches surface one at a time, in
+// document order, with intermediate memory bounded by the path depth
+// times the document depth — nothing is materialized unless the caller
+// Collects. The rooted anchor, every join input and every label come
+// from the snapshot, so two Queries in one Txn compose consistently.
+func (t *Txn) Query(expr string) (*Results, error) {
+	p, err := query.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := t.ix(); err != nil {
+		return nil, err
+	}
+	return t.resultsFor(p), nil
+}
+
+// resultsFor builds the lazy pipeline for an already-parsed path.
+func (t *Txn) resultsFor(p *query.Path) *Results {
+	return &Results{cur: query.JoinCursor(t.ver.Ix, p)}
+}
+
+// QueryNav evaluates a path by plain DOM navigation — the label-free
+// reference evaluator. It reads the live document under the store's read
+// lock, NOT the pinned snapshot: results reflect writes committed after
+// this Txn opened. It exists for cross-checking and benchmarks; use
+// Query for snapshot-consistent reads.
+func (t *Txn) QueryNav(expr string) ([]*Elem, error) {
+	p, err := query.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	if t.ver == nil {
+		return nil, ErrTxnClosed
+	}
+	return t.navFor(p), nil
+}
+
+// navFor runs the navigation evaluator under the read lock.
+func (t *Txn) navFor(p *query.Path) []*Elem {
+	t.s.mu.RLock()
+	defer t.s.mu.RUnlock()
+	return query.Nav(t.s.doc, p)
+}
+
+// Elements materializes the pinned version's elements with the given tag
+// ("*" = all) in document order. Stream is the lazy equivalent.
+func (t *Txn) Elements(tag string) []*Elem {
+	ix, err := t.ix()
+	if err != nil {
+		return nil
+	}
+	out := make([]*Elem, 0, ix.Count(tag))
+	cur := ix.Cursor(tag)
+	for e, ok := cur.Next(); ok; e, ok = cur.Next() {
+		out = append(out, e.Node)
+	}
+	return out
+}
+
+// Stream returns the pinned version's posting stream for a tag ("*" =
+// every element) as a Results cursor — document order, nothing copied.
+func (t *Txn) Stream(tag string) *Results {
+	ix, err := t.ix()
+	if err != nil {
+		return &Results{cur: document.NewSliceCursor(nil)}
+	}
+	return &Results{cur: ix.Cursor(tag)}
+}
+
+// Count returns the pinned version's posting count for a tag ("*" =
+// every element) without materializing anything.
+func (t *Txn) Count(tag string) int {
+	ix, err := t.ix()
+	if err != nil {
+		return 0
+	}
+	return ix.Count(tag)
+}
+
+// Descendants streams every element strictly inside n — in the pinned
+// version's coordinates — as one index range scan. Like every Txn read
+// it is consistent with the Txn's other reads: the anchor label and the
+// scanned postings come from the same version.
+func (t *Txn) Descendants(n *Elem) (*Results, error) {
+	e, err := t.entry(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{cur: query.DescendantsCursor(t.ver.Ix, e)}, nil
+}
+
+// Label returns n's (begin, end) interval as of the pinned version.
+// Within a Txn, labels resolve from the snapshot: an element inserted
+// after the capture — or absent from it for any reason, including text
+// nodes, which the tag index does not cover — reports ErrUnbound, and an
+// element relabeled after the capture keeps its capture-time label. Use
+// Store.Label for the live value (text nodes included).
+func (t *Txn) Label(n *Elem) (Label, error) {
+	e, err := t.entry(n)
+	if err != nil {
+		return Label{}, err
+	}
+	return e.Label, nil
+}
+
+// IsAncestor decides ancestry purely from the pinned version's labels
+// (the paper's containment test).
+func (t *Txn) IsAncestor(a, d *Elem) (bool, error) {
+	ea, err := t.entry(a)
+	if err != nil {
+		return false, err
+	}
+	ed, err := t.entry(d)
+	if err != nil {
+		return false, err
+	}
+	return ea.Label.Contains(ed.Label), nil
+}
+
+// Compare orders two elements by document order using the pinned
+// version's labels only: -1, 0 or 1.
+func (t *Txn) Compare(a, b *Elem) (int, error) {
+	ea, err := t.entry(a)
+	if err != nil {
+		return 0, err
+	}
+	eb, err := t.entry(b)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case ea.Label.Begin < eb.Label.Begin:
+		return -1, nil
+	case ea.Label.Begin > eb.Label.Begin:
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}
+
+// entry resolves an element's posting in the pinned version, memoizing
+// one tag's postings per lookup tag (the first lookup drains the tag's
+// cursor; later ones are hash probes).
+func (t *Txn) entry(n *Elem) (document.Entry, error) {
+	ix, err := t.ix()
+	if err != nil {
+		return document.Entry{}, err
+	}
+	if n == nil || n.Kind() != xmldom.Element {
+		return document.Entry{}, ErrUnbound
+	}
+	tag := n.Tag()
+	m := t.byTag[tag]
+	if m == nil {
+		m = make(map[*Elem]document.Entry, ix.Count(tag))
+		cur := ix.Cursor(tag)
+		for e, ok := cur.Next(); ok; e, ok = cur.Next() {
+			m[e.Node] = e
+		}
+		if t.byTag == nil {
+			t.byTag = make(map[string]map[*Elem]document.Entry)
+		}
+		t.byTag[tag] = m
+	}
+	e, ok := m[n]
+	if !ok {
+		return document.Entry{}, ErrUnbound
+	}
+	return e, nil
+}
+
+// Results streams query matches in document order. It is single-use and
+// forward-only, not safe for concurrent use; obtain one per traversal.
+// Pulling from a Results does no locking and touches only the immutable
+// index version it was built from.
+type Results struct {
+	cur document.Cursor
+}
+
+// Next yields the next match, or ok=false once exhausted.
+func (r *Results) Next() (*Elem, bool) {
+	e, ok := r.cur.Next()
+	return e.Node, ok
+}
+
+// NextLabeled is Next plus the match's snapshot label — handy for
+// range-bounded consumption together with Seek.
+func (r *Results) NextLabeled() (*Elem, Label, bool) {
+	e, ok := r.cur.Next()
+	return e.Node, e.Label, ok
+}
+
+// Seek advances to the first match whose label begin is >= begin and
+// yields it. Seeking never retreats: a begin at or behind the current
+// position degrades to Next. On the chunked index a Seek skips whole
+// chunks by fence comparison, so jumping over a cold region costs
+// O(chunks skipped), not O(postings skipped).
+func (r *Results) Seek(begin uint64) (*Elem, bool) {
+	e, ok := r.cur.Seek(begin)
+	return e.Node, ok
+}
+
+// Collect drains the remaining matches into a slice — the materializing
+// adapter the compatibility wrappers use.
+func (r *Results) Collect() []*Elem {
+	var out []*Elem
+	for e, ok := r.cur.Next(); ok; e, ok = r.cur.Next() {
+		out = append(out, e.Node)
+	}
+	return out
+}
+
+// All adapts the remaining matches to a range-over-func iterator:
+//
+//	for el := range res.All() { ... }
+//
+// Breaking out of the loop simply stops pulling; nothing is leaked.
+func (r *Results) All() iter.Seq[*Elem] {
+	return func(yield func(*Elem) bool) {
+		for e, ok := r.cur.Next(); ok; e, ok = r.cur.Next() {
+			if !yield(e.Node) {
+				return
+			}
+		}
+	}
+}
+
+// Labeled is All with each match's snapshot label as the second value.
+func (r *Results) Labeled() iter.Seq2[*Elem, Label] {
+	return func(yield func(*Elem, Label) bool) {
+		for e, ok := r.cur.Next(); ok; e, ok = r.cur.Next() {
+			if !yield(e.Node, e.Label) {
+				return
+			}
+		}
+	}
+}
