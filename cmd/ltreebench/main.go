@@ -52,18 +52,28 @@ var experiments = []experiment{
 	{"wal", "engine: commit latency — snapshot-per-save vs WAL append vs batched WAL", expWal},
 	{"chunk", "engine: chunked COW posting lists — single-op patch cost vs tag fan-in, flat baseline", expChunk},
 	{"pipeline", "engine: lazy cursor pipeline — deep-path intermediate memory + first-result latency vs materialized join", expPipeline},
+	{"replica", "engine: log-shipping follower — apply lag + freshness vs snapshot-restore baseline", expReplica},
 }
 
 func main() {
 	expFlag := flag.String("exp", "all", "experiment id (all, "+ids()+")")
 	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 	n := flag.Int("n", 0, "override the main size parameter (0 = default)")
+	requireCPUs := flag.Int("requirecpus", 0, "exit nonzero unless runtime.NumCPU() >= this (CI multicore gate)")
 	flag.Parse()
 
 	c := config{quick: *quick, n: *n}
 	// Every table is CPU-sensitive; print the parallelism up front so no
 	// archived run circulates without its hardware context again.
 	fmt.Printf("runtime: GOMAXPROCS=%d NumCPU=%d\n\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
+	if *requireCPUs > 0 && runtime.NumCPU() < *requireCPUs {
+		// The multicore CI lane runs with -requirecpus 2: a table taken on
+		// fewer cores than required must fail the job, not get archived as
+		// if it measured parallelism.
+		fmt.Fprintf(os.Stderr, "requirecpus: NumCPU=%d < required %d — refusing to run\n",
+			runtime.NumCPU(), *requireCPUs)
+		os.Exit(3)
+	}
 	want := strings.Split(*expFlag, ",")
 	ran := 0
 	for _, e := range experiments {

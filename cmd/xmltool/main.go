@@ -22,6 +22,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -220,7 +221,7 @@ func applyEdits(st *ltree.Store, file string) error {
 		switch fields[0] {
 		case "insert":
 			if len(fields) < 4 {
-				return cmdErr(fmt.Errorf("usage: insert <path> <idx> <xml>"))
+				return cmdErr(errors.New("usage: insert <path> <idx> <xml>"))
 			}
 			target, err := resolvePath(st, fields[1])
 			if err != nil {
@@ -236,7 +237,7 @@ func applyEdits(st *ltree.Store, file string) error {
 			}
 		case "text":
 			if len(fields) < 4 {
-				return cmdErr(fmt.Errorf("usage: text <path> <idx> <text>"))
+				return cmdErr(errors.New("usage: text <path> <idx> <text>"))
 			}
 			target, err := resolvePath(st, fields[1])
 			if err != nil {
@@ -251,7 +252,7 @@ func applyEdits(st *ltree.Store, file string) error {
 			}
 		case "delete":
 			if len(fields) != 2 {
-				return cmdErr(fmt.Errorf("usage: delete <path>"))
+				return cmdErr(errors.New("usage: delete <path>"))
 			}
 			target, err := resolvePath(st, fields[1])
 			if err != nil {
@@ -262,7 +263,7 @@ func applyEdits(st *ltree.Store, file string) error {
 			}
 		case "move":
 			if len(fields) != 4 {
-				return cmdErr(fmt.Errorf("usage: move <path> <target-path> <idx>"))
+				return cmdErr(errors.New("usage: move <path> <target-path> <idx>"))
 			}
 			src, err := resolvePath(st, fields[1])
 			if err != nil {

@@ -37,6 +37,9 @@
 //     here, and see DESIGN.md for the engine layering).
 //   - Txn / Results: snapshot-isolated read transactions pinning one
 //     index version, with lazy streaming query results (DESIGN.md §3.4).
+//   - Follower: a log-shipping read replica fed off a leader's WAL —
+//     catch-up plus live tail, the full Txn read surface at a measurable
+//     lag, promote-to-writable on leader handoff (DESIGN.md §7).
 //   - Tree / Node: the raw materialized L-Tree over abstract list slots
 //     (paper §2), for embedding in other systems.
 //   - Virtual: the B-tree-backed virtual L-Tree (paper §4.2) that stores

@@ -113,6 +113,29 @@ func (d *Doc) verifyRunLabels(sub *xmldom.Node, want []uint64) error {
 	return nil
 }
 
+// ApplyPayload is the op-stream decode entry point shared by WAL
+// recovery and log-shipping followers: it decodes one encoded batch
+// payload (an EncodeOps record, exactly what AppendBatch persisted and a
+// Tailer ships) and replays it through ApplyOps. It reports whether the
+// batch contained a compaction — compaction relabels everything, so a
+// caller maintaining an incremental index must rebuild instead of
+// patching the change set.
+func (d *Doc) ApplyPayload(payload []byte) (compacted bool, err error) {
+	ops, err := storage.DecodeOps(payload)
+	if err != nil {
+		return false, err
+	}
+	if err := d.ApplyOps(ops); err != nil {
+		return false, err
+	}
+	for i := range ops {
+		if ops[i].Kind == storage.OpCompact {
+			compacted = true
+		}
+	}
+	return compacted, nil
+}
+
 // ApplyOps replays a recorded op batch through the normal mutation
 // methods: the L-Tree performs the same maintenance, the relabel hook and
 // change tracking fire exactly as they did at runtime (so an incremental

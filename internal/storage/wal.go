@@ -45,6 +45,28 @@ type WAL struct {
 	seq      uint64 // last appended batch sequence number
 	unsynced int    // appends since the last fsync (group commit)
 	broken   error  // a partial append this handle could not roll back
+
+	// watch is the durability-notification broadcast: whenever appended
+	// records become durable (a synced append, Sync, Checkpoint) the
+	// current channel is closed — waking every Tailer blocked on it —
+	// and AppendWatch lazily allocates the next one. Nil when nobody
+	// waits. Group-commit buffered appends do NOT fire it: waking a
+	// tailer per buffered append would make its sweep fsync the segment,
+	// silently degrading a SyncEvery>1 leader to fsync-per-commit.
+	watch chan struct{}
+
+	// rebases counts log re-bases: checkpoints that covered state the
+	// log itself lost (a failed append the store repaired). An attached
+	// tailer observing the counter move knows the op stream it is
+	// following no longer reconstructs the leader and must re-seed; see
+	// MarkRebased.
+	rebases uint64
+
+	// leases are the segment-retention guards registered by attached
+	// tailers (see ship.go): Checkpoint's log truncation never deletes a
+	// segment holding records above the lowest lease floor, so a slow
+	// follower mid-catch-up survives a leader checkpoint.
+	leases map[*walLease]struct{}
 }
 
 // WALOptions tunes a WAL.
@@ -221,6 +243,7 @@ func (w *WAL) newSegment(base uint64) error {
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.notifyLocked() // wake waiting tailers so they re-check state
 	if w.seg == nil {
 		return nil
 	}
@@ -230,6 +253,109 @@ func (w *WAL) Close() error {
 	}
 	w.seg = nil
 	return err
+}
+
+// notifyLocked fires the durability broadcast: the current watch channel
+// is closed and forgotten; the next AppendWatch call allocates a fresh
+// one. Caller holds the lock.
+func (w *WAL) notifyLocked() {
+	if w.watch != nil {
+		close(w.watch)
+		w.watch = nil
+	}
+}
+
+// AppendWatch returns a channel that is closed the next time appended
+// records become durable (or the state otherwise moves: MarkRebased,
+// Close). Tailers use it to block for new records without polling: grab
+// the channel, re-check Seq, then wait. On a closed WAL it returns nil —
+// no append can ever fire again, so a tailer must stop instead of
+// parking forever.
+func (w *WAL) AppendWatch() <-chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.seg == nil {
+		return nil
+	}
+	if w.watch == nil {
+		w.watch = make(chan struct{})
+	}
+	return w.watch
+}
+
+// MarkRebased records that the newest checkpoint covers state the log
+// lost (the store's repair path after a failed append calls this right
+// after the repairing Checkpoint succeeds). Attached tailers observe the
+// counter through Rebases and stop with ErrShipRebased: the op stream
+// past this point is recorded against state they never received, so
+// continuing would verify-fail at best and silently diverge at worst.
+func (w *WAL) MarkRebased() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rebases++
+	w.notifyLocked() // wake parked tailers so they detect it now
+}
+
+// Rebases returns the number of log re-bases; see MarkRebased.
+func (w *WAL) Rebases() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rebases
+}
+
+// walLease is one registered retention floor; see Retain.
+type walLease struct {
+	w     *WAL
+	floor uint64 // records with seq > floor must stay replayable
+}
+
+// Retain registers a segment-retention lease: until released, Checkpoint
+// will not delete a log segment containing records with sequence number
+// above seq — the holder can still ReplaySince(floor) without hitting a
+// gap. Advance the floor as records are consumed so truncation can catch
+// up; Release drops the guard entirely. Attached tailers (ship.go) hold
+// one lease each; the lowest floor across leases wins.
+func (w *WAL) Retain(seq uint64) Lease {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	l := &walLease{w: w, floor: seq}
+	if w.leases == nil {
+		w.leases = make(map[*walLease]struct{})
+	}
+	w.leases[l] = struct{}{}
+	return l
+}
+
+// Advance raises the lease floor (it never retreats): records at or
+// below seq are no longer needed by this holder.
+func (l *walLease) Advance(seq uint64) {
+	l.w.mu.Lock()
+	defer l.w.mu.Unlock()
+	if seq > l.floor {
+		l.floor = seq
+	}
+}
+
+// Release drops the lease. Idempotent.
+func (l *walLease) Release() {
+	l.w.mu.Lock()
+	defer l.w.mu.Unlock()
+	delete(l.w.leases, l)
+}
+
+// retentionFloorLocked returns the lowest lease floor and whether any
+// lease is registered. Caller holds the lock.
+func (w *WAL) retentionFloorLocked() (uint64, bool) {
+	if len(w.leases) == 0 {
+		return 0, false
+	}
+	floor := ^uint64(0)
+	for l := range w.leases {
+		if l.floor < floor {
+			floor = l.floor
+		}
+	}
+	return floor, true
 }
 
 // Seq returns the sequence number of the last appended batch (0 before
@@ -291,6 +417,7 @@ func (w *WAL) AppendBatch(payload []byte) (uint64, error) {
 			return 0, fmt.Errorf("storage: WAL sync: %w", err)
 		}
 		w.unsynced = 0
+		w.notifyLocked() // the record is durable: wake tailers
 	}
 	return seq, nil
 }
@@ -306,6 +433,7 @@ func (w *WAL) Sync() error {
 		return err
 	}
 	w.unsynced = 0
+	w.notifyLocked() // the group-commit window is durable: wake tailers
 	return nil
 }
 
@@ -315,49 +443,98 @@ func (w *WAL) Sync() error {
 // — records missing although later segments exist — is data loss and is
 // reported as ErrCorruptWAL.
 func (w *WAL) ReplaySince(since uint64, fn func(seq uint64, payload []byte) error) error {
+	_, err := w.ReplayFromPos(TailPos{Seq: since}, fn)
+	return err
+}
+
+// TailPos is a byte-accurate replay cursor: the last consumed sequence
+// number plus the byte offset just past its record in the segment based
+// at SegBase. The zero Off means "offset unknown — locate Seq by
+// scanning", which is how a fresh replay starts.
+type TailPos struct {
+	SegBase uint64
+	Off     int64
+	Seq     uint64
+}
+
+// ReplayFromPos is ReplaySince with a resumable cursor: it streams every
+// durable batch after pos.Seq and returns the position just past the
+// last record it delivered (fn errors included — the returned position
+// never re-covers a delivered record, so a windowed consumer can stop
+// mid-sweep and resume without re-reading). When pos carries a byte
+// offset and its segment still exists, the scan seeks straight to it —
+// this is what keeps a live tailer O(new records) per sweep instead of
+// re-decoding the whole current segment every wakeup; if the segment was
+// truncated away (the consumer's lease had advanced past it), it falls
+// back to the locate-by-scan path.
+func (w *WAL) ReplayFromPos(pos TailPos, fn func(seq uint64, payload []byte) error) (TailPos, error) {
 	w.mu.Lock()
 	if w.seg != nil && w.unsynced > 0 {
 		// Replay reads the files; make sure everything appended through
 		// this handle is visible and durable first.
 		if err := w.seg.Sync(); err != nil {
 			w.mu.Unlock()
-			return err
+			return pos, err
 		}
 		w.unsynced = 0
+		w.notifyLocked()
 	}
 	segs, err := w.listSegments()
 	w.mu.Unlock()
 	if err != nil {
-		return err
+		return pos, err
 	}
-	// Drop segments that end at or before since: segment i covers
-	// (segs[i], segs[i+1]] (the last one is open-ended).
-	start := 0
-	for i := 0; i+1 < len(segs); i++ {
-		if segs[i+1] <= since {
-			start = i + 1
+	since := pos.Seq
+	start, resume := 0, false
+	if pos.Off >= int64(segHeaderLen) {
+		for i, base := range segs {
+			if base == pos.SegBase {
+				start, resume = i, true
+				break
+			}
+		}
+	}
+	if !resume {
+		// Drop segments that end at or before since: segment i covers
+		// (segs[i], segs[i+1]] (the last one is open-ended).
+		for i := 0; i+1 < len(segs); i++ {
+			if segs[i+1] <= since {
+				start = i + 1
+			}
 		}
 	}
 	next := since // last sequence number delivered (or skipped)
+	out := pos
 	for i := start; i < len(segs); i++ {
 		base := segs[i]
 		if base > next {
-			return fmt.Errorf("%w: log gap: segment starts after %d but batch %d is missing",
+			return out, fmt.Errorf("%w: log gap: segment starts after %d but batch %d is missing",
 				ErrCorruptWAL, base, next+1)
 		}
 		f, err := os.Open(w.segPath(base))
 		if err != nil {
-			return err
+			return out, err
 		}
 		herr := checkSegHeader(f, base)
 		if herr != nil {
 			f.Close()
 			if errors.Is(herr, ErrCorruptWAL) && i == len(segs)-1 {
-				return nil // torn newest segment: nothing durable in it
+				return out, nil // torn newest segment: nothing durable in it
 			}
-			return herr
+			return out, herr
 		}
-		_, err = scanRecords(f, base, func(seq uint64, payload []byte) error {
+		// scanBase seeds scanRecords' expected-sequence counter: the
+		// segment base normally, the resume position's sequence number
+		// when seeking into the middle of the cursor's segment.
+		scanBase, offBase := base, int64(segHeaderLen)
+		if resume && base == pos.SegBase {
+			if _, err := f.Seek(pos.Off, io.SeekStart); err != nil {
+				f.Close()
+				return out, err
+			}
+			scanBase, offBase = since, pos.Off
+		}
+		good, serr := scanRecords(f, scanBase, func(seq uint64, payload []byte) error {
 			if seq <= since {
 				next = seq
 				return nil
@@ -372,11 +549,15 @@ func (w *WAL) ReplaySince(since uint64, fn func(seq uint64, payload []byte) erro
 			return nil
 		})
 		f.Close()
-		if err != nil {
-			return err
+		// good counts only fully-consumed records (a record whose fn
+		// errored is excluded), so the cursor lands exactly after the
+		// last delivered one.
+		out = TailPos{SegBase: base, Off: offBase + good, Seq: next}
+		if serr != nil {
+			return out, serr
 		}
 	}
-	return nil
+	return out, nil
 }
 
 // Checkpoint implements WALBackend: it writes snapshot as the checkpoint
@@ -398,6 +579,7 @@ func (w *WAL) Checkpoint(snapshot []byte) (uint64, error) {
 			return 0, err
 		}
 		w.unsynced = 0
+		w.notifyLocked()
 	}
 	seq := w.seq
 	tmp, err := os.CreateTemp(w.dir, "ckpt-*.tmp")
@@ -445,11 +627,26 @@ func (w *WAL) Checkpoint(snapshot []byte) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
-		for _, base := range segs {
-			if base < seq {
-				if err := os.Remove(w.segPath(base)); err != nil {
-					return 0, err
-				}
+		// Retention guard: segment i covers records (segs[i], segs[i+1]]
+		// (the freshly rotated segment at seq is always in the list, so
+		// every older segment has a successor). A segment is disposable
+		// only when every record it holds is at or below the lowest lease
+		// floor — an attached tailer mid-catch-up still needs everything
+		// above its floor, checkpoint or not.
+		floor, guarded := w.retentionFloorLocked()
+		for i, base := range segs {
+			if base >= seq {
+				continue // the live segment
+			}
+			end := seq
+			if i+1 < len(segs) {
+				end = segs[i+1]
+			}
+			if guarded && end > floor {
+				continue // a tailer still needs records in (base, end]
+			}
+			if err := os.Remove(w.segPath(base)); err != nil {
+				return 0, err
 			}
 		}
 		if err := w.syncDir(); err != nil {

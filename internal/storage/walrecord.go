@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -74,7 +75,7 @@ const maxRecord = 1 << 30
 const recordHeaderLen = 4 + 4 + 8
 
 // ErrCorruptWAL reports a malformed WAL payload or segment.
-var ErrCorruptWAL = fmt.Errorf("storage: corrupt WAL")
+var ErrCorruptWAL = errors.New("storage: corrupt WAL")
 
 // EncodeOps serializes a batch of ops into a record payload.
 func EncodeOps(ops []Op) ([]byte, error) {

@@ -594,6 +594,7 @@ func (s *Store) checkpointLocked() (uint64, error) {
 		s.walErr = firstErr(s.walErr, err)
 		return 0, err
 	}
+	repairing := s.walErr != nil
 	v, err := s.wal.Checkpoint(buf.Bytes())
 	if err != nil {
 		// Whether or not the checkpoint file became visible, the only
@@ -603,26 +604,39 @@ func (s *Store) checkpointLocked() (uint64, error) {
 		s.walErr = firstErr(s.walErr, err)
 		return 0, err
 	}
+	if repairing {
+		// This checkpoint covers batches the log lost: the op stream is
+		// re-based. Attached log-shipping followers can no longer
+		// reconstruct this store from the stream alone — mark the WAL so
+		// their tailers stop (ErrShipRebased) instead of silently
+		// diverging; they re-seed from the checkpoint just written.
+		if r, ok := s.wal.(interface{ MarkRebased() }); ok {
+			r.MarkRebased()
+		}
+	}
 	s.walErr = nil
 	return v, nil
 }
 
-// replayBatch applies one recovered WAL batch: ops replay through the
-// normal mutation paths (ApplyOps verifies the recorded labels), then the
-// index advances exactly as a live commit would — one version per batch,
-// patched copy-on-write from the change set the replay produced. A batch
+// applyShippedLocked applies one durable WAL batch payload — recovery
+// replay and log-shipping followers share this path. The ops decode and
+// replay through the normal mutation paths (document.ApplyPayload
+// verifies the recorded labels bit-for-bit), then the index advances
+// exactly as a live commit would — one version per batch, patched
+// copy-on-write from the change set the replay produced. A batch
 // containing a compaction rebuilds the index outright, as Compact does.
-func (s *Store) replayBatch(ops []storage.Op) error {
-	if err := s.doc.ApplyOps(ops); err != nil {
+// Caller holds the write lock (or owns the store exclusively, as during
+// load).
+func (s *Store) applyShippedLocked(payload []byte) error {
+	compacted, err := s.doc.ApplyPayload(payload)
+	if err != nil {
 		return err
 	}
 	s.doc.TakeOps() // replay records nothing; drain defensively
-	for _, op := range ops {
-		if op.Kind == storage.OpCompact {
-			s.doc.TakeChanges()
-			s.vers.Publish(index.Build(s.doc))
-			return nil
-		}
+	if compacted {
+		s.doc.TakeChanges()
+		s.vers.Publish(index.Build(s.doc))
+		return nil
 	}
 	return s.advanceIndexLocked()
 }
@@ -642,11 +656,7 @@ func loadWAL(w WALBackend) (*Store, error) {
 	s := newStore(doc)
 	s.doc.TrackOps()
 	if err := w.ReplaySince(seq, func(_ uint64, payload []byte) error {
-		ops, err := storage.DecodeOps(payload)
-		if err != nil {
-			return err
-		}
-		return s.replayBatch(ops)
+		return s.applyShippedLocked(payload)
 	}); err != nil {
 		return nil, fmt.Errorf("ltree: wal replay: %w", err)
 	}
