@@ -435,3 +435,52 @@ func BenchmarkStoreConcurrentQuery(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStoreConcurrentQueryPred puts the zig-zag join with predicate
+// pushdown under the same parallel-reader regime (the name keeps it in
+// the CI multicore lane's StoreConcurrentQuery sweep): GOMAXPROCS
+// readers issue a selective attribute-predicate query against the
+// published COW index. The "txn" variant runs each reader inside a read
+// transaction, so repeated queries share the Txn's predicate-verdict
+// memo; "store" pays predicate resolution per query.
+func BenchmarkStoreConcurrentQueryPred(b *testing.B) {
+	x := workload.XMarkLite(20, 1)
+	st, err := OpenString(x.String(), DefaultParams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const expr = "//item[@id='item42']"
+	if res, err := st.Query(expr); err != nil || len(res) != 1 {
+		b.Fatalf("predicate query broken before bench: %d results, %v", len(res), err)
+	}
+	b.Run("store", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := st.Query(expr); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+	b.Run("txn", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			txn := st.SnapshotView()
+			defer txn.Close()
+			for pb.Next() {
+				res, err := txn.Query(expr)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if res.Collect() == nil {
+					b.Error("predicate query lost its match")
+					return
+				}
+			}
+		})
+	})
+	if err := st.Check(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -36,7 +36,9 @@
 //     index incrementally, versioned snapshots (this file's API; start
 //     here, and see DESIGN.md for the engine layering).
 //   - Txn / Results: snapshot-isolated read transactions pinning one
-//     index version, with lazy streaming query results (DESIGN.md §3.4).
+//     index version, with lazy streaming query results (DESIGN.md §3.4)
+//     evaluated by a zig-zag structural join with chunk-level predicate
+//     pushdown and a Txn-scoped predicate memo (DESIGN.md §3.5).
 //   - Follower: a log-shipping read replica fed off a leader's WAL —
 //     catch-up plus live tail, the full Txn read surface at a measurable
 //     lag, promote-to-writable on leader handoff (DESIGN.md §7).

@@ -1,0 +1,87 @@
+package document
+
+import "github.com/ltree-db/ltree/internal/xmldom"
+
+// AttrSummary is a small fixed-size bloom filter over the attribute keys
+// of a run of elements: for every attribute a of every element it holds
+// both the name key (AttrKeyHash) and the name=value key (AttrKVHash).
+// The chunked index builds one per immutable chunk at chunk-build time
+// and stores it beside the fence directory, so a predicate-filtered
+// cursor can reject a whole chunk — no posting decoded, no attribute
+// list scanned — when a required key is provably absent.
+//
+// Semantics are strictly one-sided: MayContain never reports false for a
+// key that was added (no false negatives), so a skip is always sound;
+// false positives only cost a wasted chunk decode. A chunk whose
+// elements carry many distinct attribute values saturates the filter and
+// degrades to "maybe" for everything — per-chunk summaries pay off on
+// low-cardinality, clustered attributes (flags, roles, categories), and
+// cost one branch per chunk everywhere else. See DESIGN.md §3.5.
+type AttrSummary [4]uint64
+
+// attrSummaryBits is the filter width in bits (4 × 64).
+const attrSummaryBits = 256
+
+// Add inserts a key hash, setting two derived bits (classic double
+// hashing: the low and high halves of the 64-bit key index independent
+// bit positions).
+func (s *AttrSummary) Add(h uint64) {
+	b1 := h % attrSummaryBits
+	b2 := (h >> 32) % attrSummaryBits
+	s[b1/64] |= 1 << (b1 % 64)
+	s[b2/64] |= 1 << (b2 % 64)
+}
+
+// MayContain reports whether the key hash may have been added: false
+// means definitely absent (both derived bits cannot be set by accident
+// of a single other key only when the filter is sparse — collisions make
+// this "maybe", never a lost key).
+func (s AttrSummary) MayContain(h uint64) bool {
+	b1 := h % attrSummaryBits
+	b2 := (h >> 32) % attrSummaryBits
+	return s[b1/64]&(1<<(b1%64)) != 0 && s[b2/64]&(1<<(b2%64)) != 0
+}
+
+// Empty reports a filter with no keys at all (a chunk of attribute-free
+// elements): every existence predicate is definitely absent.
+func (s AttrSummary) Empty() bool { return s == AttrSummary{} }
+
+// AddNode inserts every attribute of one element: the name key and the
+// name=value key.
+func (s *AttrSummary) AddNode(n *xmldom.Node) {
+	for _, a := range n.Attrs() {
+		s.Add(AttrKeyHash(a.Name))
+		s.Add(AttrKVHash(a.Name, a.Value))
+	}
+}
+
+// FNV-1a constants (64-bit).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// AttrKeyHash hashes an attribute name — the key an existence predicate
+// ([@name]) probes.
+func AttrKeyHash(name string) uint64 {
+	return fnvString(fnvOffset, name)
+}
+
+// AttrKVHash hashes an attribute name=value pair — the key an equality
+// predicate ([@name='value']) probes. It continues the same FNV-1a
+// stream over name, '=', value, so no intermediate string is built; the
+// '=' separator keeps ("ab","c") and ("a","bc") distinct.
+func AttrKVHash(name, value string) uint64 {
+	h := fnvString(fnvOffset, name)
+	h ^= '='
+	h *= fnvPrime
+	return fnvString(h, value)
+}

@@ -19,6 +19,40 @@ type Cursor interface {
 	Seek(begin uint64) (Entry, bool)
 }
 
+// OpenSeeker is an optional Cursor extension for interval streams: a
+// SeekOpen(begin) advances to the first remaining entry whose interval
+// may still be open at begin — every skipped entry provably satisfies
+// Label.End < begin (and hence Label.Begin < begin, since Begin < End).
+// Entries with Begin >= begin are never skipped, so a SeekOpen is a
+// strictly weaker skip than Seek: it jumps over intervals that closed
+// before the target while retaining ancestors that straddle it.
+//
+// The structural join uses this on its context side after a far
+// candidate jump (the zig-zag step): context entries closed before the
+// candidate can never be its ancestors, nor ancestors of any later
+// candidate, so whole chunks of them are skipped by fence comparison
+// (the chunked index keeps a maxEnd per fence for exactly this test).
+// Like Seek, SeekOpen is forward-only and consumes what it yields.
+type OpenSeeker interface {
+	Cursor
+	SeekOpen(begin uint64) (Entry, bool)
+}
+
+// ChunkFilter is an optional Cursor extension for predicate pushdown: a
+// consumer that will drop every entry lacking one of the required
+// attribute keys (hashes from AttrKeyHash/AttrKVHash, conjunctive)
+// declares them up front, and a chunk-aware cursor may then skip any
+// chunk whose attribute summary proves a required key absent — the
+// entries are never decoded. The filtered stream is a superset of the
+// entries passing the predicates (summaries have false positives, never
+// false negatives), so the consumer must still test each entry; it is
+// NOT a complete stream of the tag, which is why the filter is opt-in
+// per cursor rather than part of the Seek contract.
+type ChunkFilter interface {
+	Cursor
+	FilterChunks(required []uint64)
+}
+
 // SliceCursor adapts a begin-sorted []Entry to the Cursor interface —
 // the one-shot TagIndex snapshot and any materialized intermediate result
 // stream through it.

@@ -24,23 +24,34 @@ func (c *chunk) minBegin() uint64 { return c.entries[0].Label.Begin }
 func (c *chunk) maxBegin() uint64 { return c.entries[len(c.entries)-1].Label.Begin }
 
 // fence summarizes one chunk for routing and skip scans: its first and
-// last begin labels. Fences are kept in their own pointer-free packed
-// array so a directory copy is a plain memmove (no write barriers) and
-// a cursor's Seek binary-searches cache-dense uint64 pairs — the fences
-// double as a skip index over the chunk sequence, in the spirit of the
-// clustered per-tag layouts of succinct labeled-tree representations.
+// last begin labels, plus the maximum end label of any entry in the
+// chunk. Begins are monotone across the directory so (min, max) drives
+// binary-searched Seeks; maxEnd is NOT monotone (an early chunk may hold
+// the root's huge interval) and drives the zig-zag join's SeekOpen —
+// a chunk with maxEnd < target provably holds only intervals closed
+// before the target, so a context-side skip discards it whole. Fences
+// are kept in their own pointer-free packed array so a directory copy is
+// a plain memmove (no write barriers) and a cursor's Seek binary-searches
+// cache-dense uint64 triples — the fences double as a skip index over the
+// chunk sequence, in the spirit of the clustered per-tag layouts of
+// succinct labeled-tree representations.
 type fence struct {
-	min uint64
-	max uint64
+	min    uint64
+	max    uint64
+	maxEnd uint64
 }
 
-// postings is one tag's chunked posting list: parallel fence and chunk
-// arrays (the directory; fences[i] describes chunks[i]) plus the entry
-// total. A patch copies the directory — 16 pointer-free bytes plus one
-// pointer per chunk — and the chunks it touches; everything else is
-// shared between versions.
+// postings is one tag's chunked posting list: parallel fence, summary
+// and chunk arrays (the directory; fences[i] and sums[i] describe
+// chunks[i]) plus the entry total. A patch copies the directory —
+// pointer-free fence and summary bytes plus one pointer per chunk — and
+// the chunks it touches; everything else is shared between versions.
+// The summaries are per-chunk attribute blooms (document.AttrSummary)
+// computed once when an immutable chunk is built; predicate-filtered
+// cursors consult them to reject whole chunks before decoding postings.
 type postings struct {
 	fences []fence
+	sums   []document.AttrSummary
 	chunks []*chunk
 	count  int
 }
@@ -48,24 +59,42 @@ type postings struct {
 // builder accumulates a directory during a patch pass.
 type builder struct {
 	fences []fence
+	sums   []document.AttrSummary
 	chunks []*chunk
 }
 
 // grown pre-sizes a builder for about n chunks.
 func grown(n int) builder {
-	return builder{fences: make([]fence, 0, n), chunks: make([]*chunk, 0, n)}
+	return builder{
+		fences: make([]fence, 0, n),
+		sums:   make([]document.AttrSummary, 0, n),
+		chunks: make([]*chunk, 0, n),
+	}
 }
 
-// share appends an existing chunk with its fence unchanged.
-func (b *builder) share(f fence, c *chunk) {
+// share appends an existing chunk with its fence and summary unchanged.
+func (b *builder) share(f fence, s document.AttrSummary, c *chunk) {
 	b.fences = append(b.fences, f)
+	b.sums = append(b.sums, s)
 	b.chunks = append(b.chunks, c)
 }
 
-// add wraps a fresh entry run as one chunk and computes its fence.
+// add wraps a fresh entry run as one chunk and computes its fence and
+// attribute summary. This is the one place chunk metadata is born: a
+// rebuilt chunk re-reads its entries' labels and attributes, so fences
+// and summaries published by Apply are always exact for their entries.
 func (b *builder) add(es []document.Entry) {
 	c := &chunk{entries: es}
-	b.fences = append(b.fences, fence{min: c.minBegin(), max: c.maxBegin()})
+	f := fence{min: c.minBegin(), max: c.maxBegin()}
+	var s document.AttrSummary
+	for _, e := range es {
+		if e.Label.End > f.maxEnd {
+			f.maxEnd = e.Label.End
+		}
+		s.AddNode(e.Node)
+	}
+	b.fences = append(b.fences, f)
+	b.sums = append(b.sums, s)
 	b.chunks = append(b.chunks, c)
 }
 
@@ -93,7 +122,7 @@ func (b *builder) addRun(es []document.Entry, size int) {
 
 // posting finalizes the builder into a postings value.
 func (b *builder) postings() *postings {
-	p := &postings{fences: b.fences, chunks: b.chunks}
+	p := &postings{fences: b.fences, sums: b.sums, chunks: b.chunks}
 	for _, c := range b.chunks {
 		p.count += len(c.entries)
 	}
@@ -159,7 +188,7 @@ func mergeUnderflow(b builder, size int) builder {
 	out := grown(len(b.chunks))
 	for i := 0; i < len(b.chunks); {
 		if len(b.chunks[i].entries) >= min {
-			out.share(b.fences[i], b.chunks[i])
+			out.share(b.fences[i], b.sums[i], b.chunks[i])
 			i++
 			continue
 		}
@@ -172,6 +201,7 @@ func mergeUnderflow(b builder, size int) builder {
 		if len(run) < min && len(out.chunks) > 0 {
 			prev := out.chunks[len(out.chunks)-1]
 			out.fences = out.fences[:len(out.fences)-1]
+			out.sums = out.sums[:len(out.sums)-1]
 			out.chunks = out.chunks[:len(out.chunks)-1]
 			run = append(append([]document.Entry(nil), prev.entries...), run...)
 		}
@@ -181,9 +211,13 @@ func mergeUnderflow(b builder, size int) builder {
 }
 
 // checkChunks validates the chunk invariants for one tag: fences match
-// the entries, sizes stay within [size/4, size] (the floor waived for a
-// tag's only chunk), begins strictly increase within and across chunks,
-// and the directory count matches the entry total.
+// the entries (min/max begin exact, maxEnd covering every entry's end),
+// sizes stay within [size/4, size] (the floor waived for a tag's only
+// chunk), begins strictly increase within and across chunks, the
+// attribute summary holds every key actually present in the chunk (a
+// lost key would make predicate pushdown silently drop matches, so it
+// is checked loudly here), and the directory count matches the entry
+// total.
 func (p *postings) checkChunks(tag string, size int) error {
 	min := size / 4
 	if min < 1 {
@@ -191,6 +225,9 @@ func (p *postings) checkChunks(tag string, size int) error {
 	}
 	if len(p.fences) != len(p.chunks) {
 		return fmt.Errorf("index: tag %q has %d fences for %d chunks", tag, len(p.fences), len(p.chunks))
+	}
+	if len(p.sums) != len(p.chunks) {
+		return fmt.Errorf("index: tag %q has %d attr summaries for %d chunks", tag, len(p.sums), len(p.chunks))
 	}
 	total := 0
 	prev := uint64(0)
@@ -214,6 +251,18 @@ func (p *postings) checkChunks(tag string, size int) error {
 			if !first && e.Label.Begin <= prev {
 				return fmt.Errorf("index: tag %q begin %d out of order in chunk %d", tag, e.Label.Begin, i)
 			}
+			if e.Label.End > p.fences[i].maxEnd {
+				return fmt.Errorf("index: tag %q chunk %d maxEnd fence %d below entry end %d",
+					tag, i, p.fences[i].maxEnd, e.Label.End)
+			}
+			for _, a := range e.Node.Attrs() {
+				if !p.sums[i].MayContain(document.AttrKeyHash(a.Name)) {
+					return fmt.Errorf("index: tag %q chunk %d summary lost attr key %q", tag, i, a.Name)
+				}
+				if !p.sums[i].MayContain(document.AttrKVHash(a.Name, a.Value)) {
+					return fmt.Errorf("index: tag %q chunk %d summary lost attr pair %s=%q", tag, i, a.Name, a.Value)
+				}
+			}
 			prev = e.Label.Begin
 			first = false
 			total++
@@ -227,19 +276,78 @@ func (p *postings) checkChunks(tag string, size int) error {
 
 // chunkCursor streams a chunked posting list. Seek uses the packed
 // fence array to discard whole chunks before descending into one — the
-// skip step that accelerates structural joins over large tags.
+// skip step that accelerates structural joins over large tags. Two
+// opt-in extensions skip further without decoding postings:
+//
+//   - FilterChunks (predicate pushdown): required attribute-key hashes,
+//     installed by the query layer for a predicate-bearing step; a chunk
+//     whose summary proves any required key absent is rejected whole.
+//   - SeekOpen (zig-zag context skip): discards chunks whose maxEnd
+//     fence proves every interval closed before the target.
 type chunkCursor struct {
-	fences []fence
-	chunks []*chunk
-	ci     int // current chunk
-	ei     int // next entry within it
+	fences   []fence
+	sums     []document.AttrSummary
+	chunks   []*chunk
+	required []uint64     // conjunctive attr-key hashes; nil = no pushdown
+	stats    *CursorStats // optional skip/decode accounting; nil = off
+	ci       int          // current chunk
+	ei       int          // next entry within it
+	decoded  int          // last chunk counted as decoded (stats), -1 none
+}
+
+// FilterChunks implements document.ChunkFilter: install the required
+// attribute-key hashes. The resulting stream omits chunks that provably
+// contain no entry carrying every key — a superset of the matching
+// entries, not the full tag stream.
+func (c *chunkCursor) FilterChunks(required []uint64) { c.required = required }
+
+// passes reports whether chunk i may contain entries with every required
+// attribute key.
+func (c *chunkCursor) passes(i int) bool {
+	for _, h := range c.required {
+		if !c.sums[i].MayContain(h) {
+			return false
+		}
+	}
+	return true
+}
+
+// admit advances past filter-rejected chunks. Only whole, unentered
+// chunks are tested (ei == 0): once a chunk yielded an entry it stays
+// admitted.
+func (c *chunkCursor) admit() {
+	if c.required == nil {
+		return
+	}
+	for c.ei == 0 && c.ci < len(c.chunks) && !c.passes(c.ci) {
+		c.ci++
+		if c.stats != nil {
+			c.stats.SkippedFilter.Add(1)
+		}
+	}
+}
+
+// note counts the current chunk as decoded (first entry touched) at most
+// once per chunk.
+func (c *chunkCursor) note() {
+	if c.stats != nil && c.decoded != c.ci+1 {
+		c.decoded = c.ci + 1
+		c.stats.Decoded.Add(1)
+	}
 }
 
 // Next implements document.Cursor.
 func (c *chunkCursor) Next() (document.Entry, bool) {
 	for c.ci < len(c.chunks) {
+		if c.ei == 0 {
+			c.admit()
+			if c.ci >= len(c.chunks) {
+				break
+			}
+		}
 		es := c.chunks[c.ci].entries
 		if c.ei < len(es) {
+			c.note()
 			e := es[c.ei]
 			c.ei++
 			return e, true
@@ -255,8 +363,15 @@ func (c *chunkCursor) Next() (document.Entry, bool) {
 func (c *chunkCursor) Seek(begin uint64) (document.Entry, bool) {
 	if c.ci < len(c.chunks) && c.fences[c.ci].max < begin {
 		rest := c.fences[c.ci:]
-		c.ci += sort.Search(len(rest), func(i int) bool { return rest[i].max >= begin })
+		n := sort.Search(len(rest), func(i int) bool { return rest[i].max >= begin })
+		c.ci += n
 		c.ei = 0
+		if c.stats != nil {
+			c.stats.SkippedSeek.Add(uint64(n))
+		}
+	}
+	if c.ei == 0 {
+		c.admit()
 	}
 	if c.ci >= len(c.chunks) {
 		return document.Entry{}, false
@@ -264,4 +379,50 @@ func (c *chunkCursor) Seek(begin uint64) (document.Entry, bool) {
 	es := c.chunks[c.ci].entries[c.ei:]
 	c.ei += sort.Search(len(es), func(i int) bool { return es[i].Label.Begin >= begin })
 	return c.Next()
+}
+
+// SeekOpen implements document.OpenSeeker: advance to the first
+// remaining entry whose interval may still be open at begin, skipping —
+// without decoding — every chunk whose maxEnd fence proves all its
+// intervals closed before the target (and, with a filter installed,
+// chunks missing a required attribute key). maxEnd is not monotone
+// across the directory, so this is a forward fence scan, not a binary
+// search: O(chunks passed), never O(postings).
+func (c *chunkCursor) SeekOpen(begin uint64) (document.Entry, bool) {
+	for c.ci < len(c.chunks) {
+		if c.fences[c.ci].maxEnd < begin {
+			// Every entry here has End < begin (hence Begin < begin too):
+			// closed before the target, irrelevant to this and every later
+			// open-seek or candidate.
+			c.ci++
+			c.ei = 0
+			if c.stats != nil {
+				c.stats.SkippedEnd.Add(1)
+			}
+			continue
+		}
+		if c.ei == 0 {
+			c.admit()
+			if c.ci >= len(c.chunks) {
+				break
+			}
+			if c.fences[c.ci].maxEnd < begin {
+				continue // admit moved us onto another closed chunk
+			}
+		}
+		es := c.chunks[c.ci].entries
+		if c.ei < len(es) {
+			c.note()
+		}
+		for c.ei < len(es) {
+			e := es[c.ei]
+			c.ei++
+			if e.Label.Begin >= begin || e.Label.End >= begin {
+				return e, true
+			}
+		}
+		c.ci++
+		c.ei = 0
+	}
+	return document.Entry{}, false
 }

@@ -16,7 +16,11 @@ import (
 // hold the chunk invariants (fences exact, sizes within [size/4, size],
 // begins strictly increasing). Each script byte encodes one mutation:
 // op = b%4 (insert element / insert subtree / delete / move), target
-// position = b/4; a zero byte commits the pending batch.
+// position = b/4; a zero byte commits the pending batch. Inserted
+// elements carry script-derived attributes, so the per-chunk attribute
+// summaries and maxEnd fences added for predicate pushdown are on the
+// fuzzed invariant surface (Verify checks every present attr key/value
+// is claimed by its chunk's summary and no entry End exceeds maxEnd).
 func FuzzChunkSplitMerge(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{5, 9, 13, 0, 17, 21, 0})
@@ -26,7 +30,7 @@ func FuzzChunkSplitMerge(f *testing.F) {
 		if len(script) > 512 {
 			t.Skip("script budget")
 		}
-		d, err := document.Parse(strings.NewReader(`<r><a/><b/></r>`), core.Params{F: 4, S: 2})
+		d, err := document.Parse(strings.NewReader(`<r><a id="v1"/><b cat="rare" role="v0"/></r>`), core.Params{F: 4, S: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,8 +58,19 @@ func FuzzChunkSplitMerge(f *testing.F) {
 			n := els[int(b/4)%len(els)]
 			switch b % 4 {
 			case 0, 1:
-				if _, err := d.InsertElement(n, int(b)%(n.NumChildren()+1), tags[int(b)%len(tags)]); err != nil {
+				el, err := d.InsertElement(n, int(b)%(n.NumChildren()+1), tags[int(b)%len(tags)])
+				if err != nil {
 					t.Fatal(err)
+				}
+				// Attach attributes before the batch commits: summaries are
+				// built per immutable chunk at Apply time, so these must be
+				// claimed by the owning chunk's summary or Verify fails.
+				if b%3 != 0 {
+					attrs := []string{"id", "cat", "role"}
+					el.SetAttr(attrs[int(b/16)%len(attrs)], "v"+string(rune('0'+b%8)))
+					if b%5 == 0 {
+						el.SetAttr("rare", "x")
+					}
 				}
 			case 2:
 				if n != d.X.Root {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/ltree-db/ltree/internal/document"
 	"github.com/ltree-db/ltree/internal/xmldom"
@@ -36,12 +37,51 @@ type Index struct {
 	tags      map[string]*postings
 	chunkSize int // inherited by every version derived with Apply
 
+	// stats, when set (SetCursorStats), is inherited by every cursor this
+	// version hands out — skip/decode observability for benchmarks and
+	// experiments, off (nil) in production.
+	stats *CursorStats
+
 	// all caches the flattened "*" posting list, computed at most once per
 	// version on first use (a version is immutable, so the merge result
 	// never goes stale).
 	allOnce sync.Once
 	all     []document.Entry
 }
+
+// CursorStats accumulates chunk-granular work accounting across every
+// cursor of an index version: chunks whose entries were actually decoded
+// vs chunks discarded whole — by the Seek fence search, by a predicate
+// pushdown summary rejection, or by a SeekOpen maxEnd skip. Counters are
+// atomic so concurrent cursors may share one CursorStats; increments
+// happen at chunk granularity (at most once per ~chunkSize entries), so
+// the accounting is effectively free.
+type CursorStats struct {
+	Decoded       atomic.Uint64 // chunks at least one entry was read from
+	SkippedSeek   atomic.Uint64 // chunks jumped by Seek's begin-fence search
+	SkippedFilter atomic.Uint64 // chunks rejected by the attribute summary
+	SkippedEnd    atomic.Uint64 // chunks discarded by SeekOpen's maxEnd fence
+}
+
+// Skipped totals every chunk discarded without decoding.
+func (s *CursorStats) Skipped() uint64 {
+	return s.SkippedSeek.Load() + s.SkippedFilter.Load() + s.SkippedEnd.Load()
+}
+
+// Reset zeroes all counters.
+func (s *CursorStats) Reset() {
+	s.Decoded.Store(0)
+	s.SkippedSeek.Store(0)
+	s.SkippedFilter.Store(0)
+	s.SkippedEnd.Store(0)
+}
+
+// SetCursorStats installs a skip/decode accounting sink on this version:
+// every cursor obtained afterwards reports into it. Call before handing
+// the version to concurrent readers (the field itself is unsynchronized;
+// the counters are atomic). Versions derived with Apply do not inherit
+// the sink.
+func (ix *Index) SetCursorStats(s *CursorStats) { ix.stats = s }
 
 // Build walks the document and materializes a fresh index version with
 // the default chunk size.
@@ -88,7 +128,10 @@ func (ix *Index) Postings(tag string) []document.Entry {
 
 // Cursor returns a streaming view of a tag's postings ("*" streams every
 // element in document order). The chunked cursor's Seek skips whole
-// chunks via the directory fences.
+// chunks via the directory fences; it also implements the optional
+// document.ChunkFilter (predicate pushdown) and document.OpenSeeker
+// (zig-zag context skip) extensions. The "*" stream is served from the
+// flattened all-elements cache and supports neither.
 func (ix *Index) Cursor(tag string) document.Cursor {
 	if tag == "*" {
 		return document.NewSliceCursor(ix.All())
@@ -97,7 +140,7 @@ func (ix *Index) Cursor(tag string) document.Cursor {
 	if p == nil {
 		return document.NewSliceCursor(nil)
 	}
-	return &chunkCursor{fences: p.fences, chunks: p.chunks}
+	return &chunkCursor{fences: p.fences, sums: p.sums, chunks: p.chunks, stats: ix.stats}
 }
 
 // All returns every element in document order (the flattened "*" list),
@@ -367,7 +410,7 @@ func (ix *Index) patchTag(d *document.Doc, tag string, eff *tagEffect, ch *docum
 		}
 		switch {
 		case hi == fi && !refreshed:
-			b.share(old.fences[i], c)
+			b.share(old.fences[i], old.sums[i], c)
 		case hi == fi:
 			b.add(es)
 		default:
@@ -381,7 +424,7 @@ func (ix *Index) patchTag(d *document.Doc, tag string, eff *tagEffect, ch *docum
 		rest := fresh[fi:]
 		if n := len(b.chunks); n > 0 {
 			last := b.chunks[n-1]
-			b.fences, b.chunks = b.fences[:n-1], b.chunks[:n-1]
+			b.fences, b.sums, b.chunks = b.fences[:n-1], b.sums[:n-1], b.chunks[:n-1]
 			b.addRun(mergeRuns(last.entries, rest), ix.chunkSize)
 		} else {
 			b.addRun(rest, ix.chunkSize)

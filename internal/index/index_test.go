@@ -214,3 +214,36 @@ func TestAllFlattens(t *testing.T) {
 		}
 	}
 }
+
+// TestVerifyCatchesFenceCorruption: the pushdown invariants added to
+// checkChunks are live — an understated maxEnd fence or a summary that
+// disclaims a present attribute must fail Verify. (Soundness of chunk
+// skipping depends on exactly these two properties.)
+func TestVerifyCatchesFenceCorruption(t *testing.T) {
+	d := loadTracked(t, `<r><a id="v1"/><a/><a cat="rare"/><a/><a role="v2"/></r>`)
+	ix := BuildSized(d, 2)
+	if err := Verify(ix, d); err != nil {
+		t.Fatalf("clean index failed verify: %v", err)
+	}
+	p := ix.tags["a"]
+	if len(p.chunks) < 2 {
+		t.Fatalf("want >=2 chunks at size 2, got %d", len(p.chunks))
+	}
+
+	saved := p.fences[0].maxEnd
+	p.fences[0].maxEnd = 0
+	if err := Verify(ix, d); err == nil || !strings.Contains(err.Error(), "maxEnd") {
+		t.Fatalf("understated maxEnd not caught: %v", err)
+	}
+	p.fences[0].maxEnd = saved
+
+	savedSum := p.sums[0]
+	p.sums[0] = document.AttrSummary{}
+	if err := Verify(ix, d); err == nil || !strings.Contains(err.Error(), "summary") {
+		t.Fatalf("cleared attr summary not caught: %v", err)
+	}
+	p.sums[0] = savedSum
+	if err := Verify(ix, d); err != nil {
+		t.Fatalf("restored index failed verify: %v", err)
+	}
+}

@@ -1,0 +1,99 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ltree-db/ltree/internal/document"
+	"github.com/ltree-db/ltree/internal/index"
+	"github.com/ltree-db/ltree/internal/workload"
+	"github.com/ltree-db/ltree/internal/xmldom"
+)
+
+// BenchmarkPredMemo isolates the Txn-scoped predicate-verdict memo
+// (satellite of the pushdown PR): across the repeated queries of one
+// read transaction, verdicts resolve by pointer probe instead of
+// re-walking attribute lists. The bench runs two corpora because the
+// memo's economics depend on attribute-list length: on "lean" documents
+// (≤2 attrs per node, the workload default) a map probe costs about as
+// much as walking the list, so the memo must stay out of the way (the
+// memoMinAttrs gate keeps it empty and the probe un-taken — expect
+// parity); on "heavy" documents (12 attrs per node, the queried key
+// last) the probe replaces a 12-entry string-compare walk and the
+// steady state wins ~1.5x. These numbers are why evaluation memoizes
+// only with a Txn-supplied memo and only for attribute-heavy nodes — an
+// earlier per-query cache for repeated signatures lost to plain
+// re-evaluation on both corpora (map inserts dominate a stream that
+// touches each node at most twice). Zig-zag and pushdown are held fixed
+// (enabled) so the delta is the memo alone.
+func BenchmarkPredMemo(b *testing.B) {
+	lean := workload.GenerateDoc(workload.DocConfig{
+		Elements: 4000, MaxDepth: 10, MaxFanout: 6, AttrProb: 0.6,
+	}, 21)
+	heavy := workload.GenerateDoc(workload.DocConfig{
+		Elements: 4000, MaxDepth: 10, MaxFanout: 6,
+	}, 21)
+	// Give every element a 12-attribute list with the discriminating keys
+	// appended last — the worst case for the linear Attr() walk the
+	// un-memoized predicate evaluation performs per posting. (SetAttr
+	// appends unknown names, so padding first places cat/id at the tail.)
+	seq := 0
+	var pad func(n *xmldom.Node)
+	pad = func(n *xmldom.Node) {
+		if n.Kind() == xmldom.Element {
+			for i := 0; i < 10; i++ {
+				n.SetAttr(fmt.Sprintf("pad%d", i), "x")
+			}
+			n.SetAttr("cat", fmt.Sprintf("v%d", seq%8))
+			n.SetAttr("id", fmt.Sprintf("v%d", (seq/3)%8))
+			seq++
+		}
+		for _, c := range n.Children() {
+			pad(c)
+		}
+	}
+	pad(heavy.Root)
+
+	for _, corpus := range []struct {
+		name string
+		x    *xmldom.Document
+	}{{"lean", lean}, {"heavy", heavy}} {
+		d, err := document.Load(corpus.x, p42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix := index.FromSized(d.BuildTagIndex(), 64)
+		// Repeated signature: section[@cat] appears twice, so the
+		// per-query memo is live even without a Txn-scoped one.
+		p, err := Parse("//section[@cat]//section[@cat]//item[@id='v1']")
+		if err != nil {
+			b.Fatal(err)
+		}
+		drain := func(o EvalOptions) int {
+			n := 0
+			cur := JoinCursorWith(ix, p, o)
+			for _, ok := cur.Next(); ok; _, ok = cur.Next() {
+				n++
+			}
+			return n
+		}
+		if drain(EvalOptions{}) == 0 {
+			b.Fatal("benchmark path matches nothing")
+		}
+		b.Run(corpus.name+"/nomemo", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				drain(EvalOptions{})
+			}
+		})
+		b.Run(corpus.name+"/txn-memo", func(b *testing.B) {
+			// One memo across all iterations, the Txn.Query shape: the
+			// first drain pays resolution, the rest recall verdicts by
+			// pointer probe.
+			m := NewPredMemo()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drain(EvalOptions{Memo: m})
+			}
+		})
+	}
+}

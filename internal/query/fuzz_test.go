@@ -39,13 +39,16 @@ func FuzzParse(f *testing.F) {
 }
 
 // FuzzJoinPipeline is the lazy-pipeline differential fuzzer: a random
-// document (shape and seed fuzzer-chosen) and a random path must yield
-// identical streams from the cursor-composed join and the materialized
-// PR-3 oracle — under a full drain and under a random Next/Seek
-// interleaving, on both the flat TagIndex and a finely chunked index.
-// The checked-in corpus (testdata/fuzz/FuzzJoinPipeline) pins the seeds
-// that cover rooted/relative anchors, child/descendant mixes and
-// fence-skip Seeks.
+// document (shape and seed fuzzer-chosen) and a random path — steps may
+// carry attribute predicates, so the zig-zag/pushdown/memo machinery is
+// on the fuzzed surface — must yield identical streams from the
+// cursor-composed join and the materialized PR-3 oracle, for every
+// evaluator variant (full, zig-zag off, pushdown off, legacy), under a
+// full drain and under a random Next/Seek interleaving, on both the flat
+// TagIndex and a finely chunked index. The checked-in corpus
+// (testdata/fuzz/FuzzJoinPipeline) pins the seeds that cover
+// rooted/relative anchors, child/descendant mixes, fence-skip Seeks and
+// predicate-bearing steps over attribute-carrying documents.
 func FuzzJoinPipeline(f *testing.F) {
 	f.Add(int64(1), int64(1), uint8(0))
 	f.Add(int64(42), int64(7), uint8(1))
@@ -53,10 +56,10 @@ func FuzzJoinPipeline(f *testing.F) {
 	f.Add(int64(99), int64(3), uint8(3))
 	f.Fuzz(func(t *testing.T, docSeed, pathSeed int64, shape uint8) {
 		cfgs := []workload.DocConfig{
-			{Elements: 150, MaxDepth: 10, MaxFanout: 4, TextProb: 0.2}, // deep chains
-			{Elements: 250, MaxDepth: 3, MaxFanout: 40, TextProb: 0.1}, // flat and wide
-			{Elements: 200, MaxDepth: 6, MaxFanout: 8, TextProb: 0.4},  // balanced
-			{Elements: 30, MaxDepth: 12, MaxFanout: 2},                 // tiny, near-list
+			{Elements: 150, MaxDepth: 10, MaxFanout: 4, TextProb: 0.2, AttrProb: 0.5}, // deep chains
+			{Elements: 250, MaxDepth: 3, MaxFanout: 40, TextProb: 0.1, AttrProb: 0.3}, // flat and wide
+			{Elements: 200, MaxDepth: 6, MaxFanout: 8, TextProb: 0.4, AttrProb: 0.7},  // balanced, attr-heavy
+			{Elements: 30, MaxDepth: 12, MaxFanout: 2},                                // tiny, near-list, no attrs
 		}
 		var d *document.Doc
 		var err error
@@ -82,8 +85,11 @@ func FuzzJoinPipeline(f *testing.F) {
 			idx Index
 		}{{"flat", flat}, {"chunked", chunked}} {
 			want := oracleEntries(t, d, ix.idx, p)
-			drainMatches(t, ix.tag, expr, JoinCursor(ix.idx, p), want)
-			torturePartial(t, ix.tag, expr, JoinCursor(ix.idx, p), want, rng)
+			for _, v := range evalVariants {
+				tag := ix.tag + "/" + v.name
+				drainMatches(t, tag, expr, JoinCursorWith(ix.idx, p, v.opts), want)
+				torturePartial(t, tag, expr, JoinCursorWith(ix.idx, p, v.opts), want, rng)
+			}
 		}
 	})
 }

@@ -1,7 +1,9 @@
 package query
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/ltree-db/ltree/internal/document"
 	"github.com/ltree-db/ltree/internal/xmldom"
@@ -87,8 +89,11 @@ func JoinMaterialized(d *document.Doc, idx Index, p *Path) []*xmldom.Node {
 	return out
 }
 
-// stepCursor returns the begin-sorted posting stream for a step,
-// applying its attribute predicates as a streaming filter.
+// stepCursor returns the plain begin-sorted posting stream for a step,
+// applying its attribute predicates as an entry-by-entry streaming
+// filter — no pushdown, no memoization. JoinMaterialized evaluates on
+// exactly this so the oracle shares none of the optimized machinery the
+// differential tests are checking.
 func stepCursor(idx Index, st Step) document.Cursor {
 	cur := idx.Cursor(st.Tag)
 	if len(st.Preds) == 0 {
@@ -97,11 +102,144 @@ func stepCursor(idx Index, st Step) document.Cursor {
 	return &predCursor{cur: cur, preds: st.Preds}
 }
 
+// stepCursorOpt is the production step stream: on a predicate-bearing
+// step it pushes the required attribute keys below the fence directory
+// (the cursor then rejects whole chunks whose summary proves a key
+// absent, before decoding a posting) and installs the step's shared
+// verdict memo when the evaluation carries one.
+func stepCursorOpt(idx Index, st Step, o EvalOptions, memos map[string]map[*xmldom.Node]bool) document.Cursor {
+	cur := idx.Cursor(st.Tag)
+	if len(st.Preds) == 0 {
+		return cur
+	}
+	if !o.DisablePushdown {
+		if cf, ok := cur.(document.ChunkFilter); ok {
+			cf.FilterChunks(predHashes(st.Preds))
+		}
+	}
+	var memo map[*xmldom.Node]bool
+	if memos != nil {
+		memo = memos[stepSig(st)]
+	}
+	return &predCursor{cur: cur, preds: st.Preds, memo: memo}
+}
+
+// predHashes renders a step's predicates as the attribute-key hashes a
+// chunk must contain for any entry to pass: the name=value key for an
+// equality test (strictly tighter than the bare name), the name key for
+// an existence test. Conjunctive, like the predicates themselves.
+func predHashes(preds []Pred) []uint64 {
+	out := make([]uint64, len(preds))
+	for i, p := range preds {
+		if p.HasValue {
+			out[i] = document.AttrKVHash(p.Attr, p.Value)
+		} else {
+			out[i] = document.AttrKeyHash(p.Attr)
+		}
+	}
+	return out
+}
+
+// stepSig canonically renders a step's tag and predicates — the identity
+// under which predicate verdicts may be shared between cursors (the axis
+// deliberately excluded: it never affects a node's verdict).
+func stepSig(st Step) string {
+	var b strings.Builder
+	b.WriteString(st.Tag)
+	for _, p := range st.Preds {
+		if p.HasValue {
+			fmt.Fprintf(&b, "[@%s='%s']", p.Attr, p.Value)
+		} else {
+			fmt.Fprintf(&b, "[@%s]", p.Attr)
+		}
+	}
+	return b.String()
+}
+
+// PredMemo caches node→verdict predicate resolutions per step signature
+// across every query evaluated with it — the Txn-scoped mirror of the
+// Txn label memo: within one read transaction attributes are stable, so
+// a node's verdict for a given predicate set never changes. Not safe for
+// concurrent use (like the Txn that owns it).
+type PredMemo struct {
+	steps map[string]map[*xmldom.Node]bool
+}
+
+// NewPredMemo returns an empty memo.
+func NewPredMemo() *PredMemo {
+	return &PredMemo{steps: make(map[string]map[*xmldom.Node]bool)}
+}
+
+// step returns (allocating on first use) the verdict cache for one step
+// signature.
+func (m *PredMemo) step(sig string) map[*xmldom.Node]bool {
+	s := m.steps[sig]
+	if s == nil {
+		s = make(map[*xmldom.Node]bool)
+		m.steps[sig] = s
+	}
+	return s
+}
+
+// predMemos wires a Txn-scoped memo's per-signature caches to the
+// predicate steps of one path. Verdicts are memoized ONLY when a Txn
+// supplies the memo: a single query never revisits a node often enough
+// to amortize the map inserts (measured in BenchmarkPredMemo — a
+// per-query cache for repeated signatures lost to plain re-evaluation
+// on both lean and attribute-heavy corpora), but across the repeated
+// queries of one read transaction the steady state is pure pointer
+// probes, which beat re-walking long attribute lists.
+func predMemos(p *Path, o EvalOptions) map[string]map[*xmldom.Node]bool {
+	if o.DisableMemo || o.Memo == nil {
+		return nil
+	}
+	var out map[string]map[*xmldom.Node]bool
+	for _, st := range p.Steps {
+		if len(st.Preds) == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]map[*xmldom.Node]bool)
+		}
+		sig := stepSig(st)
+		out[sig] = o.Memo.step(sig)
+	}
+	return out
+}
+
 // predCursor filters a posting stream through a step's attribute
-// predicates without materializing the list.
+// predicates without materializing the list. With a memo installed,
+// verdicts resolve through one hash probe instead of re-walking the
+// node's attribute list.
 type predCursor struct {
 	cur   document.Cursor
 	preds []Pred
+	memo  map[*xmldom.Node]bool // shared verdict cache; nil = evaluate always
+}
+
+// memoMinAttrs gates which nodes a memo caches: a pointer-keyed map
+// probe costs about as much as walking a couple of attributes, so
+// caching short-listed nodes is pure overhead (BenchmarkPredMemo). By
+// skipping them the memo stays empty on lean documents — and probing an
+// empty map is a near-free early return — while attribute-heavy nodes,
+// where the probe replaces a long string-compare walk, still hit.
+const memoMinAttrs = 4
+
+// passes evaluates (or recalls) one node's verdict. The len guard keeps
+// the still-empty-memo path to one inlined field read — a map access is
+// an uninlinable runtime call even when the map holds nothing, and it is
+// paid per posting.
+func (c *predCursor) passes(n *xmldom.Node) bool {
+	if len(c.memo) > 0 {
+		if v, ok := c.memo[n]; ok {
+			return v
+		}
+	}
+	v := passesPreds(n, c.preds)
+	if c.memo != nil && len(n.Attrs()) >= memoMinAttrs {
+		c.memo[n] = v
+	}
+	return v
 }
 
 func (c *predCursor) Next() (document.Entry, bool) {
@@ -110,7 +248,7 @@ func (c *predCursor) Next() (document.Entry, bool) {
 		if !ok {
 			return document.Entry{}, false
 		}
-		if passesPreds(e.Node, c.preds) {
+		if c.passes(e.Node) {
 			return e, true
 		}
 	}
@@ -118,13 +256,29 @@ func (c *predCursor) Next() (document.Entry, bool) {
 
 func (c *predCursor) Seek(begin uint64) (document.Entry, bool) {
 	e, ok := c.cur.Seek(begin)
-	for ok && !passesPreds(e.Node, c.preds) {
+	for ok && !c.passes(e.Node) {
 		e, ok = c.cur.Next()
 	}
 	if !ok {
 		return document.Entry{}, false
 	}
 	return e, true
+}
+
+// SeekOpen implements document.OpenSeeker: predicate filtering composes
+// with the zig-zag context skip, so a predicate-bearing context step
+// both skips closed chunks (maxEnd fences, via the inner cursor) and
+// never evaluates predicates on the entries those skips discard.
+func (c *predCursor) SeekOpen(begin uint64) (document.Entry, bool) {
+	for {
+		e, ok := seekOpenOn(c.cur, begin)
+		if !ok {
+			return document.Entry{}, false
+		}
+		if c.passes(e.Node) {
+			return e, true
+		}
+	}
 }
 
 func sortEntries(es []document.Entry) {

@@ -26,10 +26,41 @@ import "github.com/ltree-db/ltree/internal/document"
 // index itself (the minimal begin of the "*" stream) rather than the
 // live document, so a pinned snapshot never consults mutable label
 // state.
+//
+// Evaluation runs with every optimization on: the zig-zag join (both
+// sides fence-skip) and chunk-level predicate pushdown. JoinCursorWith
+// exposes the knobs for baselines and differential tests.
 func JoinCursor(idx Index, p *Path) document.Cursor {
+	return JoinCursorWith(idx, p, EvalOptions{})
+}
+
+// EvalOptions tunes the lazy pipeline. The zero value is production
+// behavior; the Disable knobs reconstruct earlier evaluator generations
+// for baselines, benchmarks and differential fuzzing.
+type EvalOptions struct {
+	// DisablePushdown keeps predicate evaluation entry-by-entry: no
+	// chunk-level attribute-summary rejection below the fence directory.
+	DisablePushdown bool
+	// DisableZigzag keeps the context side of every structural join
+	// pulled linearly (the PR-4 behavior): only the candidate side
+	// fence-skips.
+	DisableZigzag bool
+	// DisableMemo turns off per-step node→verdict predicate memoization.
+	DisableMemo bool
+	// Memo, when set, shares predicate verdicts across every query
+	// evaluated with it (one per Txn, mirroring the Txn label memo). Not
+	// safe for concurrent use.
+	Memo *PredMemo
+}
+
+// JoinCursorWith is JoinCursor with explicit evaluation options.
+func JoinCursorWith(idx Index, p *Path, o EvalOptions) document.Cursor {
 	if len(p.Steps) == 0 {
 		return emptyCursor{}
 	}
+	memos := predMemos(p, o)
+	step := func(st Step) document.Cursor { return stepCursorOpt(idx, st, o, memos) }
+	zig := !o.DisableZigzag
 	first := p.Steps[0]
 	var ctx document.Cursor
 	if p.Rooted {
@@ -46,7 +77,7 @@ func JoinCursor(idx Index, p *Path) document.Cursor {
 			ctx = document.NewSliceCursor([]document.Entry{root})
 		case Descendant:
 			anchor := document.NewSliceCursor([]document.Entry{root})
-			ctx = newJoinCursor(stepCursor(idx, first), anchor, false)
+			ctx = newJoinCursor(step(first), anchor, false, zig)
 			if matchesStep(root.Node, first) {
 				// The root precedes every descendant in begin order, so
 				// prepending keeps the stream sorted (and duplicate-free:
@@ -55,10 +86,10 @@ func JoinCursor(idx Index, p *Path) document.Cursor {
 			}
 		}
 	} else {
-		ctx = stepCursor(idx, first)
+		ctx = step(first)
 	}
 	for _, st := range p.Steps[1:] {
-		ctx = newJoinCursor(stepCursor(idx, st), ctx, st.Axis == Child)
+		ctx = newJoinCursor(step(st), ctx, st.Axis == Child, zig)
 	}
 	return ctx
 }
@@ -100,13 +131,48 @@ func (c *prependCursor) Seek(begin uint64) (document.Entry, bool) {
 	return c.rest.Seek(begin)
 }
 
+// SeekOpen implements document.OpenSeeker, so a rooted descendant anchor
+// does not hide the inner join's skip machinery from an enclosing join.
+func (c *prependCursor) SeekOpen(begin uint64) (document.Entry, bool) {
+	if !c.used {
+		c.used = true
+		if c.head.Label.Begin >= begin || c.head.Label.End >= begin {
+			return c.head, true
+		}
+	}
+	return seekOpenOn(c.rest, begin)
+}
+
+// seekOpenOn advances a cursor to the first entry whose interval may
+// still be open at begin — the cursor's native SeekOpen when it has one
+// (chunk-level maxEnd skips), a filtering scan otherwise (same work the
+// join's discard loop would have done).
+func seekOpenOn(cur document.Cursor, begin uint64) (document.Entry, bool) {
+	if os, ok := cur.(document.OpenSeeker); ok {
+		return os.SeekOpen(begin)
+	}
+	for {
+		e, ok := cur.Next()
+		if !ok || e.Label.Begin >= begin || e.Label.End >= begin {
+			return e, ok
+		}
+	}
+}
+
 // peekCursor adds one-entry lookahead to a cursor; the streaming join
 // needs to inspect the next context interval without consuming it (it
 // decides whether to open it only once a candidate reaches it).
 type peekCursor struct {
 	cur  document.Cursor
+	os   document.OpenSeeker // cur's native SeekOpen, nil when absent
 	head document.Entry
 	has  bool
+}
+
+func newPeekCursor(cur document.Cursor) *peekCursor {
+	c := &peekCursor{cur: cur}
+	c.os, _ = cur.(document.OpenSeeker)
+	return c
 }
 
 func (c *peekCursor) peek() (document.Entry, bool) {
@@ -115,6 +181,32 @@ func (c *peekCursor) peek() (document.Entry, bool) {
 		if !c.has {
 			return document.Entry{}, false
 		}
+	}
+	return c.head, true
+}
+
+// peekOpen is the zig-zag join's seek: like peek, but entries whose
+// intervals provably closed before begin (End < begin, hence also
+// Begin < begin) are discarded first — the buffered head included — so a
+// far candidate jump fast-forwards the context side instead of pulling
+// it linearly. Clamped to the forward-only contract: the position never
+// retreats, and an already-buffered head that may still be open is
+// returned as-is. Straddling ancestors (Begin < begin < End) are always
+// retained.
+func (c *peekCursor) peekOpen(begin uint64) (document.Entry, bool) {
+	if c.has {
+		if c.head.Label.Begin >= begin || c.head.Label.End >= begin {
+			return c.head, true
+		}
+		c.has = false // buffered head provably closed before begin
+	}
+	if c.os != nil {
+		c.head, c.has = c.os.SeekOpen(begin)
+	} else {
+		c.head, c.has = seekOpenOn(c.cur, begin)
+	}
+	if !c.has {
+		return document.Entry{}, false
 	}
 	return c.head, true
 }
@@ -136,19 +228,26 @@ func (c *peekCursor) next() (document.Entry, bool) {
 // the context side is pulled lazily, one entry ahead of the current
 // candidate, so chaining k of these keeps only k stacks of open
 // ancestors alive: O(depth) each by tree nesting, independent of how
-// many entries either side produces. Whenever the stack runs empty the
-// candidate side Seeks past everything before the next context interval,
-// which the chunked index turns into fence-directory skips.
+// many entries either side produces.
+//
+// Skips run in both directions (the zig-zag join): whenever the stack
+// runs empty the candidate side Seeks past everything before the next
+// context interval, and whenever a candidate lands far ahead the context
+// side peekOpens past every interval that closed before it — on the
+// chunked index both turn into fence-directory skips (begin fences for
+// the candidate jump, maxEnd fences for the context jump, since an
+// ancestor interval can straddle the target and must never be skipped).
 type joinCursor struct {
 	cand      document.Cursor
 	ctx       *peekCursor
 	childOnly bool
+	zigzag    bool
 	stack     []document.Entry
 	started   bool
 }
 
-func newJoinCursor(cand, ctx document.Cursor, childOnly bool) *joinCursor {
-	return &joinCursor{cand: cand, ctx: &peekCursor{cur: ctx}, childOnly: childOnly}
+func newJoinCursor(cand, ctx document.Cursor, childOnly, zigzag bool) *joinCursor {
+	return &joinCursor{cand: cand, ctx: newPeekCursor(ctx), childOnly: childOnly, zigzag: zigzag}
 }
 
 func (j *joinCursor) Next() (document.Entry, bool) {
@@ -175,6 +274,32 @@ func (j *joinCursor) Seek(begin uint64) (document.Entry, bool) {
 	return j.advance(cand, ok)
 }
 
+// SeekOpen implements document.OpenSeeker, cascading the zig-zag skip
+// through nested joins on deep paths: when an enclosing join declares
+// everything closed before begin irrelevant, this join forwards the
+// declaration to its own candidate side — matches that closed before
+// begin are never discovered, and on a chunked candidate stream whole
+// chunks are discarded by their maxEnd fences. The join's merge state
+// stays sound: skipped candidates only mean later context pulls, and
+// every remaining candidate still sees its full open-ancestor stack.
+func (j *joinCursor) SeekOpen(begin uint64) (document.Entry, bool) {
+	j.started = true
+	cand, ok := seekOpenOn(j.cand, begin)
+	for ok {
+		e, have := j.advance(cand, ok)
+		if !have {
+			return document.Entry{}, false
+		}
+		if e.Label.Begin >= begin || e.Label.End >= begin {
+			return e, true
+		}
+		// advance surfaced a match that closed before begin (it pulled
+		// candidates itself, plain Next): resume skipping.
+		cand, ok = seekOpenOn(j.cand, begin)
+	}
+	return document.Entry{}, false
+}
+
 // advance runs the stack merge from the given candidate until a match
 // surfaces or a side exhausts.
 func (j *joinCursor) advance(cand document.Entry, ok bool) (document.Entry, bool) {
@@ -183,9 +308,19 @@ func (j *joinCursor) advance(cand document.Entry, ok bool) (document.Entry, bool
 		for n := len(j.stack); n > 0 && j.stack[n-1].Label.End < cand.Label.Begin; n-- {
 			j.stack = j.stack[:n-1]
 		}
-		// Pull context intervals opening before this candidate.
+		// Pull context intervals opening before this candidate. With
+		// zig-zag on, intervals that closed before the candidate are
+		// skipped wholesale (they can never be ancestors of it or of any
+		// later candidate); only straddlers and not-yet-open intervals
+		// are surfaced.
 		for {
-			c, have := j.ctx.peek()
+			var c document.Entry
+			var have bool
+			if j.zigzag {
+				c, have = j.ctx.peekOpen(cand.Label.Begin)
+			} else {
+				c, have = j.ctx.peek()
+			}
 			if !have || c.Label.Begin >= cand.Label.Begin {
 				break
 			}

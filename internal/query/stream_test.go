@@ -13,8 +13,9 @@ import (
 )
 
 // randomPathExpr builds a random (possibly malformed) path expression
-// over the tag alphabet, shared by the differential test and the fuzz
-// target.
+// over the tag alphabet — steps may carry attribute predicates ([@k],
+// [@k='v']), so the zig-zag join's pushdown path is on the differential
+// surface. Shared by the differential test and the fuzz target.
 func randomPathExpr(rng *rand.Rand, tags []string) string {
 	steps := rng.Intn(4) + 1
 	var sb strings.Builder
@@ -33,8 +34,46 @@ func randomPathExpr(rng *rand.Rand, tags []string) string {
 			}
 		}
 		sb.WriteString(tags[rng.Intn(len(tags))])
+		if rng.Intn(3) == 0 {
+			sb.WriteString(randomPredExpr(rng))
+			if rng.Intn(4) == 0 {
+				sb.WriteString(randomPredExpr(rng)) // conjunction
+			}
+		}
 	}
 	return sb.String()
+}
+
+// randomPredExpr picks one attribute predicate over the alphabets the
+// workload generator (id/cat/role, v0..v7, rare) and XMarkLite (id=itemN
+// etc) actually emit, plus always-absent keys and values, so predicates
+// hit matching, partially-matching and definitely-absent chunks.
+func randomPredExpr(rng *rand.Rand) string {
+	names := []string{"id", "cat", "role", "nope"}
+	name := names[rng.Intn(len(names))]
+	switch rng.Intn(3) {
+	case 0:
+		return "[@" + name + "]"
+	case 1:
+		vals := []string{"v0", "v1", "rare", "item3", "person1", "ghost"}
+		return "[@" + name + "='" + vals[rng.Intn(len(vals))] + "']"
+	default:
+		return "[@" + name + "='v" + string(rune('0'+rng.Intn(8))) + "']"
+	}
+}
+
+// evalVariants is the evaluator configuration matrix every differential
+// test runs: the production default plus each optimization disabled in
+// turn, down to the PR-4 linear-context baseline. All four must agree
+// with the materialized oracle on every stream.
+var evalVariants = []struct {
+	name string
+	opts EvalOptions
+}{
+	{"full", EvalOptions{}},
+	{"nozig", EvalOptions{DisableZigzag: true}},
+	{"nopush", EvalOptions{DisablePushdown: true}},
+	{"legacy", EvalOptions{DisableZigzag: true, DisablePushdown: true, DisableMemo: true}},
 }
 
 // oracleEntries materializes the eager evaluator's result with labels —
@@ -135,8 +174,8 @@ func TestJoinLazyVsMaterialized(t *testing.T) {
 	}
 	var docs []namedDoc
 	for i, x := range []*xmldom.Document{
-		workload.GenerateDoc(workload.DocConfig{Elements: 400, MaxDepth: 9, MaxFanout: 6, TextProb: 0.3}, 11),
-		workload.GenerateDoc(workload.DocConfig{Elements: 700, MaxDepth: 4, MaxFanout: 20, TextProb: 0.1}, 12),
+		workload.GenerateDoc(workload.DocConfig{Elements: 400, MaxDepth: 9, MaxFanout: 6, TextProb: 0.3, AttrProb: 0.5}, 11),
+		workload.GenerateDoc(workload.DocConfig{Elements: 700, MaxDepth: 4, MaxFanout: 20, TextProb: 0.1, AttrProb: 0.3}, 12),
 		workload.XMarkLite(3, 13),
 	} {
 		d, err := document.Load(x, p42)
@@ -162,35 +201,51 @@ func TestJoinLazyVsMaterialized(t *testing.T) {
 				idx Index
 			}{{dc.name + "/flat", flat}, {dc.name + "/chunk4", chunked}} {
 				want := oracleEntries(t, dc.d, ix.idx, p)
-				drainMatches(t, ix.tag, expr, JoinCursor(ix.idx, p), want)
-				torturePartial(t, ix.tag, expr, JoinCursor(ix.idx, p), want,
-					rand.New(rand.NewSource(int64(trial))))
+				for _, v := range evalVariants {
+					tag := ix.tag + "/" + v.name
+					drainMatches(t, tag, expr, JoinCursorWith(ix.idx, p, v.opts), want)
+					torturePartial(t, tag, expr, JoinCursorWith(ix.idx, p, v.opts), want,
+						rand.New(rand.NewSource(int64(trial))))
+				}
 			}
 		}
 	}
 }
 
 // TestJoinCursorPredicates: attribute predicates stream through the lazy
-// pipeline identically to the oracle.
+// pipeline identically to the oracle — on the flat index and on a finely
+// chunked one (where the pushdown path can actually reject chunks), in
+// every evaluator variant.
 func TestJoinCursorPredicates(t *testing.T) {
 	d := load(t, `<db><u role="admin"><k/></u><u><k/></u><u role="admin"/><g><u role="admin"><k id="7"/></u></g></db>`)
-	idx := d.BuildTagIndex()
+	flat := d.BuildTagIndex()
+	chunked := index.FromSized(d.BuildTagIndex(), 2)
 	for _, expr := range []string{
 		"//u[@role='admin']", "//u[@role]/k", "/db/u[@role='admin']",
 		"//u[@role='admin']//k[@id='7']", "//u[@missing]",
+		"//u[@role='admin']//u[@role='admin']", // repeated signature: shared verdict memo
+		"//u[@role='root']", "//k[@id='8']",    // present key, absent value
 	} {
 		p, err := Parse(expr)
 		if err != nil {
 			t.Fatal(err)
 		}
-		want := JoinMaterialized(d, idx, p)
-		got := Join(d, idx, p)
-		if len(got) != len(want) {
-			t.Fatalf("%s: lazy %d, oracle %d", expr, len(got), len(want))
-		}
-		for i := range want {
-			if got[i] != want[i] {
-				t.Fatalf("%s: result %d differs", expr, i)
+		for _, ix := range []struct {
+			tag string
+			idx Index
+		}{{"flat", flat}, {"chunk2", chunked}} {
+			want := JoinMaterialized(d, ix.idx, p)
+			for _, v := range evalVariants {
+				cur := JoinCursorWith(ix.idx, p, v.opts)
+				got := document.DrainCursor(cur)
+				if len(got) != len(want) {
+					t.Fatalf("%s[%s/%s]: lazy %d, oracle %d", expr, ix.tag, v.name, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Node != want[i] {
+						t.Fatalf("%s[%s/%s]: result %d differs", expr, ix.tag, v.name, i)
+					}
+				}
 			}
 		}
 	}

@@ -21,7 +21,14 @@ type DocConfig struct {
 	MaxFanout int      // maximum children per element (≥ 1)
 	Tags      []string // tag alphabet, picked Zipf-skewed (defaults provided)
 	TextProb  float64  // probability of attaching a text child to a leaf
+	AttrProb  float64  // probability of attaching attributes to an element (0 = none)
 }
+
+// DefaultAttrs is the attribute-name alphabet AttrProb draws from; the
+// values are low-cardinality categories (v0..v7) so per-chunk attribute
+// summaries have something to discriminate on, plus an occasional "rare"
+// value for selective-predicate coverage.
+var DefaultAttrs = []string{"id", "cat", "role"}
 
 // DefaultTags is a small realistic tag alphabet.
 var DefaultTags = []string{
@@ -65,6 +72,20 @@ func GenerateDoc(cfg DocConfig, seed int64) *xmldom.Document {
 		}
 		tag := cfg.Tags[zipf.Uint64()]
 		el := xmldom.NewElement(tag)
+		// Attribute generation consumes randomness only when enabled, so
+		// documents generated with AttrProb == 0 stay byte-identical to
+		// the pre-AttrProb generator for the same seed.
+		if cfg.AttrProb > 0 && rng.Float64() < cfg.AttrProb {
+			name := DefaultAttrs[rng.Intn(len(DefaultAttrs))]
+			val := fmt.Sprintf("v%d", rng.Intn(8))
+			if rng.Intn(50) == 0 {
+				val = "rare"
+			}
+			el.SetAttr(name, val)
+			if rng.Intn(4) == 0 { // sometimes a second attribute
+				el.SetAttr(DefaultAttrs[rng.Intn(len(DefaultAttrs))], fmt.Sprintf("v%d", rng.Intn(8)))
+			}
+		}
 		if err := s.n.AppendChild(el); err != nil {
 			panic(err) // fresh node: structurally impossible
 		}

@@ -53,6 +53,13 @@ type Txn struct {
 	// Descendants): the first lookup of a tag drains its cursor once, and
 	// every later lookup is a hash probe.
 	byTag map[string]map[*Elem]document.Entry
+
+	// predMemo mirrors byTag for attribute predicates: node→verdict
+	// caches shared per step signature across every Query this Txn
+	// evaluates, so repeated predicate-bearing queries resolve each
+	// node's attributes once (a hash probe afterwards). Allocated on the
+	// first predicate-bearing query.
+	predMemo *query.PredMemo
 }
 
 // View runs fn inside a read transaction: every read through the Txn
@@ -143,9 +150,28 @@ func (t *Txn) Query(expr string) (*Results, error) {
 	return t.resultsFor(p), nil
 }
 
-// resultsFor builds the lazy pipeline for an already-parsed path.
+// resultsFor builds the lazy pipeline for an already-parsed path: the
+// zig-zag join with chunk-level predicate pushdown, sharing this Txn's
+// predicate verdict memo across queries.
 func (t *Txn) resultsFor(p *query.Path) *Results {
-	return &Results{cur: query.JoinCursor(t.ver.Ix, p)}
+	opts := query.EvalOptions{}
+	if pathHasPreds(p) {
+		if t.predMemo == nil {
+			t.predMemo = query.NewPredMemo()
+		}
+		opts.Memo = t.predMemo
+	}
+	return &Results{cur: query.JoinCursorWith(t.ver.Ix, p, opts)}
+}
+
+// pathHasPreds reports whether any step carries attribute predicates.
+func pathHasPreds(p *query.Path) bool {
+	for _, st := range p.Steps {
+		if len(st.Preds) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // QueryNav evaluates a path by plain DOM navigation — the label-free
