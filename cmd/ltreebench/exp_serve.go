@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ltree "github.com/ltree-db/ltree"
+	"github.com/ltree-db/ltree/internal/stats"
+	"github.com/ltree-db/ltree/internal/storage"
+	"github.com/ltree-db/ltree/internal/workload"
+)
+
+// expServe measures the serving story replication over the wire buys: a
+// fleet of followers, each attached to the leader through the shipped-op
+// wire protocol (ShipServer / RemoteTailSource over an in-process pipe),
+// serving reads in parallel vs the single leader store serving everything
+// itself. Two questions:
+//
+//	throughput   aggregate queries/sec of a 1/2/4-follower fleet (one
+//	             serving worker per node) against the single-store
+//	             baseline — the fan-out win.
+//	fan-out cost what each extra follower costs the leader per commit:
+//	             bytes shipped down each follower's connection, counted
+//	             on the wire. O(batch) per follower, so a fleet costs
+//	             N × ~tens of bytes per commit, not N × document.
+//
+// Correctness rides along: after the commit phase every follower must be
+// bit-identical to the leader once it acknowledges the last seq.
+func expServe(c config) {
+	scale, commits, window := 120, 150, 700*time.Millisecond
+	if c.quick {
+		scale, commits, window = 15, 40, 150*time.Millisecond
+	}
+	if c.n > 0 {
+		scale = c.n
+	}
+	x := workload.XMarkLite(scale, 11)
+	src := x.String()
+	fmt.Printf("xmark-lite scale %d: %d tokens, %d bytes serialized; %d commits, %v per throughput window\n\n",
+		scale, x.CountTokens(), len(src), commits, window)
+
+	dir, err := os.MkdirTemp("", "ltreebench-serve-*")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	leader, err := ltree.OpenString(src, ltree.DefaultParams)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	w, err := storage.OpenWAL(dir+"/wal", storage.WALOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer w.Close()
+	if err := leader.WithWAL(w); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	srv, err := storage.NewShipServer(w)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer srv.Close()
+
+	// The fleet: four followers, each over its own counted pipe. The
+	// counter sees every byte the server sends this follower — catch-up
+	// pages, live records, notifies — so bytes/commit is the true
+	// per-follower fan-out cost of the wire, not just payload.
+	const fleetMax = 4
+	followers := make([]*ltree.Follower, 0, fleetMax)
+	counters := make([]*atomic.Int64, 0, fleetMax)
+	for i := 0; i < fleetMax; i++ {
+		n := &atomic.Int64{}
+		dial := func() (net.Conn, error) {
+			c1, c2 := net.Pipe()
+			go srv.ServeConn(c2)
+			return countedConn{Conn: c1, n: n}, nil
+		}
+		rsrc, err := storage.OpenRemoteTail(dial, storage.RemoteOptions{})
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		defer rsrc.Close()
+		f, err := ltree.OpenFollower(rsrc)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		defer f.Close()
+		followers = append(followers, f)
+		counters = append(counters, n)
+	}
+
+	// ---- fan-out cost: commits fanned to 4 live followers ----
+	parent := leader.Elements("asia")[0]
+	for _, f := range followers {
+		if err := f.WaitFor(w.Seq(), 30*time.Second); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	base := make([]int64, fleetMax)
+	for i, n := range counters {
+		base[i] = n.Load()
+	}
+	for i := 0; i < commits; i++ {
+		if err := leader.Update(func(tx *ltree.Batch) error {
+			_, err := tx.InsertXML(parent, 0, `<item><name>fresh</name></item>`)
+			return err
+		}); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	for _, f := range followers {
+		if err := f.WaitFor(w.Seq(), 30*time.Second); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	var perFollower float64
+	for i, n := range counters {
+		perFollower += float64(n.Load()-base[i]) / float64(commits)
+	}
+	perFollower /= fleetMax
+	fmt.Printf("fan-out: %.0f wire bytes/commit per follower (%d commits × %d live followers)\n\n",
+		perFollower, commits, fleetMax)
+
+	// ---- throughput: single store vs follower fleets ----
+	query := func(reader interface {
+		Query(string) ([]*ltree.Elem, error)
+	}) error {
+		res, err := reader.Query("//item/name")
+		if err == nil && len(res) == 0 {
+			err = fmt.Errorf("empty result")
+		}
+		return err
+	}
+	measure := func(nodes []interface {
+		Query(string) ([]*ltree.Elem, error)
+	}) float64 {
+		var total atomic.Int64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for _, nd := range nodes {
+			wg.Add(1)
+			go func(nd interface {
+				Query(string) ([]*ltree.Elem, error)
+			}) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := query(nd); err != nil {
+						fmt.Println("error:", err)
+						return
+					}
+					total.Add(1)
+				}
+			}(nd)
+		}
+		time.Sleep(window)
+		close(stop)
+		wg.Wait()
+		return float64(total.Load()) / window.Seconds()
+	}
+
+	single := measure([]interface {
+		Query(string) ([]*ltree.Elem, error)
+	}{leader})
+
+	tbl := stats.NewTable(os.Stdout, "serving configuration", "queries/sec", "vs single store")
+	tbl.Row("single store, 1 worker", single, 1.0)
+	var fleet4 float64
+	for _, size := range []int{1, 2, 4} {
+		nodes := make([]interface {
+			Query(string) ([]*ltree.Elem, error)
+		}, size)
+		for i := 0; i < size; i++ {
+			nodes[i] = followers[i]
+		}
+		qps := measure(nodes)
+		if size == 4 {
+			fleet4 = qps
+		}
+		tbl.Row(fmt.Sprintf("%d-follower fleet", size), qps, qps/single)
+	}
+	tbl.Flush()
+	fmt.Println()
+
+	// ---- correctness + verdicts ----
+	var live bytes.Buffer
+	if err := leader.Snapshot(&live); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	identical := true
+	for _, f := range followers {
+		var replica bytes.Buffer
+		if err := f.Snapshot(&replica); err != nil || !bytes.Equal(live.Bytes(), replica.Bytes()) || f.Check() != nil {
+			identical = false
+		}
+	}
+	verdict(identical, "every acknowledged follower is bit-identical to the leader after the commit fan-out")
+	verdict(perFollower < 4096,
+		fmt.Sprintf("per-follower wire cost is O(batch): %.0f B/commit, not O(document) (%d B)", perFollower, len(src)))
+	if runtime.NumCPU() >= 2 {
+		verdict(fleet4 >= 2*single,
+			fmt.Sprintf("4-follower fleet serves ≥2× a single store (%.0f vs %.0f q/s, %.1f×)", fleet4, single, fleet4/single))
+	} else {
+		fmt.Println("(1 CPU: fleet-vs-single speedup not asserted — parallel serving needs cores)")
+	}
+}
+
+// countedConn counts bytes the client reads off the wire (everything the
+// server ships this follower).
+type countedConn struct {
+	net.Conn
+	n *atomic.Int64
+}
+
+func (c countedConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}

@@ -54,6 +54,7 @@ var experiments = []experiment{
 	{"pipeline", "engine: lazy cursor pipeline — deep-path intermediate memory + first-result latency vs materialized join", expPipeline},
 	{"replica", "engine: log-shipping follower — apply lag + freshness vs snapshot-restore baseline", expReplica},
 	{"pushdown", "engine: zig-zag join + chunk-level predicate pushdown — selectivity × depth vs the linear pipeline", expPushdown},
+	{"serve", "engine: follower fleet over the wire — aggregate queries/sec vs single store, per-follower fan-out cost", expServe},
 }
 
 func main() {

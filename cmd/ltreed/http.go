@@ -1,0 +1,270 @@
+// HTTP surface shared by leader and follower nodes.
+//
+// Endpoints:
+//
+//	GET  /healthz                           liveness probe
+//	GET  /v1/stats                          role, seq, lag, index version
+//	GET  /v1/query?q=EXPR[&wait_seq=N]      path query over the store
+//	GET  /v1/elements?tag=T[&wait_seq=N]    all elements with tag T
+//	POST /v1/insert?parent=EXPR[&idx=I]     leader-only write; body is an
+//	                                        XML fragment; returns the
+//	                                        commit's WAL seq
+//
+// wait_seq gives a follower read read-your-writes freshness: pass the
+// seq a leader write returned and the handler blocks (bounded by -wait)
+// until the replica has applied it, answering 504 on timeout so the
+// client can retry or fall back to the leader.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	ltree "github.com/ltree-db/ltree"
+	"github.com/ltree-db/ltree/internal/storage"
+)
+
+// node is what the HTTP layer needs from either role: the shared
+// snapshot-isolated read surface, a freshness gate, and a write hook
+// (leaders commit, followers refuse).
+type node interface {
+	Query(expr string) ([]*ltree.Elem, error)
+	Elements(tag string) []*ltree.Elem
+	Label(n *ltree.Elem) (ltree.Label, error)
+	IndexVersion() uint64
+	WaitFor(seq uint64, timeout time.Duration) error
+	Insert(parentExpr string, idx int, fragment string) (uint64, error)
+	Stats() map[string]any
+}
+
+// errReadOnly rejects writes on a follower.
+var errReadOnly = errors.New("ltreed: node is a read-only follower; write to the leader")
+
+// leaderNode adapts a WAL-attached Store.
+type leaderNode struct {
+	st  *ltree.Store
+	src storage.TailSource
+}
+
+func (l *leaderNode) Query(expr string) ([]*ltree.Elem, error) { return l.st.Query(expr) }
+func (l *leaderNode) Elements(tag string) []*ltree.Elem        { return l.st.Elements(tag) }
+func (l *leaderNode) Label(n *ltree.Elem) (ltree.Label, error) { return l.st.Label(n) }
+func (l *leaderNode) IndexVersion() uint64                     { return l.st.IndexVersion() }
+
+// WaitFor on the leader is trivially satisfied: the store IS the
+// durable state the seq refers to.
+func (l *leaderNode) WaitFor(uint64, time.Duration) error { return nil }
+
+func (l *leaderNode) Insert(parentExpr string, idx int, fragment string) (uint64, error) {
+	parents, err := l.st.Query(parentExpr)
+	if err != nil {
+		return 0, err
+	}
+	if len(parents) != 1 {
+		return 0, fmt.Errorf("ltreed: parent query %q matched %d elements, need exactly 1", parentExpr, len(parents))
+	}
+	if idx < 0 {
+		idx = len(parents[0].Children())
+	}
+	if _, err := l.st.InsertXML(parents[0], idx, fragment); err != nil {
+		return 0, err
+	}
+	return l.src.Seq(), nil
+}
+
+func (l *leaderNode) Stats() map[string]any {
+	return map[string]any{
+		"role":          "leader",
+		"seq":           l.src.Seq(),
+		"rebases":       l.src.Rebases(),
+		"index_version": l.st.IndexVersion(),
+	}
+}
+
+// followerNode adapts a replicating Follower.
+type followerNode struct {
+	f *ltree.Follower
+}
+
+func (n *followerNode) Query(expr string) ([]*ltree.Elem, error) { return n.f.Query(expr) }
+func (n *followerNode) Elements(tag string) []*ltree.Elem        { return n.f.Elements(tag) }
+func (n *followerNode) Label(e *ltree.Elem) (ltree.Label, error) { return n.f.Label(e) }
+func (n *followerNode) IndexVersion() uint64                     { return n.f.IndexVersion() }
+func (n *followerNode) WaitFor(seq uint64, timeout time.Duration) error {
+	return n.f.WaitFor(seq, timeout)
+}
+func (n *followerNode) Insert(string, int, string) (uint64, error) { return 0, errReadOnly }
+
+func (n *followerNode) Stats() map[string]any {
+	s := n.f.Stats()
+	m := map[string]any{
+		"role":          "follower",
+		"applied_seq":   s.AppliedSeq,
+		"leader_seq":    s.LeaderSeq,
+		"lag":           s.Lag,
+		"batches":       s.Batches,
+		"running":       s.Running,
+		"index_version": n.f.IndexVersion(),
+	}
+	if s.Err != nil {
+		m["error"] = s.Err.Error()
+	}
+	return m
+}
+
+// elemJSON is one query result on the wire: the element, its interval
+// label (the paper's replication currency — label comparisons alone
+// answer ancestry), and its immediate text content.
+type elemJSON struct {
+	Tag   string            `json:"tag"`
+	Begin uint64            `json:"begin"`
+	End   uint64            `json:"end"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+	Text  string            `json:"text,omitempty"`
+}
+
+type resultJSON struct {
+	IndexVersion uint64     `json:"index_version"`
+	Count        int        `json:"count"`
+	Results      []elemJSON `json:"results"`
+}
+
+func newHandler(n node, maxWait time.Duration) http.Handler {
+	h := &handler{n: n, maxWait: maxWait}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /v1/stats", h.stats)
+	mux.HandleFunc("GET /v1/query", h.query)
+	mux.HandleFunc("GET /v1/elements", h.elements)
+	mux.HandleFunc("POST /v1/insert", h.insert)
+	return mux
+}
+
+type handler struct {
+	n       node
+	maxWait time.Duration
+}
+
+// fresh applies the wait_seq freshness gate; a false return means the
+// response has already been written.
+func (h *handler) fresh(w http.ResponseWriter, r *http.Request) bool {
+	raw := r.URL.Query().Get("wait_seq")
+	if raw == "" {
+		return true
+	}
+	seq, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		http.Error(w, "bad wait_seq: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if err := h.n.WaitFor(seq, h.maxWait); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ltree.ErrWaitTimeout) {
+			status = http.StatusGatewayTimeout
+		}
+		http.Error(w, err.Error(), status)
+		return false
+	}
+	return true
+}
+
+func (h *handler) render(w http.ResponseWriter, elems []*ltree.Elem) {
+	out := resultJSON{IndexVersion: h.n.IndexVersion(), Count: len(elems), Results: make([]elemJSON, 0, len(elems))}
+	for _, e := range elems {
+		ej := elemJSON{Tag: e.Tag()}
+		if lab, err := h.n.Label(e); err == nil {
+			ej.Begin, ej.End = lab.Begin, lab.End
+		}
+		if attrs := e.Attrs(); len(attrs) > 0 {
+			ej.Attrs = make(map[string]string, len(attrs))
+			for _, a := range attrs {
+				ej.Attrs[a.Name] = a.Value
+			}
+		}
+		for _, c := range e.Children() {
+			if c.Kind() == ltree.TextNode {
+				ej.Text += c.Data()
+			}
+		}
+		out.Results = append(out.Results, ej)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *handler) query(w http.ResponseWriter, r *http.Request) {
+	expr := r.URL.Query().Get("q")
+	if expr == "" {
+		http.Error(w, "missing q", http.StatusBadRequest)
+		return
+	}
+	if !h.fresh(w, r) {
+		return
+	}
+	elems, err := h.n.Query(expr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	h.render(w, elems)
+}
+
+func (h *handler) elements(w http.ResponseWriter, r *http.Request) {
+	tag := r.URL.Query().Get("tag")
+	if tag == "" {
+		http.Error(w, "missing tag", http.StatusBadRequest)
+		return
+	}
+	if !h.fresh(w, r) {
+		return
+	}
+	h.render(w, h.n.Elements(tag))
+}
+
+func (h *handler) insert(w http.ResponseWriter, r *http.Request) {
+	parent := r.URL.Query().Get("parent")
+	if parent == "" {
+		http.Error(w, "missing parent", http.StatusBadRequest)
+		return
+	}
+	idx := -1
+	if raw := r.URL.Query().Get("idx"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			http.Error(w, "bad idx: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		idx = v
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	seq, err := h.n.Insert(parent, idx, string(body))
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errReadOnly) {
+			status = http.StatusForbidden
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"seq": seq})
+}
+
+func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, h.n.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

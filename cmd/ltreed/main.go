@@ -1,0 +1,123 @@
+// Command ltreed serves an L-Tree store over HTTP — one process per
+// node, either the leader that owns the write-ahead log or a follower
+// replicating from a remote leader over the shipped-op wire protocol.
+//
+// Leader (owns the WAL, accepts writes, ships its op log):
+//
+//	ltreed -wal /var/lib/ltree -seed catalog.xml -ship :7878 -http :8080
+//
+// Follower (read replica; attaches to the leader's -ship port):
+//
+//	ltreed -leader leader-host:7878 -http :8081
+//
+// The leader recovers from the WAL when it already holds a checkpoint;
+// -seed is only read to boot an empty log. Followers bootstrap from the
+// leader's newest checkpoint and then tail the op stream, reconnecting
+// with backoff if the link drops. Every node serves the same snapshot-
+// isolated read surface; see the HTTP endpoints in http.go. A follower
+// read can demand read-your-writes freshness with ?wait_seq=<seq> using
+// the sequence number a leader write returned.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	ltree "github.com/ltree-db/ltree"
+	"github.com/ltree-db/ltree/internal/storage"
+)
+
+func main() {
+	var (
+		walDir   = flag.String("wal", "", "leader: WAL directory (created if missing)")
+		seed     = flag.String("seed", "", "leader: XML file seeding an empty WAL")
+		shipAddr = flag.String("ship", ":7878", "leader: replication listen address")
+		httpAddr = flag.String("http", ":8080", "HTTP listen address")
+		leader   = flag.String("leader", "", "follower: leader replication address (host:port)")
+		wait     = flag.Duration("wait", 2*time.Second, "max wait_seq freshness wait")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *leader != "" && *walDir != "":
+		err = errors.New("pick one role: -wal (leader) or -leader (follower)")
+	case *leader != "":
+		err = runFollower(*leader, *httpAddr, *wait)
+	case *walDir != "":
+		err = runLeader(*walDir, *seed, *shipAddr, *httpAddr, *wait)
+	default:
+		fmt.Fprintln(os.Stderr, "ltreed: need -wal <dir> (leader) or -leader <addr> (follower)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatalf("ltreed: %v", err)
+	}
+}
+
+// runLeader recovers (or seeds) the store, starts the replication
+// listener, and serves HTTP until the process dies.
+func runLeader(walDir, seed, shipAddr, httpAddr string, wait time.Duration) error {
+	w, err := ltree.NewWALBackend(walDir, ltree.WALOptions{})
+	if err != nil {
+		return err
+	}
+	st, err := ltree.LoadLatest(w)
+	if errors.Is(err, ltree.ErrNoVersion) {
+		// Empty log: this is first boot, seed it.
+		if seed == "" {
+			return fmt.Errorf("WAL %s is empty and no -seed was given", walDir)
+		}
+		f, err := os.Open(seed)
+		if err != nil {
+			return err
+		}
+		st, err = ltree.Open(f, ltree.DefaultParams)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := st.WithWAL(w, ltree.AutoCheckpoint(4<<20, 16384)); err != nil {
+			return err
+		}
+	} else if err != nil {
+		return err
+	}
+
+	srv, err := storage.NewShipServer(w)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", shipAddr)
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+
+	src := w.(storage.TailSource)
+	log.Printf("leader: http %s, shipping %s, wal %s (seq %d)", httpAddr, ln.Addr(), walDir, src.Seq())
+	return http.ListenAndServe(httpAddr, newHandler(&leaderNode{st: st, src: src}, wait))
+}
+
+// runFollower attaches a replica to a remote leader and serves reads.
+func runFollower(leaderAddr, httpAddr string, wait time.Duration) error {
+	dial := func() (net.Conn, error) { return net.Dial("tcp", leaderAddr) }
+	src, err := storage.OpenRemoteTail(dial, storage.RemoteOptions{})
+	if err != nil {
+		return fmt.Errorf("attach to leader %s: %w", leaderAddr, err)
+	}
+	f, err := ltree.OpenFollower(src)
+	if err != nil {
+		src.Close()
+		return fmt.Errorf("bootstrap from leader %s: %w", leaderAddr, err)
+	}
+	log.Printf("follower: http %s, leader %s (applied seq %d)", httpAddr, leaderAddr, f.Stats().AppliedSeq)
+	return http.ListenAndServe(httpAddr, newHandler(&followerNode{f: f}, wait))
+}

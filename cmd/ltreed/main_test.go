@@ -1,0 +1,218 @@
+package main
+
+// End-to-end daemon test: a leader node (WAL + ship listener on a real
+// TCP port) and a follower attached over the wire, both serving the
+// HTTP surface. Pins the read-your-writes flow the daemon exists for:
+// write to the leader, read from the follower with wait_seq.
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	ltree "github.com/ltree-db/ltree"
+	"github.com/ltree-db/ltree/internal/storage"
+)
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, out any) *http.Response {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", path, body, err)
+		}
+	}
+	return resp
+}
+
+func TestLeaderFollowerHTTP(t *testing.T) {
+	// Leader: seeded store on a WAL, replication listener on a real port.
+	w, err := ltree.NewWALBackend(t.TempDir(), ltree.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	st, err := ltree.OpenString(`<shop><item><name>mug</name></item></shop>`, ltree.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WithWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	ship, err := storage.NewShipServer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ship.Serve(ln)
+	defer ship.Close()
+
+	src := w.(storage.TailSource)
+	leaderSrv := httptest.NewServer(newHandler(&leaderNode{st: st, src: src}, 5*time.Second))
+	defer leaderSrv.Close()
+
+	// Follower: attaches over TCP, serves the same surface.
+	addr := ln.Addr().String()
+	rsrc, err := storage.OpenRemoteTail(func() (net.Conn, error) { return net.Dial("tcp", addr) }, storage.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsrc.Close()
+	f, err := ltree.OpenFollower(rsrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	followerSrv := httptest.NewServer(newHandler(&followerNode{f: f}, time.Second))
+	defer followerSrv.Close()
+
+	// Both roles answer the seeded query.
+	for _, srv := range []*httptest.Server{leaderSrv, followerSrv} {
+		var res resultJSON
+		if resp := getJSON(t, srv, "/v1/query?q=//item/name", &res); resp.StatusCode != http.StatusOK {
+			t.Fatalf("query: status %d", resp.StatusCode)
+		}
+		if res.Count != 1 || res.Results[0].Tag != "name" || res.Results[0].Text != "mug" {
+			t.Fatalf("query result = %+v", res)
+		}
+	}
+
+	// Write on the leader, then a wait_seq read on the follower sees it.
+	resp, err := leaderSrv.Client().Post(
+		leaderSrv.URL+"/v1/insert?parent=//shop", "application/xml",
+		strings.NewReader(`<item><name>pot</name></item>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ins struct {
+		Seq uint64 `json:"seq"`
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &ins); err != nil || ins.Seq == 0 {
+		t.Fatalf("insert reply %q: seq=%d err=%v", body, ins.Seq, err)
+	}
+	var res resultJSON
+	if resp := getJSON(t, followerSrv, "/v1/query?q=//item&wait_seq="+jsonUint(ins.Seq), &res); resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower wait_seq query: status %d", resp.StatusCode)
+	}
+	if res.Count != 2 {
+		t.Fatalf("follower sees %d items after wait_seq=%d, want 2", res.Count, ins.Seq)
+	}
+
+	// curl -d posts with a form content type; the handler must still read
+	// the body as the raw XML fragment, not consume it as form data.
+	resp, err = leaderSrv.Client().Post(
+		leaderSrv.URL+"/v1/insert?parent=//shop", "application/x-www-form-urlencoded",
+		strings.NewReader(`<item><name>urn</name></item>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("form-typed insert: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &ins); err != nil || ins.Seq == 0 {
+		t.Fatalf("form-typed insert reply %q: seq=%d err=%v", body, ins.Seq, err)
+	}
+	if resp := getJSON(t, followerSrv, "/v1/query?q=//item/name&wait_seq="+jsonUint(ins.Seq), &res); resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower query after form-typed insert: status %d", resp.StatusCode)
+	}
+	if res.Count != 3 {
+		t.Fatalf("follower sees %d names after form-typed insert, want 3", res.Count)
+	}
+
+	// Labels answer ancestry straight off the wire format.
+	var items, names resultJSON
+	getJSON(t, followerSrv, "/v1/elements?tag=item", &items)
+	getJSON(t, followerSrv, "/v1/elements?tag=name", &names)
+	if len(items.Results) != 3 || len(names.Results) != 3 {
+		t.Fatalf("elements: %d items, %d names", len(items.Results), len(names.Results))
+	}
+	contains := func(a, d elemJSON) bool { return a.Begin < d.Begin && d.End < a.End }
+	for _, nm := range names.Results {
+		anc := 0
+		for _, it := range items.Results {
+			if contains(it, nm) {
+				anc++
+			}
+		}
+		if anc != 1 {
+			t.Fatalf("name %+v has %d item ancestors by label, want 1", nm, anc)
+		}
+	}
+
+	// A follower refuses writes loudly.
+	resp, err = followerSrv.Client().Post(followerSrv.URL+"/v1/insert?parent=//shop", "application/xml", strings.NewReader(`<x/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("follower insert: status %d, want 403", resp.StatusCode)
+	}
+
+	// A wait_seq the replica can never reach times out as 504.
+	if resp := getJSON(t, followerSrv, "/v1/query?q=//item&wait_seq=999999", nil); resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("unreachable wait_seq: status %d, want 504", resp.StatusCode)
+	}
+
+	// Stats report the roles.
+	var stats map[string]any
+	getJSON(t, leaderSrv, "/v1/stats", &stats)
+	if stats["role"] != "leader" {
+		t.Fatalf("leader stats = %v", stats)
+	}
+	getJSON(t, followerSrv, "/v1/stats", &stats)
+	if stats["role"] != "follower" {
+		t.Fatalf("follower stats = %v", stats)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	st, err := ltree.OpenString(`<r/>`, ltree.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ltree.NewWALBackend(t.TempDir(), ltree.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := st.WithWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(&leaderNode{st: st, src: w.(storage.TailSource)}, time.Second))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}
+
+func jsonUint(v uint64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

@@ -41,7 +41,11 @@
 //     pushdown and a Txn-scoped predicate memo (DESIGN.md §3.5).
 //   - Follower: a log-shipping read replica fed off a leader's WAL —
 //     catch-up plus live tail, the full Txn read surface at a measurable
-//     lag, promote-to-writable on leader handoff (DESIGN.md §7).
+//     lag, promote-to-writable on leader handoff (DESIGN.md §7). The
+//     feed attaches in-process or over the wire: storage.ShipServer
+//     serves a leader's WAL on any net.Conn and storage.RemoteTailSource
+//     satisfies the same contract across it (DESIGN.md §7.5), with
+//     cmd/ltreed packaging leader + follower fleet as an HTTP daemon.
 //   - Tree / Node: the raw materialized L-Tree over abstract list slots
 //     (paper §2), for embedding in other systems.
 //   - Virtual: the B-tree-backed virtual L-Tree (paper §4.2) that stores

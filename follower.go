@@ -84,6 +84,11 @@ type FollowerStats struct {
 var (
 	// ErrFollowerClosed reports use of a follower after Close/Promote.
 	ErrFollowerClosed = errors.New("ltree: follower is closed")
+
+	// ErrWaitTimeout reports that WaitFor's timeout expired before the
+	// follower applied the requested sequence number. Matched with
+	// errors.Is; the returned error carries the seq/applied detail.
+	ErrWaitTimeout = errors.New("ltree: follower wait timed out")
 )
 
 // OpenFollower attaches a read replica to a leader's WAL backend: it
@@ -229,7 +234,7 @@ func (f *Follower) WaitFor(seq uint64, timeout time.Duration) error {
 		select {
 		case <-ch:
 		case <-deadline:
-			return fmt.Errorf("ltree: follower did not reach seq %d (applied %d) within %v", seq, applied, timeout)
+			return fmt.Errorf("ltree: follower did not reach seq %d (applied %d) within %v: %w", seq, applied, timeout, ErrWaitTimeout)
 		}
 	}
 }
@@ -289,6 +294,18 @@ func (f *Follower) Promote() (*Store, error) {
 	}); err != nil {
 		f.fail(err)
 		return nil, fmt.Errorf("ltree: promote: drain: %w", err)
+	}
+	// Post-drain re-base check, mirroring Tailer.fill's post-sweep check:
+	// a repair checkpoint racing the handoff re-bases the log, and the
+	// leader marks the re-base strictly before any post-repair append —
+	// so a count still at the attach-time baseline *after* the drain
+	// proves the drained stream reconstructs the old leader. Without
+	// this, the promoted store could incorporate a stream that no longer
+	// does.
+	if f.src.Rebases() != f.tail.RebaseBaseline() {
+		err := fmt.Errorf("ltree: promote: log re-based during drain: %w", storage.ErrShipRebased)
+		f.fail(err)
+		return nil, err
 	}
 	return f.st, nil
 }

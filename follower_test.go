@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -99,7 +101,45 @@ func openLeader(t *testing.T, dir string) (*ltree.Store, *storage.WAL) {
 	return st, w
 }
 
+// attachLocal hands the follower the leader's in-process WAL handle —
+// the PR-5 shape.
+func attachLocal(t *testing.T, w *storage.WAL) ltree.WALBackend {
+	t.Helper()
+	return w
+}
+
+// attachSocket serves the leader's WAL through a ShipServer and hands
+// the follower a RemoteTailSource dialing it over net.Pipe — the whole
+// replication stream crosses a real byte transport, yet the test body
+// is identical to the in-process run.
+func attachSocket(t *testing.T, w *storage.WAL) ltree.WALBackend {
+	t.Helper()
+	srv, err := storage.NewShipServer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	dial := func() (net.Conn, error) {
+		c1, c2 := net.Pipe()
+		go srv.ServeConn(c2)
+		return c1, nil
+	}
+	src, err := storage.OpenRemoteTail(dial, storage.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { src.Close() })
+	return src
+}
+
 func TestFollowerDifferentialProperty(t *testing.T) {
+	t.Run("local", func(t *testing.T) { runFollowerDifferential(t, attachLocal) })
+	t.Run("socket", func(t *testing.T) { runFollowerDifferential(t, attachSocket) })
+}
+
+// runFollowerDifferential is the PR-5 differential property test body,
+// parameterized only by how the follower reaches the leader's log.
+func runFollowerDifferential(t *testing.T, attach func(t *testing.T, w *storage.WAL) ltree.WALBackend) {
 	seeds := []int64{11, 37, 73}
 	batchesPerSeed := 25
 	if testing.Short() {
@@ -121,7 +161,7 @@ func TestFollowerDifferentialProperty(t *testing.T) {
 			for i := 0; i < batchesPerSeed; i++ {
 				if i == attachAt {
 					var err error
-					f, err = ltree.OpenFollower(w)
+					f, err = ltree.OpenFollower(attach(t, w))
 					if err != nil {
 						t.Fatalf("attach at batch %d: %v", i, err)
 					}
@@ -440,6 +480,90 @@ func TestFollowerStopsOnLeaderLogRepair(t *testing.T) {
 	}
 	if got, want := fingerprintOf(t, followerSurface{f2}), fingerprintOf(t, storeSurface{leader}); got != want {
 		t.Fatal("re-seeded follower diverged from leader")
+	}
+}
+
+// rebasingWAL re-bases the log at the start of a ReplaySince drain —
+// the shape of a repair checkpoint racing a leader handoff. Embedding
+// the concrete *storage.WAL keeps ReplayFromPos promoting through, so
+// the tailer's fill path stays on the real fast path and only Promote's
+// synchronous drain hits the override.
+type rebasingWAL struct {
+	*storage.WAL
+	arm atomic.Bool
+}
+
+func (r *rebasingWAL) ReplaySince(since uint64, fn func(uint64, []byte) error) error {
+	if r.arm.CompareAndSwap(true, false) {
+		r.WAL.MarkRebased()
+	}
+	return r.WAL.ReplaySince(since, fn)
+}
+
+// TestPromoteDetectsRebaseDuringDrain is the regression pin for the
+// Promote repair-race: a repair checkpoint that re-bases the log while
+// Promote drains the durable tail means the drained stream no longer
+// reconstructs the old leader, so the handoff must fail with
+// ErrShipRebased instead of returning a silently-divergent store.
+// Pre-fix, Promote skipped the post-drain re-base check that
+// Tailer.fill performs after every sweep, and this test's Promote
+// succeeded.
+func TestPromoteDetectsRebaseDuringDrain(t *testing.T) {
+	leader, inner := openLeader(t, t.TempDir())
+	defer inner.Close()
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 6; i++ {
+		applyBatch(t, leader, planBatch(rng, len(leader.Elements("*"))))
+	}
+
+	rb := &rebasingWAL{WAL: inner}
+	f, err := ltree.OpenFollower(rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.WaitFor(inner.Seq(), waitTimeout); err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm the race: the re-base lands inside Promote's drain window.
+	rb.arm.Store(true)
+	if _, err := f.Promote(); !errors.Is(err, storage.ErrShipRebased) {
+		t.Fatalf("promote across a mid-drain re-base: err=%v, want ErrShipRebased", err)
+	}
+	if st := f.Stats(); !errors.Is(st.Err, storage.ErrShipRebased) {
+		t.Fatalf("Stats().Err=%v, want ErrShipRebased", st.Err)
+	}
+	// The failed handoff keeps the replica readable at its last applied
+	// state, same contract as every other terminal replication error.
+	if len(f.Elements("*")) == 0 {
+		t.Fatal("reads stopped working after the failed promote")
+	}
+}
+
+// TestWaitForTimeoutTyped pins the ErrWaitTimeout sentinel: a WaitFor
+// that expires must be matchable with errors.Is (ltreed's
+// read-your-writes handler turns it into 504) while keeping the
+// seq/applied detail in the message. Pre-fix the timeout was an
+// untyped fmt.Errorf.
+func TestWaitForTimeoutTyped(t *testing.T) {
+	leader, w := openLeader(t, t.TempDir())
+	defer w.Close()
+	if _, err := leader.InsertElement(leader.Root(), 0, "x"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ltree.OpenFollower(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	err = f.WaitFor(w.Seq()+100, 50*time.Millisecond)
+	if !errors.Is(err, ltree.ErrWaitTimeout) {
+		t.Fatalf("expired WaitFor: err=%v, want ErrWaitTimeout", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "did not reach seq") {
+		t.Fatalf("timeout error lost its detail message: %v", err)
 	}
 }
 

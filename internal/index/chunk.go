@@ -218,7 +218,7 @@ func mergeUnderflow(b builder, size int) builder {
 // lost key would make predicate pushdown silently drop matches, so it
 // is checked loudly here), and the directory count matches the entry
 // total.
-func (p *postings) checkChunks(tag string, size int) error {
+func (p *postings) checkChunks(tag string, size int, sumsFresh bool) error {
 	min := size / 4
 	if min < 1 {
 		min = 1
@@ -255,12 +255,14 @@ func (p *postings) checkChunks(tag string, size int) error {
 				return fmt.Errorf("index: tag %q chunk %d maxEnd fence %d below entry end %d",
 					tag, i, p.fences[i].maxEnd, e.Label.End)
 			}
-			for _, a := range e.Node.Attrs() {
-				if !p.sums[i].MayContain(document.AttrKeyHash(a.Name)) {
-					return fmt.Errorf("index: tag %q chunk %d summary lost attr key %q", tag, i, a.Name)
-				}
-				if !p.sums[i].MayContain(document.AttrKVHash(a.Name, a.Value)) {
-					return fmt.Errorf("index: tag %q chunk %d summary lost attr pair %s=%q", tag, i, a.Name, a.Value)
+			if sumsFresh {
+				for _, a := range e.Node.Attrs() {
+					if !p.sums[i].MayContain(document.AttrKeyHash(a.Name)) {
+						return fmt.Errorf("index: tag %q chunk %d summary lost attr key %q", tag, i, a.Name)
+					}
+					if !p.sums[i].MayContain(document.AttrKVHash(a.Name, a.Value)) {
+						return fmt.Errorf("index: tag %q chunk %d summary lost attr pair %s=%q", tag, i, a.Name, a.Value)
+					}
 				}
 			}
 			prev = e.Label.Begin
@@ -285,21 +287,32 @@ func (p *postings) checkChunks(tag string, size int) error {
 //   - SeekOpen (zig-zag context skip): discards chunks whose maxEnd
 //     fence proves every interval closed before the target.
 type chunkCursor struct {
-	fences   []fence
-	sums     []document.AttrSummary
-	chunks   []*chunk
-	required []uint64     // conjunctive attr-key hashes; nil = no pushdown
-	stats    *CursorStats // optional skip/decode accounting; nil = off
-	ci       int          // current chunk
-	ei       int          // next entry within it
-	decoded  int          // last chunk counted as decoded (stats), -1 none
+	fences    []fence
+	sums      []document.AttrSummary
+	chunks    []*chunk
+	required  []uint64     // conjunctive attr-key hashes; nil = no pushdown
+	stats     *CursorStats // optional skip/decode accounting; nil = off
+	sumsStale bool         // summaries predate an attr mutation: ignore them
+	ci        int          // current chunk
+	ei        int          // next entry within it
+	decoded   int          // last chunk counted as decoded (stats), -1 none
 }
 
 // FilterChunks implements document.ChunkFilter: install the required
 // attribute-key hashes. The resulting stream omits chunks that provably
 // contain no entry carrying every key — a superset of the matching
-// entries, not the full tag stream.
-func (c *chunkCursor) FilterChunks(required []uint64) { c.required = required }
+// entries, not the full tag stream. When the version's summaries are
+// stale (an attribute mutated below the document layer since the last
+// full build), the install is a no-op: a stale summary can hold false
+// negatives, and a skipped chunk is a silently dropped match — so the
+// cursor serves the full stream and leaves filtering to the per-entry
+// predicate check above it.
+func (c *chunkCursor) FilterChunks(required []uint64) {
+	if c.sumsStale {
+		return
+	}
+	c.required = required
+}
 
 // passes reports whether chunk i may contain entries with every required
 // attribute key.

@@ -37,6 +37,23 @@ type Index struct {
 	tags      map[string]*postings
 	chunkSize int // inherited by every version derived with Apply
 
+	// sumRoot/sumGen pin the chunk attribute summaries' validity: the
+	// document root and its attribute-mutation generation
+	// (xmldom.Node.AttrGen) captured at the last full build. A raw
+	// SetAttr below the document layer moves the root's generation, and a
+	// summary computed before it may falsely claim the new attribute
+	// absent — so Cursor disables predicate pushdown (FilterChunks
+	// becomes a no-op) whenever the generations disagree: queries fall
+	// back to per-entry predicate checks, trading the skip optimization
+	// for correctness until the next full build re-captures the
+	// generation. Chunks patched by Apply recompute their summaries, but
+	// shared chunks reach back to the last full build, so Apply inherits
+	// the baseline unchanged. A nil sumRoot (Index built via From, no
+	// document in sight) leaves pushdown on — such callers own their
+	// attribute discipline.
+	sumRoot *xmldom.Node
+	sumGen  uint64
+
 	// stats, when set (SetCursorStats), is inherited by every cursor this
 	// version hands out — skip/decode observability for benchmarks and
 	// experiments, off (nil) in production.
@@ -90,7 +107,13 @@ func Build(d *document.Doc) *Index { return BuildSized(d, DefaultChunkSize) }
 // BuildSized is Build with an explicit chunk capacity (benchmark sweeps
 // and split/merge stress tests; production uses DefaultChunkSize).
 func BuildSized(d *document.Doc, chunkSize int) *Index {
-	return FromSized(d.BuildTagIndex(), chunkSize)
+	root := d.X.Root
+	gen := root.AttrGen()
+	ix := FromSized(d.BuildTagIndex(), chunkSize)
+	// The generation is read BEFORE the walk: an attribute mutation racing
+	// the build marks the result stale rather than fresh-by-accident.
+	ix.sumRoot, ix.sumGen = root, gen
+	return ix
 }
 
 // From wraps an already-built tag index. The map is consumed by the Index
@@ -140,7 +163,18 @@ func (ix *Index) Cursor(tag string) document.Cursor {
 	if p == nil {
 		return document.NewSliceCursor(nil)
 	}
-	return &chunkCursor{fences: p.fences, sums: p.sums, chunks: p.chunks, stats: ix.stats}
+	return &chunkCursor{
+		fences: p.fences, sums: p.sums, chunks: p.chunks, stats: ix.stats,
+		sumsStale: !ix.SummariesFresh(),
+	}
+}
+
+// SummariesFresh reports whether the chunk attribute summaries are still
+// exact: no attribute mutated below the document root since the last
+// full build captured the generation. Stale summaries may hold false
+// negatives, so cursors stop honoring FilterChunks until a full rebuild.
+func (ix *Index) SummariesFresh() bool {
+	return ix.sumRoot == nil || ix.sumRoot.AttrGen() == ix.sumGen
 }
 
 // All returns every element in document order (the flattened "*" list),
@@ -254,7 +288,10 @@ func (ix *Index) Apply(d *document.Doc, ch *document.Changes) (*Index, error) {
 		e.touched = append(e.touched, n)
 	}
 
-	next := &Index{tags: make(map[string]*postings, len(ix.tags)+len(effects)), chunkSize: ix.chunkSize}
+	next := &Index{
+		tags: make(map[string]*postings, len(ix.tags)+len(effects)), chunkSize: ix.chunkSize,
+		sumRoot: ix.sumRoot, sumGen: ix.sumGen,
+	}
 	for tag, p := range ix.tags {
 		if _, hit := effects[tag]; !hit {
 			next.tags[tag] = p
@@ -307,13 +344,17 @@ func Verify(ix *Index, d *document.Doc) error {
 
 // CheckChunks validates the chunk invariants of every tag (see
 // postings.checkChunks): fences agree with entries, chunk sizes stay in
-// bounds, begins strictly increase.
+// bounds, begins strictly increase. The attribute-summary exactness
+// check is waived when the summaries are known stale (a raw SetAttr
+// since the last full build) — a stale summary is allowed to be wrong
+// precisely because cursors no longer consult it.
 func (ix *Index) CheckChunks() error {
+	fresh := ix.SummariesFresh()
 	for tag, p := range ix.tags {
 		if p.count == 0 {
 			return fmt.Errorf("index: tag %q kept with no postings", tag)
 		}
-		if err := p.checkChunks(tag, ix.chunkSize); err != nil {
+		if err := p.checkChunks(tag, ix.chunkSize, fresh); err != nil {
 			return err
 		}
 	}

@@ -177,6 +177,13 @@ func newTailer(src TailSource, since uint64) *Tailer {
 // Seq returns the sequence number of the last delivered batch.
 func (t *Tailer) Seq() uint64 { return t.next }
 
+// RebaseBaseline returns the source re-base count captured when this
+// tailer attached. A caller draining the source directly (outside the
+// tailer, as leader handoff does) must compare src.Rebases() against
+// this baseline *after* its drain — the same post-sweep ordering fill
+// relies on — to reject a stream a repair checkpoint re-based mid-drain.
+func (t *Tailer) RebaseBaseline() uint64 { return t.rebase }
+
 // Close releases the tailer's retention lease and unblocks a concurrent
 // Next with ErrTailerClosed. Idempotent.
 func (t *Tailer) Close() error {

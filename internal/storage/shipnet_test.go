@@ -1,0 +1,304 @@
+package storage_test
+
+// Torture tests for the wire transport (shipnet.go): catch-up + live
+// tail parity with the in-process tailer, concurrent Close vs Next over
+// the socket, mid-stream connection drops with resume-from-applied-seq,
+// and server-side lease release on client disconnect (a vanished client
+// must never hold back truncation forever).
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ltree-db/ltree/internal/storage"
+)
+
+// pipeServer wires a ShipServer over net.Pipe and records every
+// client-side conn so tests can sever the transport mid-stream.
+type pipeServer struct {
+	srv   *storage.ShipServer
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newPipeServer(t *testing.T, w *storage.WAL) *pipeServer {
+	t.Helper()
+	srv, err := storage.NewShipServer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return &pipeServer{srv: srv}
+}
+
+func (p *pipeServer) dial() (net.Conn, error) {
+	c1, c2 := net.Pipe()
+	go p.srv.ServeConn(c2)
+	p.mu.Lock()
+	p.conns = append(p.conns, c1)
+	p.mu.Unlock()
+	return c1, nil
+}
+
+// sever closes the newest client-side conn: a network drop.
+func (p *pipeServer) sever() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.conns) > 0 {
+		p.conns[len(p.conns)-1].Close()
+	}
+}
+
+func (p *pipeServer) dials() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+func openRemote(t *testing.T, p *pipeServer) *storage.RemoteTailSource {
+	t.Helper()
+	src, err := storage.OpenRemoteTail(p.dial, storage.RemoteOptions{DialBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { src.Close() })
+	return src
+}
+
+// TestRemoteTailerCatchUpThenLiveTail is the in-process tailer contract
+// run over the wire: catch-up in order, live tail after appends, and
+// the TailLatest bootstrap (checkpoint snapshot + attach point) all
+// crossing a real byte transport.
+func TestRemoteTailerCatchUpThenLiveTail(t *testing.T) {
+	w, err := storage.OpenWAL(t.TempDir(), storage.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendN(t, w, 1, 5)
+
+	p := newPipeServer(t, w)
+	src := openRemote(t, p)
+	sh, err := storage.NewShipper(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := sh.Tail(0)
+	defer tail.Close()
+	for i := 1; i <= 5; i++ {
+		seq, got, err := tail.Next()
+		if err != nil {
+			t.Fatalf("catch-up next %d: %v", i, err)
+		}
+		if seq != uint64(i) || !bytes.Equal(got, payload(i)) {
+			t.Fatalf("catch-up next %d: got seq=%d payload=%q", i, seq, got)
+		}
+	}
+	if _, _, ok, err := tail.TryNext(); err != nil || ok {
+		t.Fatalf("TryNext at the durable end: ok=%v err=%v", ok, err)
+	}
+
+	// Live tail: appends land on the leader, the remote tailer streams
+	// them (durability notify crosses the wire).
+	appendN(t, w, 6, 8)
+	for i := 6; i <= 8; i++ {
+		seq, got, err := tail.Next()
+		if err != nil {
+			t.Fatalf("live next %d: %v", i, err)
+		}
+		if seq != uint64(i) || !bytes.Equal(got, payload(i)) {
+			t.Fatalf("live next %d: got seq=%d payload=%q", i, seq, got)
+		}
+	}
+
+	// Bootstrap: the checkpoint snapshot crosses the wire paired with
+	// the attach point.
+	if _, err := w.Checkpoint([]byte("snapshot-at-8")); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 9, 10)
+	seq, snap, tail2, err := sh.TailLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail2.Close()
+	if seq != 8 || string(snap) != "snapshot-at-8" {
+		t.Fatalf("remote TailLatest = (%d, %q), want (8, snapshot-at-8)", seq, snap)
+	}
+	for i := 9; i <= 10; i++ {
+		gotSeq, got, err := tail2.Next()
+		if err != nil {
+			t.Fatalf("bootstrap next %d: %v", i, err)
+		}
+		if gotSeq != uint64(i) || !bytes.Equal(got, payload(i)) {
+			t.Fatalf("bootstrap next %d: got seq=%d payload=%q", i, gotSeq, got)
+		}
+	}
+}
+
+// TestRemoteCloseVsNextTorture races Close against a blocked/streaming
+// Next over the socket, alternating which side closes (the tailer or
+// the remote source). Every round must unblock promptly with one of the
+// two terminal close errors — never a hang, never a spurious error.
+func TestRemoteCloseVsNextTorture(t *testing.T) {
+	w, err := storage.OpenWAL(t.TempDir(), storage.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendN(t, w, 1, 3)
+	p := newPipeServer(t, w)
+
+	rounds := 24
+	if testing.Short() {
+		rounds = 8
+	}
+	for i := 0; i < rounds; i++ {
+		src, err := storage.OpenRemoteTail(p.dial, storage.RemoteOptions{DialBackoff: time.Millisecond})
+		if err != nil {
+			t.Fatalf("round %d: dial: %v", i, err)
+		}
+		sh, err := storage.NewShipper(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail := sh.Tail(0)
+		done := make(chan error, 1)
+		go func() {
+			for {
+				if _, _, err := tail.Next(); err != nil {
+					done <- err
+					return
+				}
+			}
+		}()
+		// Vary the interleave: sometimes the closer races the catch-up
+		// sweep, sometimes it hits a parked Next.
+		if i%3 == 0 {
+			time.Sleep(time.Duration(i%5) * time.Millisecond)
+		}
+		if i%2 == 0 {
+			tail.Close()
+		} else {
+			src.Close()
+		}
+		select {
+		case err := <-done:
+			if !errors.Is(err, storage.ErrTailerClosed) && !errors.Is(err, storage.ErrSourceClosed) {
+				t.Fatalf("round %d: Next returned %v, want ErrTailerClosed or ErrSourceClosed", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: Next did not unblock after close", i)
+		}
+		tail.Close()
+		src.Close()
+	}
+}
+
+// TestRemoteTailerReconnectResumes drops the connection mid-stream —
+// during catch-up and again while parked on the live tail — and asserts
+// the tailer still delivers every record exactly once, in order, via
+// redial + resume from the last delivered sequence number.
+func TestRemoteTailerReconnectResumes(t *testing.T) {
+	w, err := storage.OpenWAL(t.TempDir(), storage.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendN(t, w, 1, 10)
+
+	p := newPipeServer(t, w)
+	src := openRemote(t, p)
+	sh, err := storage.NewShipper(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := sh.Tail(0)
+	defer tail.Close()
+
+	next := func(want int) {
+		t.Helper()
+		seq, got, err := tail.Next()
+		if err != nil {
+			t.Fatalf("next %d: %v", want, err)
+		}
+		if seq != uint64(want) || !bytes.Equal(got, payload(want)) {
+			t.Fatalf("next %d: got seq=%d payload=%q", want, seq, got)
+		}
+	}
+
+	for i := 1; i <= 5; i++ {
+		next(i)
+	}
+	p.sever() // drop mid-catch-up
+	for i := 6; i <= 10; i++ {
+		next(i)
+	}
+	p.sever() // drop at the durable end (a parked tailer must re-sweep)
+	appendN(t, w, 11, 15)
+	for i := 11; i <= 15; i++ {
+		next(i)
+	}
+	if p.dials() < 2 {
+		t.Fatalf("only %d dials recorded: the drops never forced a reconnect", p.dials())
+	}
+}
+
+// TestServerReleasesLeaseOnDisconnect pins the no-leaked-retention
+// guarantee: while a remote tailer is connected its lease holds the old
+// segment across a leader checkpoint, and once the client vanishes
+// (transport closed, no explicit release) the server drops the lease so
+// truncation proceeds.
+func TestServerReleasesLeaseOnDisconnect(t *testing.T) {
+	dir := t.TempDir()
+	w, err := storage.OpenWAL(dir, storage.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	appendN(t, w, 1, 6)
+
+	p := newPipeServer(t, w)
+	src := openRemote(t, p)
+	sh, err := storage.NewShipper(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := sh.Tail(0)
+	defer tail.Close()
+	for i := 1; i <= 2; i++ {
+		if _, _, err := tail.Next(); err != nil {
+			t.Fatalf("next %d: %v", i, err)
+		}
+	}
+
+	// Connected: the remotely-registered lease keeps the old segment.
+	if _, err := w.Checkpoint([]byte("ckpt-at-6")); err != nil {
+		t.Fatal(err)
+	}
+	if n := segmentCount(t, dir); n != 2 {
+		t.Fatalf("checkpoint under a remote lease kept %d segments, want 2 (old + live)", n)
+	}
+
+	// The client vanishes without releasing anything: the server-side
+	// handler must release the conn's leases on its way out, letting a
+	// later checkpoint reclaim the old segment.
+	src.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := w.Checkpoint([]byte("ckpt-after-drop")); err != nil {
+			t.Fatal(err)
+		}
+		if segmentCount(t, dir) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("remote lease leaked: truncation still held back after client disconnect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

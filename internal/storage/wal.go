@@ -623,32 +623,43 @@ func (w *WAL) Checkpoint(snapshot []byte) (uint64, error) {
 		if err := w.newSegment(seq); err != nil {
 			return 0, err
 		}
-		segs, err := w.listSegments()
-		if err != nil {
+	}
+	// The retention sweep runs on every checkpoint — including a repeat
+	// checkpoint that rotated nothing — so a segment a lease kept back is
+	// reclaimed by the first checkpoint after the lease advances past it
+	// or is released, even when the leader has gone quiet and appends
+	// nothing in between. (Before this, a lease released during
+	// quiescence stranded its segments forever: repeat checkpoints
+	// skipped truncation outright.)
+	segs, err := w.listSegments()
+	if err != nil {
+		return 0, err
+	}
+	// Retention guard: segment i covers records (segs[i], segs[i+1]]
+	// (the live segment at w.segBase == seq is always in the list, so
+	// every older segment has a successor). A segment is disposable
+	// only when every record it holds is at or below the lowest lease
+	// floor — an attached tailer mid-catch-up still needs everything
+	// above its floor, checkpoint or not.
+	floor, guarded := w.retentionFloorLocked()
+	removed := false
+	for i, base := range segs {
+		if base >= seq {
+			continue // the live segment
+		}
+		end := seq
+		if i+1 < len(segs) {
+			end = segs[i+1]
+		}
+		if guarded && end > floor {
+			continue // a tailer still needs records in (base, end]
+		}
+		if err := os.Remove(w.segPath(base)); err != nil {
 			return 0, err
 		}
-		// Retention guard: segment i covers records (segs[i], segs[i+1]]
-		// (the freshly rotated segment at seq is always in the list, so
-		// every older segment has a successor). A segment is disposable
-		// only when every record it holds is at or below the lowest lease
-		// floor — an attached tailer mid-catch-up still needs everything
-		// above its floor, checkpoint or not.
-		floor, guarded := w.retentionFloorLocked()
-		for i, base := range segs {
-			if base >= seq {
-				continue // the live segment
-			}
-			end := seq
-			if i+1 < len(segs) {
-				end = segs[i+1]
-			}
-			if guarded && end > floor {
-				continue // a tailer still needs records in (base, end]
-			}
-			if err := os.Remove(w.segPath(base)); err != nil {
-				return 0, err
-			}
-		}
+		removed = true
+	}
+	if removed {
 		if err := w.syncDir(); err != nil {
 			return 0, err
 		}

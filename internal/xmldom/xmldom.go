@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind discriminates node types.
@@ -40,6 +41,18 @@ type Node struct {
 	attr     []Attr
 	parent   *Node
 	children []*Node
+
+	// attrGen counts attribute mutations anywhere under this node's root:
+	// SetAttr bumps the counter on the root of whatever tree the node is
+	// attached to at that moment. Derived per-chunk attribute summaries
+	// capture the root's generation at build time and compare it before
+	// trusting themselves (a stale summary may claim an attribute absent
+	// that a later SetAttr added — a false negative, worse than no
+	// summary). Only the root's counter is consulted; bumps that land on a
+	// detached subtree's own root are harmless. Atomic because summaries
+	// are read by lock-free readers while SetAttr may run under a
+	// different discipline.
+	attrGen atomic.Uint64
 }
 
 // Errors returned by tree edits.
@@ -86,8 +99,16 @@ func (n *Node) Attr(name string) (string, bool) {
 	return "", false
 }
 
-// SetAttr sets (or adds) an attribute.
+// SetAttr sets (or adds) an attribute and bumps the attribute-mutation
+// generation on the node's current root, so derived attribute summaries
+// (see AttrGen) can detect they went stale instead of claiming the new
+// attribute absent.
 func (n *Node) SetAttr(name, value string) {
+	root := n
+	for root.parent != nil {
+		root = root.parent
+	}
+	root.attrGen.Add(1)
 	for i := range n.attr {
 		if n.attr[i].Name == name {
 			n.attr[i].Value = value
@@ -96,6 +117,13 @@ func (n *Node) SetAttr(name, value string) {
 	}
 	n.attr = append(n.attr, Attr{name, value})
 }
+
+// AttrGen returns the attribute-mutation generation accumulated on this
+// node (meaningful on a tree root: every SetAttr below it bumps it).
+// Summary builders capture the root's generation and compare it later —
+// an unchanged generation proves no attribute changed since the build,
+// so summaries derived then are still exact.
+func (n *Node) AttrGen() uint64 { return n.attrGen.Load() }
 
 // Parent returns the parent node (nil for a detached node or the root).
 func (n *Node) Parent() *Node { return n.parent }

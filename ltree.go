@@ -50,6 +50,15 @@ type Elem = xmldom.Node
 // Attr is an XML attribute.
 type Attr = xmldom.Attr
 
+// NodeKind discriminates Elem kinds; see ElementNode and TextNode.
+type NodeKind = xmldom.Kind
+
+// Elem kinds, reported by (*Elem).Kind.
+const (
+	ElementNode NodeKind = xmldom.Element
+	TextNode    NodeKind = xmldom.Text
+)
+
 // XMLDocument is the unlabeled XML DOM (parse/edit/serialize).
 type XMLDocument = xmldom.Document
 

@@ -1,0 +1,65 @@
+package ltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRawSetAttrDoesNotDropMatches is the regression pin for the DESIGN.md
+// §3.5 staleness caveat: a raw xmldom.SetAttr below the document layer used
+// to leave the published index's per-chunk attribute summaries claiming the
+// new attribute absent, so predicate pushdown skipped the chunk and the
+// query silently dropped the matching element — a false negative, not a
+// false positive. The fix detects the mutation via the document root's
+// attribute generation and disables pushdown on stale versions; the
+// per-entry predicate check (which reads the live DOM) then finds the
+// match. Pre-fix this test fails with an empty result set.
+func TestRawSetAttrDoesNotDropMatches(t *testing.T) {
+	// Enough attribute-less items to fill several chunks whose summaries
+	// all record "no attributes anywhere" — definite absence, the exact
+	// shape pushdown prunes on.
+	var b strings.Builder
+	b.WriteString("<root>")
+	for i := 0; i < 600; i++ {
+		b.WriteString("<item><name>x</name></item>")
+	}
+	b.WriteString("</root>")
+	st, err := OpenString(b.String(), DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	items, err := st.Query("//item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 600 {
+		t.Fatalf("got %d items, want 600", len(items))
+	}
+	target := items[300]
+
+	// Raw DOM edit below the document layer: invisible to the change
+	// tracker and the op log, and — before the fix — to the summaries.
+	target.SetAttr("k", "v")
+
+	got, err := st.Query("//item[@k='v']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != target {
+		t.Fatalf("query after raw SetAttr returned %d matches, want exactly the mutated element", len(got))
+	}
+
+	// A fresh build sees the attribute and re-enables pushdown; the
+	// result must be identical.
+	if err := st.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = st.Query("//item[@k='v']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != target {
+		t.Fatalf("query after Refresh returned %d matches, want exactly the mutated element", len(got))
+	}
+}

@@ -435,7 +435,11 @@ func (s *Store) Move(n, parent *Elem, idx int) (err error) {
 // store Refresh persists them too). It is a no-op when nothing changed.
 // Only raw DOM edits below the document layer (SetData, SetAttr, or
 // xmldom surgery) are invisible to both the change tracker and the op
-// log — those need a Checkpoint to become durable.
+// log — those need a Checkpoint to become durable. Queries stay correct
+// in the meantime: a raw SetAttr bumps the document root's attribute
+// generation, so chunk summaries built before it stop filtering (stale
+// summaries would otherwise falsely prove absence) until the next
+// commit or Refresh rebuilds them.
 func (s *Store) Refresh() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
