@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/ltree-db/ltree/internal/core"
@@ -482,5 +483,119 @@ func BenchmarkStoreConcurrentQueryPred(b *testing.B) {
 	})
 	if err := st.Check(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkForestMergedDrain isolates the forest read path over N shards
+// vs the same documents in a single shard, both ways it is consumed:
+// "parallel" is the one-shot Forest.Query (goroutine per shard, sorted
+// runs merged slice-to-slice — scales with -cpu), "stream" is a pinned
+// ForestTxn drained entry-at-a-time through the sequential k-way merge
+// cursor (the fixed per-entry merge tax).
+func BenchmarkForestMergedDrain(b *testing.B) {
+	const docs = 16
+	srcs := make([]string, docs)
+	for i := range srcs {
+		srcs[i] = workload.XMarkLite(12, int64(i+1)).String()
+	}
+	part := PartitionerFunc(func(id string, n int) int {
+		v := 0
+		for _, r := range id {
+			v = v*10 + int(r-'0')
+		}
+		return v % n
+	})
+	build := func(b *testing.B, shards int) *Forest {
+		f, err := NewForest(ForestOptions{Shards: shards, Partitioner: part})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, src := range srcs {
+			if _, err := f.Put(fmt.Sprintf("%02d", i), src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return f
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel/shards-%d", shards), func(b *testing.B) {
+			f := build(b, shards)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				es, err := f.Query("//item[@id]/name")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(es) == 0 {
+					b.Fatal("empty drain")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("stream/shards-%d", shards), func(b *testing.B) {
+			f := build(b, shards)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Fresh View per iteration: a pinned Txn's predicate memo
+				// would otherwise make every iteration after the first
+				// artificially warm.
+				err := f.View(func(tx *ForestTxn) error {
+					res, err := tx.Query("//item[@id]/name")
+					if err != nil {
+						return err
+					}
+					n := 0
+					for _, ok := res.Next(); ok; _, ok = res.Next() {
+						n++
+					}
+					if n == 0 {
+						b.Fatal("empty drain")
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkForestConcurrentCommit measures the write-pipeline fan-out:
+// parallel committers on distinct documents against 1 vs 4 WAL-backed
+// shards (run with -cpu to see the shard pipelines separate).
+func BenchmarkForestConcurrentCommit(b *testing.B) {
+	part := PartitionerFunc(func(id string, n int) int {
+		v := 0
+		for _, r := range id {
+			v = v*10 + int(r-'0')
+		}
+		return v % n
+	})
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			f, err := OpenForest(b.TempDir(), ForestOptions{Shards: shards, Partitioner: part})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			var seq atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				id := fmt.Sprintf("%02d", seq.Add(1))
+				if _, err := f.Put(id, "<doc/>"); err != nil {
+					b.Error(err)
+					return
+				}
+				for pb.Next() {
+					err := f.Update(id, func(tx *Batch, root *Elem) error {
+						_, err := tx.InsertElement(root, 0, "x")
+						return err
+					})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
 	}
 }

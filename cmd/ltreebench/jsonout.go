@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// This file is the machine-readable side of the harness: every verdict,
+// and any metric an experiment chooses to record, lands in one JSON
+// report that -json <path> writes at exit. CI uploads these next to the
+// plain-text tables so dashboards and regression diffs consume numbers,
+// not scraped prose. The text output stays the human contract; the JSON
+// is additive.
+
+type benchMetric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+type benchVerdict struct {
+	OK    bool   `json:"ok"`
+	Claim string `json:"claim"`
+}
+
+type benchExperiment struct {
+	Metrics  []benchMetric  `json:"metrics,omitempty"`
+	Verdicts []benchVerdict `json:"verdicts,omitempty"`
+}
+
+type benchReport struct {
+	GOOS        string                      `json:"goos"`
+	GOARCH      string                      `json:"goarch"`
+	GOMAXPROCS  int                         `json:"gomaxprocs"`
+	NumCPU      int                         `json:"numcpu"`
+	Quick       bool                        `json:"quick"`
+	Experiments map[string]*benchExperiment `json:"experiments"`
+}
+
+var benchOut = benchReport{Experiments: map[string]*benchExperiment{}}
+
+// benchCurrentExp is the experiment id the main loop is running; metrics
+// and verdicts recorded while it is set attach to that experiment.
+var benchCurrentExp string
+
+func benchExp() *benchExperiment {
+	e, ok := benchOut.Experiments[benchCurrentExp]
+	if !ok {
+		e = &benchExperiment{}
+		benchOut.Experiments[benchCurrentExp] = e
+	}
+	return e
+}
+
+// recordMetric attaches one named measurement to the running experiment.
+// A no-op outside the experiment loop, so helpers can call it blindly.
+func recordMetric(name string, value float64, unit string) {
+	if benchCurrentExp == "" {
+		return
+	}
+	e := benchExp()
+	e.Metrics = append(e.Metrics, benchMetric{Name: name, Value: value, Unit: unit})
+}
+
+// recordVerdict mirrors a printed PASS/FAIL line into the report.
+func recordVerdict(ok bool, claim string) {
+	if benchCurrentExp == "" {
+		return
+	}
+	e := benchExp()
+	e.Verdicts = append(e.Verdicts, benchVerdict{OK: ok, Claim: claim})
+}
+
+// writeBenchJSON writes the accumulated report.
+func writeBenchJSON(path string, quick bool) error {
+	benchOut.GOOS = runtime.GOOS
+	benchOut.GOARCH = runtime.GOARCH
+	benchOut.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	benchOut.NumCPU = runtime.NumCPU()
+	benchOut.Quick = quick
+	data, err := json.MarshalIndent(benchOut, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -55,6 +55,7 @@ var experiments = []experiment{
 	{"replica", "engine: log-shipping follower — apply lag + freshness vs snapshot-restore baseline", expReplica},
 	{"pushdown", "engine: zig-zag join + chunk-level predicate pushdown — selectivity × depth vs the linear pipeline", expPushdown},
 	{"serve", "engine: follower fleet over the wire — aggregate queries/sec vs single store, per-follower fan-out cost", expServe},
+	{"forest", "engine: sharded forest — parallel commit pipelines, parallel recovery, k-way merged drain tax", expForest},
 }
 
 func main() {
@@ -62,6 +63,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 	n := flag.Int("n", 0, "override the main size parameter (0 = default)")
 	requireCPUs := flag.Int("requirecpus", 0, "exit nonzero unless runtime.NumCPU() >= this (CI multicore gate)")
+	jsonPath := flag.String("json", "", "also write metrics and verdicts as JSON to this path")
+	strict := flag.Bool("strict", false, "exit nonzero if any verdict failed (CI assertion mode)")
 	flag.Parse()
 
 	c := config{quick: *quick, n: *n}
@@ -83,13 +86,26 @@ func main() {
 			continue
 		}
 		fmt.Printf("══ %s — %s\n\n", strings.ToUpper(e.id), e.paper)
+		benchCurrentExp = e.id
 		e.run(c)
+		benchCurrentExp = ""
 		fmt.Println()
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: all, %s\n", *expFlag, ids())
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		if err := writeBenchJSON(*jsonPath, c.quick); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("json report: %s\n", *jsonPath)
+	}
+	if *strict && failedVerdicts > 0 {
+		fmt.Fprintf(os.Stderr, "strict: %d verdict(s) failed\n", failedVerdicts)
+		os.Exit(4)
 	}
 }
 
@@ -110,12 +126,19 @@ func contains(hay []string, needle string) bool {
 	return false
 }
 
-// verdict prints a PASS/FAIL reproduction verdict for a claim.
+// failedVerdicts counts FAIL verdicts across the run; -strict turns a
+// nonzero count into a nonzero exit for CI assertion lanes.
+var failedVerdicts int
+
+// verdict prints a PASS/FAIL reproduction verdict for a claim and
+// mirrors it into the JSON report.
 func verdict(ok bool, claim string) {
 	mark := "PASS"
 	if !ok {
 		mark = "FAIL"
+		failedVerdicts++
 	}
+	recordVerdict(ok, claim)
 	fmt.Printf("[%s] %s\n", mark, claim)
 }
 

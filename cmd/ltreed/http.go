@@ -2,13 +2,18 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                           liveness probe
-//	GET  /v1/stats                          role, seq, lag, index version
-//	GET  /v1/query?q=EXPR[&wait_seq=N]      path query over the store
-//	GET  /v1/elements?tag=T[&wait_seq=N]    all elements with tag T
-//	POST /v1/insert?parent=EXPR[&idx=I]     leader-only write; body is an
-//	                                        XML fragment; returns the
-//	                                        commit's WAL seq
+//	GET    /healthz                           liveness probe
+//	GET    /v1/stats                          role, seq, lag, txn pins,
+//	                                          index version — aggregated
+//	                                          per shard on a forest node
+//	GET    /v1/query?q=EXPR[&wait_seq=N]      path query over the store
+//	GET    /v1/elements?tag=T[&wait_seq=N]    all elements with tag T
+//	POST   /v1/insert?parent=EXPR[&idx=I]     write; body is an XML
+//	                                          fragment; returns the
+//	                                          commit's WAL seq
+//	PUT    /v1/doc?id=ID                      forest-only: upsert a whole
+//	                                          document; body is its XML
+//	DELETE /v1/doc?id=ID                      forest-only: drop a document
 //
 // wait_seq gives a follower read read-your-writes freshness: pass the
 // seq a leader write returned and the handler blocks (bounded by -wait)
@@ -29,9 +34,10 @@ import (
 	"github.com/ltree-db/ltree/internal/storage"
 )
 
-// node is what the HTTP layer needs from either role: the shared
-// snapshot-isolated read surface, a freshness gate, and a write hook
-// (leaders commit, followers refuse).
+// node is what the HTTP layer needs from any role: the shared
+// snapshot-isolated read surface, a freshness gate, and write hooks
+// (leaders and forests commit, followers refuse; whole-document routing
+// exists only on forests).
 type node interface {
 	Query(expr string) ([]*ltree.Elem, error)
 	Elements(tag string) []*ltree.Elem
@@ -39,11 +45,16 @@ type node interface {
 	IndexVersion() uint64
 	WaitFor(seq uint64, timeout time.Duration) error
 	Insert(parentExpr string, idx int, fragment string) (uint64, error)
+	PutDoc(id, src string) (uint64, error)
+	DeleteDoc(id string) (uint64, error)
 	Stats() map[string]any
 }
 
 // errReadOnly rejects writes on a follower.
 var errReadOnly = errors.New("ltreed: node is a read-only follower; write to the leader")
+
+// errNotForest rejects document routing on single-store roles.
+var errNotForest = errors.New("ltreed: node is not a forest; start with -forest to route documents")
 
 // leaderNode adapts a WAL-attached Store.
 type leaderNode struct {
@@ -77,12 +88,18 @@ func (l *leaderNode) Insert(parentExpr string, idx int, fragment string) (uint64
 	return l.src.Seq(), nil
 }
 
+func (l *leaderNode) PutDoc(string, string) (uint64, error) { return 0, errNotForest }
+func (l *leaderNode) DeleteDoc(string) (uint64, error)      { return 0, errNotForest }
+
 func (l *leaderNode) Stats() map[string]any {
+	open, retired := l.st.TxnStats()
 	return map[string]any{
 		"role":          "leader",
 		"seq":           l.src.Seq(),
 		"rebases":       l.src.Rebases(),
 		"index_version": l.st.IndexVersion(),
+		"txn_open":      open,
+		"txn_retired":   retired,
 	}
 }
 
@@ -99,9 +116,12 @@ func (n *followerNode) WaitFor(seq uint64, timeout time.Duration) error {
 	return n.f.WaitFor(seq, timeout)
 }
 func (n *followerNode) Insert(string, int, string) (uint64, error) { return 0, errReadOnly }
+func (n *followerNode) PutDoc(string, string) (uint64, error)      { return 0, errReadOnly }
+func (n *followerNode) DeleteDoc(string) (uint64, error)           { return 0, errReadOnly }
 
 func (n *followerNode) Stats() map[string]any {
 	s := n.f.Stats()
+	open, retired := n.f.TxnStats()
 	m := map[string]any{
 		"role":          "follower",
 		"applied_seq":   s.AppliedSeq,
@@ -110,11 +130,117 @@ func (n *followerNode) Stats() map[string]any {
 		"batches":       s.Batches,
 		"running":       s.Running,
 		"index_version": n.f.IndexVersion(),
+		"txn_open":      open,
+		"txn_retired":   retired,
 	}
 	if s.Err != nil {
 		m["error"] = s.Err.Error()
 	}
 	return m
+}
+
+// forestNode adapts a sharded Forest: reads scatter-gather across every
+// shard, writes route to the owning shard, and /v1/doc gains meaning.
+type forestNode struct {
+	f *ltree.Forest
+}
+
+func (n *forestNode) Query(expr string) ([]*ltree.Elem, error) { return n.f.Query(expr) }
+func (n *forestNode) Elements(tag string) []*ltree.Elem        { return n.f.Elements(tag) }
+func (n *forestNode) Label(e *ltree.Elem) (ltree.Label, error) { return n.f.Label(e) }
+
+// IndexVersion sums the per-shard versions: each shard commit bumps
+// exactly one of them, so the sum is a monotone forest-wide version.
+func (n *forestNode) IndexVersion() uint64 {
+	var total uint64
+	for _, sh := range n.f.Stats().Shard {
+		total += sh.IndexVersion
+	}
+	return total
+}
+
+// WaitFor on a forest leader is trivially satisfied, as on a store
+// leader: the shards ARE the durable state any returned seq refers to.
+func (n *forestNode) WaitFor(uint64, time.Duration) error { return nil }
+
+// shardSeq is the WAL seq a write to docID just advanced — the
+// per-shard freshness token handed back to clients.
+func (n *forestNode) shardSeq(docID string) uint64 {
+	return n.f.Stats().Shard[n.f.ShardFor(docID)].Seq
+}
+
+func (n *forestNode) Insert(parentExpr string, idx int, fragment string) (uint64, error) {
+	parents, err := n.f.Query(parentExpr)
+	if err != nil {
+		return 0, err
+	}
+	if len(parents) != 1 {
+		return 0, fmt.Errorf("ltreed: parent query %q matched %d elements, need exactly 1", parentExpr, len(parents))
+	}
+	id, ok := n.f.DocOf(parents[0])
+	if !ok {
+		return 0, fmt.Errorf("ltreed: parent of %q is not inside a forest document", parentExpr)
+	}
+	if idx < 0 {
+		idx = len(parents[0].Children())
+	}
+	err = n.f.Update(id, func(b *ltree.Batch, _ *ltree.Elem) error {
+		_, err := b.InsertXML(parents[0], idx, fragment)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n.shardSeq(id), nil
+}
+
+func (n *forestNode) PutDoc(id, src string) (uint64, error) {
+	if _, err := n.f.Put(id, src); err != nil {
+		return 0, err
+	}
+	return n.shardSeq(id), nil
+}
+
+func (n *forestNode) DeleteDoc(id string) (uint64, error) {
+	// Capture the owning shard first: the registry forgets the id the
+	// moment the delete commits.
+	shard := n.f.ShardFor(id)
+	if err := n.f.Delete(id); err != nil {
+		return 0, err
+	}
+	return n.f.Stats().Shard[shard].Seq, nil
+}
+
+// Stats aggregates the per-shard counters instead of assuming one
+// backend: forest-wide totals first, then the per-shard breakdown.
+func (n *forestNode) Stats() map[string]any {
+	s := n.f.Stats()
+	var open, retired int
+	var seq, iv uint64
+	perShard := make([]map[string]any, len(s.Shard))
+	for i, sh := range s.Shard {
+		open += sh.TxnOpen
+		retired += sh.TxnRetired
+		seq += sh.Seq
+		iv += sh.IndexVersion
+		perShard[i] = map[string]any{
+			"docs":          sh.Docs,
+			"seq":           sh.Seq,
+			"index_version": sh.IndexVersion,
+			"txn_open":      sh.TxnOpen,
+			"txn_retired":   sh.TxnRetired,
+		}
+	}
+	return map[string]any{
+		"role":          "forest",
+		"shards":        s.Shards,
+		"docs":          s.Docs,
+		"seq":           seq,
+		"index_version": iv,
+		"txn_open":      open,
+		"txn_retired":   retired,
+		"shard":         perShard,
+	}
 }
 
 // elemJSON is one query result on the wire: the element, its interval
@@ -144,6 +270,8 @@ func newHandler(n node, maxWait time.Duration) http.Handler {
 	mux.HandleFunc("GET /v1/query", h.query)
 	mux.HandleFunc("GET /v1/elements", h.elements)
 	mux.HandleFunc("POST /v1/insert", h.insert)
+	mux.HandleFunc("PUT /v1/doc", h.putDoc)
+	mux.HandleFunc("DELETE /v1/doc", h.deleteDoc)
 	return mux
 }
 
@@ -249,14 +377,59 @@ func (h *handler) insert(w http.ResponseWriter, r *http.Request) {
 	}
 	seq, err := h.n.Insert(parent, idx, string(body))
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, errReadOnly) {
-			status = http.StatusForbidden
-		}
-		http.Error(w, err.Error(), status)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"seq": seq})
+}
+
+func (h *handler) putDoc(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		http.Error(w, "missing id", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	seq, err := h.n.PutDoc(id, string(body))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "seq": seq})
+}
+
+func (h *handler) deleteDoc(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		http.Error(w, "missing id", http.StatusBadRequest)
+		return
+	}
+	seq, err := h.n.DeleteDoc(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "seq": seq})
+}
+
+// writeErr maps write-path errors onto HTTP statuses: follower refusals
+// are 403, non-forest document routing is 501, a missing document is
+// 404, everything else is the caller's fault.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, errReadOnly):
+		status = http.StatusForbidden
+	case errors.Is(err, errNotForest):
+		status = http.StatusNotImplemented
+	case errors.Is(err, ltree.ErrNoDoc):
+		status = http.StatusNotFound
+	}
+	http.Error(w, err.Error(), status)
 }
 
 func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {

@@ -1,6 +1,7 @@
 // Command ltreed serves an L-Tree store over HTTP — one process per
-// node, either the leader that owns the write-ahead log or a follower
-// replicating from a remote leader over the shipped-op wire protocol.
+// node: a leader that owns the write-ahead log, a follower replicating
+// from a remote leader over the shipped-op wire protocol, or a forest
+// router partitioning whole documents across independent shard stores.
 //
 // Leader (owns the WAL, accepts writes, ships its op log):
 //
@@ -9,6 +10,18 @@
 // Follower (read replica; attaches to the leader's -ship port):
 //
 //	ltreed -leader leader-host:7878 -http :8081
+//
+// Forest (document-sharded; every shard has its own WAL under the dir):
+//
+//	ltreed -forest /var/lib/ltree-forest -shards 4 -http :8080
+//
+// A forest node adds whole-document routing (PUT/DELETE /v1/doc) on top
+// of the shared read surface; queries fan out across the shards in
+// parallel and merge. -shards only matters on first boot — an existing
+// forest directory keeps the shard count it was created with, and a
+// mismatch refuses to start rather than mis-route documents. Forest
+// shards do not ship their logs (no -ship); replicate per shard with a
+// store-per-shard topology if needed.
 //
 // The leader recovers from the WAL when it already holds a checkpoint;
 // -seed is only read to boot an empty log. Followers bootstrap from the
@@ -35,25 +48,35 @@ import (
 
 func main() {
 	var (
-		walDir   = flag.String("wal", "", "leader: WAL directory (created if missing)")
-		seed     = flag.String("seed", "", "leader: XML file seeding an empty WAL")
-		shipAddr = flag.String("ship", ":7878", "leader: replication listen address")
-		httpAddr = flag.String("http", ":8080", "HTTP listen address")
-		leader   = flag.String("leader", "", "follower: leader replication address (host:port)")
-		wait     = flag.Duration("wait", 2*time.Second, "max wait_seq freshness wait")
+		walDir    = flag.String("wal", "", "leader: WAL directory (created if missing)")
+		seed      = flag.String("seed", "", "leader: XML file seeding an empty WAL")
+		shipAddr  = flag.String("ship", ":7878", "leader: replication listen address")
+		httpAddr  = flag.String("http", ":8080", "HTTP listen address")
+		leader    = flag.String("leader", "", "follower: leader replication address (host:port)")
+		forestDir = flag.String("forest", "", "forest: sharded forest directory (created if missing)")
+		shards    = flag.Int("shards", 0, "forest: shard count on first boot (existing forests keep theirs)")
+		wait      = flag.Duration("wait", 2*time.Second, "max wait_seq freshness wait")
 	)
 	flag.Parse()
 
+	roles := 0
+	for _, set := range []bool{*walDir != "", *leader != "", *forestDir != ""} {
+		if set {
+			roles++
+		}
+	}
 	var err error
 	switch {
-	case *leader != "" && *walDir != "":
-		err = errors.New("pick one role: -wal (leader) or -leader (follower)")
+	case roles > 1:
+		err = errors.New("pick one role: -wal (leader), -leader (follower), or -forest (forest)")
 	case *leader != "":
 		err = runFollower(*leader, *httpAddr, *wait)
 	case *walDir != "":
 		err = runLeader(*walDir, *seed, *shipAddr, *httpAddr, *wait)
+	case *forestDir != "":
+		err = runForest(*forestDir, *shards, *httpAddr, *wait)
 	default:
-		fmt.Fprintln(os.Stderr, "ltreed: need -wal <dir> (leader) or -leader <addr> (follower)")
+		fmt.Fprintln(os.Stderr, "ltreed: need -wal <dir> (leader), -leader <addr> (follower), or -forest <dir> (forest)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -104,6 +127,18 @@ func runLeader(walDir, seed, shipAddr, httpAddr string, wait time.Duration) erro
 	src := w.(storage.TailSource)
 	log.Printf("leader: http %s, shipping %s, wal %s (seq %d)", httpAddr, ln.Addr(), walDir, src.Seq())
 	return http.ListenAndServe(httpAddr, newHandler(&leaderNode{st: st, src: src}, wait))
+}
+
+// runForest opens (or creates) a document-sharded forest — every shard
+// recovers from its own WAL in parallel — and serves HTTP.
+func runForest(dir string, shards int, httpAddr string, wait time.Duration) error {
+	f, err := ltree.OpenForest(dir, ltree.ForestOptions{Shards: shards})
+	if err != nil {
+		return err
+	}
+	s := f.Stats()
+	log.Printf("forest: http %s, dir %s (%d shards, %d docs)", httpAddr, dir, s.Shards, s.Docs)
+	return http.ListenAndServe(httpAddr, newHandler(&forestNode{f: f}, wait))
 }
 
 // runFollower attaches a replica to a remote leader and serves reads.

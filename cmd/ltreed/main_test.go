@@ -175,15 +175,133 @@ func TestLeaderFollowerHTTP(t *testing.T) {
 		t.Fatalf("unreachable wait_seq: status %d, want 504", resp.StatusCode)
 	}
 
-	// Stats report the roles.
+	// Document routing is a forest feature: a plain leader says so (501),
+	// a follower refuses writes outright (403).
+	if resp, _ := doReq(t, leaderSrv, http.MethodPut, "/v1/doc?id=d1", `<d/>`); resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("leader PUT /v1/doc: status %d, want 501", resp.StatusCode)
+	}
+	if resp, _ := doReq(t, followerSrv, http.MethodPut, "/v1/doc?id=d1", `<d/>`); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("follower PUT /v1/doc: status %d, want 403", resp.StatusCode)
+	}
+
+	// Stats report the roles, plus per-backend txn pin accounting (the
+	// follower's replica store is a real store too).
 	var stats map[string]any
 	getJSON(t, leaderSrv, "/v1/stats", &stats)
 	if stats["role"] != "leader" {
 		t.Fatalf("leader stats = %v", stats)
 	}
+	if _, ok := stats["txn_open"]; !ok {
+		t.Fatalf("leader stats missing txn_open: %v", stats)
+	}
 	getJSON(t, followerSrv, "/v1/stats", &stats)
 	if stats["role"] != "follower" {
 		t.Fatalf("follower stats = %v", stats)
+	}
+	if _, ok := stats["txn_retired"]; !ok {
+		t.Fatalf("follower stats missing txn_retired: %v", stats)
+	}
+}
+
+func doReq(t *testing.T, srv *httptest.Server, method, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, srv.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, b
+}
+
+// TestForestHTTP drives the forest role end to end: whole-document
+// routing over /v1/doc, scatter-gather queries, targeted inserts routed
+// to the owning shard, and the aggregated stats surface.
+func TestForestHTTP(t *testing.T) {
+	f, err := ltree.OpenForest(t.TempDir(), ltree.ForestOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	srv := httptest.NewServer(newHandler(&forestNode{f: f}, time.Second))
+	defer srv.Close()
+
+	// Upsert documents; each lands on its id's shard.
+	var put struct {
+		ID  string `json:"id"`
+		Seq uint64 `json:"seq"`
+	}
+	for i, src := range []string{
+		`<shop><item><name>mug</name></item></shop>`,
+		`<shop><item><name>pot</name></item><item><name>urn</name></item></shop>`,
+		`<archive><box/></archive>`,
+	} {
+		resp, body := doReq(t, srv, http.MethodPut, "/v1/doc?id=doc-"+jsonUint(uint64(i)), src)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("PUT doc %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &put); err != nil || put.Seq == 0 {
+			t.Fatalf("PUT doc %d reply %q: seq=%d err=%v", i, body, put.Seq, err)
+		}
+	}
+
+	// Queries fan out across every shard and merge.
+	var res resultJSON
+	if resp := getJSON(t, srv, "/v1/query?q=//item/name", &res); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d", resp.StatusCode)
+	}
+	if res.Count != 3 {
+		t.Fatalf("forest query found %d names, want 3", res.Count)
+	}
+
+	// Insert routes through the owning document's shard. The parent
+	// expression must name exactly one element forest-wide.
+	resp, body := doReq(t, srv, http.MethodPost, "/v1/insert?parent=//archive", `<box/>`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: status %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := doReq(t, srv, http.MethodPost, "/v1/insert?parent=//shop", `<x/>`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ambiguous insert: status %d, want 400", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv, "/v1/elements?tag=box", &res); resp.StatusCode != http.StatusOK || res.Count != 2 {
+		t.Fatalf("boxes after insert: status %d count %d, want 2", resp.StatusCode, res.Count)
+	}
+
+	// Delete drops the document; deleting it again is a 404.
+	if resp, body := doReq(t, srv, http.MethodDelete, "/v1/doc?id=doc-2", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE doc-2: status %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := doReq(t, srv, http.MethodDelete, "/v1/doc?id=doc-2", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE missing doc: status %d, want 404", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv, "/v1/elements?tag=box", &res); resp.StatusCode != http.StatusOK || res.Count != 0 {
+		t.Fatalf("boxes after delete: status %d count %d, want 0", resp.StatusCode, res.Count)
+	}
+
+	// Stats aggregate per-shard counters under the forest role.
+	var stats map[string]any
+	getJSON(t, srv, "/v1/stats", &stats)
+	if stats["role"] != "forest" || stats["shards"] != float64(3) || stats["docs"] != float64(2) {
+		t.Fatalf("forest stats = %v", stats)
+	}
+	shards, ok := stats["shard"].([]any)
+	if !ok || len(shards) != 3 {
+		t.Fatalf("forest stats shard breakdown = %v", stats["shard"])
+	}
+	for i, raw := range shards {
+		m, ok := raw.(map[string]any)
+		if !ok {
+			t.Fatalf("shard %d stats = %v", i, raw)
+		}
+		for _, k := range []string{"docs", "seq", "index_version", "txn_open", "txn_retired"} {
+			if _, ok := m[k]; !ok {
+				t.Fatalf("shard %d stats missing %q: %v", i, k, m)
+			}
+		}
 	}
 }
 

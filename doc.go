@@ -39,6 +39,11 @@
 //     index version, with lazy streaming query results (DESIGN.md §3.4)
 //     evaluated by a zig-zag structural join with chunk-level predicate
 //     pushdown and a Txn-scoped predicate memo (DESIGN.md §3.5).
+//   - Forest: document-partitioned Stores behind one router — writes
+//     route to a document's shard and commit in parallel across shards,
+//     queries scatter-gather through a k-way merge in global
+//     (begin, shard) order, recovery replays every shard WAL
+//     concurrently (DESIGN.md §8; cmd/ltreed serves one with -forest).
 //   - Follower: a log-shipping read replica fed off a leader's WAL —
 //     catch-up plus live tail, the full Txn read surface at a measurable
 //     lag, promote-to-writable on leader handoff (DESIGN.md §7). The

@@ -206,6 +206,11 @@ func (f *Follower) Stats() FollowerStats {
 	}
 }
 
+// TxnStats reports the replica store's read-transaction pin accounting
+// (open and retired version pins), mirroring Store.TxnStats so node
+// dashboards can aggregate leaders and followers uniformly.
+func (f *Follower) TxnStats() (open, retired int) { return f.st.TxnStats() }
+
 // WaitFor blocks until the follower has applied every batch up to seq,
 // replication stops (the terminal error is returned), or the timeout
 // expires (timeout <= 0 waits indefinitely). A successful return means

@@ -1,0 +1,146 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// This file is the on-disk layout of a sharded forest: one root directory
+// holding a manifest that pins the shard topology, plus one WAL directory
+// per shard. The manifest exists so a forest can never be opened with the
+// wrong shard count by accident — documents are placed by hashing into
+// the shard count, so opening N shards' worth of WALs as M shards would
+// silently route every lookup to the wrong store. There is no resharding
+// yet; a topology mismatch is a loud, immediate error.
+//
+// Layout:
+//
+//	dir/FOREST           manifest: "ltree-forest v1\nshards <n>\n"
+//	dir/shard-0000/      shard 0's WAL directory (segments + checkpoints)
+//	dir/shard-0001/      ...
+//
+// The manifest is written with the same temp+rename+dirsync discipline as
+// WAL checkpoints, so a crash during forest creation leaves either no
+// manifest (the directory reopens as fresh) or a complete one — never a
+// torn topology.
+
+// ErrForestTopology reports an OpenForest shard count that contradicts
+// the directory's manifest. Matched with errors.Is; the returned error
+// carries both counts.
+var ErrForestTopology = errors.New("storage: forest shard count differs from the directory's manifest (resharding is not supported)")
+
+const (
+	forestManifestName = "FOREST"
+	forestManifestV1   = "ltree-forest v1"
+)
+
+// ForestManifest pins a forest directory's shard topology.
+type ForestManifest struct {
+	// Shards is the number of document-partitioned shards. Immutable for
+	// the directory's lifetime: the hash placement of every document
+	// depends on it.
+	Shards int
+}
+
+// ForestShardDir returns the WAL directory of one shard. The fixed-width
+// name keeps directory listings in shard order.
+func ForestShardDir(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d", shard))
+}
+
+// WriteForestManifest creates dir if needed and durably writes its
+// manifest (temp file, fsync, rename, directory sync).
+func WriteForestManifest(dir string, m ForestManifest) error {
+	if m.Shards <= 0 {
+		return fmt.Errorf("storage: forest manifest needs a positive shard count, got %d", m.Shards)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "forest-*.tmp")
+	if err != nil {
+		return err
+	}
+	content := fmt.Sprintf("%s\nshards %d\n", forestManifestV1, m.Shards)
+	if _, err := tmp.WriteString(content); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, forestManifestName)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ReadForestManifest reads dir's manifest. ok=false (with a nil error)
+// means the directory holds no manifest — a fresh forest location. A
+// manifest that exists but does not parse is an error, never silently
+// treated as fresh: opening shard WALs under a garbled topology would
+// misroute every document.
+func ReadForestManifest(dir string) (m ForestManifest, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, forestManifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return ForestManifest{}, false, nil
+	}
+	if err != nil {
+		return ForestManifest{}, false, err
+	}
+	var version string
+	var shards int
+	if n, _ := fmt.Sscanf(string(data), "ltree-forest %s\nshards %d\n", &version, &shards); n != 2 || version != "v1" || shards <= 0 {
+		return ForestManifest{}, false, fmt.Errorf("storage: corrupt forest manifest in %s: %q", dir, truncateForLog(data))
+	}
+	return ForestManifest{Shards: shards}, true, nil
+}
+
+// CheckForestManifest reconciles a requested shard count with dir's
+// manifest: a fresh directory adopts the request (writing the manifest),
+// an existing manifest wins when the request is 0 (adopt), and any other
+// disagreement is ErrForestTopology. Returns the effective shard count.
+func CheckForestManifest(dir string, requested int) (int, error) {
+	m, ok, err := ReadForestManifest(dir)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		if requested <= 0 {
+			requested = 1
+		}
+		if err := WriteForestManifest(dir, ForestManifest{Shards: requested}); err != nil {
+			return 0, err
+		}
+		return requested, nil
+	}
+	if requested != 0 && requested != m.Shards {
+		return 0, fmt.Errorf("%w: directory %s holds %d shards, open requested %d",
+			ErrForestTopology, dir, m.Shards, requested)
+	}
+	return m.Shards, nil
+}
+
+// truncateForLog bounds corrupt-manifest bytes quoted into an error.
+func truncateForLog(data []byte) string {
+	const max = 64
+	if len(data) > max {
+		return string(data[:max]) + "…"
+	}
+	return string(data)
+}

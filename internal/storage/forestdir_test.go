@@ -1,0 +1,73 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestForestManifestRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := ReadForestManifest(dir); err != nil || ok {
+		t.Fatalf("fresh dir: ok=%v err=%v, want absent", ok, err)
+	}
+	if err := WriteForestManifest(dir, ForestManifest{Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := ReadForestManifest(dir)
+	if err != nil || !ok || m.Shards != 4 {
+		t.Fatalf("read back: %+v ok=%v err=%v", m, ok, err)
+	}
+}
+
+func TestForestManifestRejectsBadContent(t *testing.T) {
+	dir := t.TempDir()
+	for _, bad := range []string{"", "garbage", "ltree-forest v2\nshards 4\n", "ltree-forest v1\nshards -1\n"} {
+		if err := os.WriteFile(filepath.Join(dir, forestManifestName), []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ReadForestManifest(dir); err == nil {
+			t.Fatalf("manifest %q read back without error", bad)
+		}
+	}
+}
+
+func TestForestManifestRejectsZeroShardsWrite(t *testing.T) {
+	if err := WriteForestManifest(t.TempDir(), ForestManifest{Shards: 0}); err == nil {
+		t.Fatal("zero-shard manifest written without error")
+	}
+}
+
+func TestCheckForestManifest(t *testing.T) {
+	dir := t.TempDir()
+	// Fresh directory adopts the request and persists it.
+	n, err := CheckForestManifest(dir, 4)
+	if err != nil || n != 4 {
+		t.Fatalf("fresh check: n=%d err=%v", n, err)
+	}
+	// Same count reopens; 0 adopts the manifest.
+	if n, err = CheckForestManifest(dir, 4); err != nil || n != 4 {
+		t.Fatalf("same-count reopen: n=%d err=%v", n, err)
+	}
+	if n, err = CheckForestManifest(dir, 0); err != nil || n != 4 {
+		t.Fatalf("adopt reopen: n=%d err=%v", n, err)
+	}
+	// A different count is the loud topology error.
+	if _, err = CheckForestManifest(dir, 8); !errors.Is(err, ErrForestTopology) {
+		t.Fatalf("shard-count change: err=%v, want ErrForestTopology", err)
+	}
+	// Fresh directory with no request defaults to one shard.
+	if n, err = CheckForestManifest(t.TempDir(), 0); err != nil || n != 1 {
+		t.Fatalf("default check: n=%d err=%v", n, err)
+	}
+}
+
+func TestForestShardDirNaming(t *testing.T) {
+	if got := ForestShardDir("/x", 0); got != filepath.Join("/x", "shard-0000") {
+		t.Fatalf("shard 0 dir = %q", got)
+	}
+	if got := ForestShardDir("/x", 123); got != filepath.Join("/x", "shard-0123") {
+		t.Fatalf("shard 123 dir = %q", got)
+	}
+}

@@ -355,6 +355,30 @@ func (r *Results) Seek(begin uint64) (*Elem, bool) {
 	return e.Node, ok
 }
 
+// MergeResults merges begin-sorted Results streams into one Results in
+// global (begin, argument-order) order — the k-way merge the forest's
+// scatter-gather queries are built on, exported because any begin-sorted
+// streams compose the same way (e.g. two tag streams of one Txn, or one
+// stream per shard Txn). Nil streams are skipped. Consumption stays
+// lazy: one buffered entry per input, and Seek pushes the target down
+// into every input (fence-directory jumps on chunked indexes). The
+// inputs must come from the same label space for the merged order to be
+// meaningful; merging across stores (as the forest does) still yields
+// each input's entries in order, interleaved deterministically.
+//
+// The merged stream keeps the forward-only Results contract: Seek never
+// retreats, because every input is itself forward-only — a begin at or
+// behind the current position degrades to Next on every input.
+func MergeResults(rs ...*Results) *Results {
+	curs := make([]document.Cursor, 0, len(rs))
+	for _, r := range rs {
+		if r != nil {
+			curs = append(curs, r.cur)
+		}
+	}
+	return &Results{cur: query.Merge(curs...)}
+}
+
 // Collect drains the remaining matches into a slice — the materializing
 // adapter the compatibility wrappers use.
 func (r *Results) Collect() []*Elem {
