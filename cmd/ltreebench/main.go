@@ -56,6 +56,7 @@ var experiments = []experiment{
 	{"pushdown", "engine: zig-zag join + chunk-level predicate pushdown — selectivity × depth vs the linear pipeline", expPushdown},
 	{"serve", "engine: follower fleet over the wire — aggregate queries/sec vs single store, per-follower fan-out cost", expServe},
 	{"forest", "engine: sharded forest — parallel commit pipelines, parallel recovery, k-way merged drain tax", expForest},
+	{"blob", "engine: blob storage tier — async upload commit tax, blob-seeded bootstrap, history beyond released local disk", expBlob},
 }
 
 func main() {

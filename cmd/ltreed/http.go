@@ -93,7 +93,7 @@ func (l *leaderNode) DeleteDoc(string) (uint64, error)      { return 0, errNotFo
 
 func (l *leaderNode) Stats() map[string]any {
 	open, retired := l.st.TxnStats()
-	return map[string]any{
+	m := map[string]any{
 		"role":          "leader",
 		"seq":           l.src.Seq(),
 		"rebases":       l.src.Rebases(),
@@ -101,6 +101,34 @@ func (l *leaderNode) Stats() map[string]any {
 		"txn_open":      open,
 		"txn_retired":   retired,
 	}
+	// WAL retention state, and the blob tier's accounting when one is
+	// attached — dashboards watch blob.upload_lag (sealed records not yet
+	// object-store durable) and wal.local_segments (disk footprint).
+	if ws, ok := l.st.WALStats(); ok {
+		m["wal"] = map[string]any{
+			"checkpoint_seq":    ws.CheckpointSeq,
+			"local_segments":    ws.LocalSegments,
+			"oldest_local_base": ws.OldestLocalBase,
+			"leases":            ws.Leases,
+			"lease_floor":       ws.LeaseFloor,
+		}
+		if ws.Tier != nil {
+			m["blob"] = map[string]any{
+				"durable_seq":          ws.Tier.DurableSeq,
+				"upload_lag":           ws.Tier.UploadLag,
+				"pending_segments":     ws.Tier.PendingSegments,
+				"uploaded_segments":    ws.Tier.UploadedSegments,
+				"uploaded_checkpoints": ws.Tier.UploadedCheckpoints,
+				"bytes_uploaded":       ws.Tier.BytesUploaded,
+				"upload_retries":       ws.Tier.UploadRetries,
+				"fetches":              ws.Tier.Fetches,
+				"fetch_bytes":          ws.Tier.FetchBytes,
+				"local_released":       ws.Tier.LocalReleased,
+				"manifest_writes":      ws.Tier.ManifestWrites,
+			}
+		}
+	}
+	return m
 }
 
 // followerNode adapts a replicating Follower.

@@ -30,6 +30,22 @@
 // isolated read surface; see the HTTP endpoints in http.go. A follower
 // read can demand read-your-writes freshness with ?wait_seq=<seq> using
 // the sequence number a leader write returned.
+//
+// Blob tier (optional, leader and follower; see DESIGN.md §9):
+//
+//	ltreed -wal /var/lib/ltree -blob /mnt/objects -blob-release ...
+//	ltreed -leader leader-host:7878 -blob /mnt/objects ...
+//
+// On a leader, -blob mirrors sealed WAL segments and checkpoints into
+// the object-store directory asynchronously (commits never wait on it);
+// -blob-release then frees local segment files the tier holds durably,
+// bounding local disk while history stays replayable through the tier.
+// A leader started with -blob on an EMPTY -wal directory restores from
+// the blob tier (disaster recovery). On a follower, -blob seeds the
+// replica from the object store — checkpoint plus segment tail — before
+// attaching to the leader for the live stream, so bootstrap cost does
+// not land on the leader. -blob-prefix namespaces one store shared by
+// several nodes; leader and seeded followers must agree on it.
 package main
 
 import (
@@ -56,6 +72,10 @@ func main() {
 		forestDir = flag.String("forest", "", "forest: sharded forest directory (created if missing)")
 		shards    = flag.Int("shards", 0, "forest: shard count on first boot (existing forests keep theirs)")
 		wait      = flag.Duration("wait", 2*time.Second, "max wait_seq freshness wait")
+
+		blobDir     = flag.String("blob", "", "blob tier: object-store directory (leader: async upload target; follower: bootstrap source)")
+		blobPrefix  = flag.String("blob-prefix", "", "blob tier: object key prefix inside the store")
+		blobRelease = flag.Bool("blob-release", false, "leader: free local segment files once the blob tier holds them durably")
 	)
 	flag.Parse()
 
@@ -70,9 +90,9 @@ func main() {
 	case roles > 1:
 		err = errors.New("pick one role: -wal (leader), -leader (follower), or -forest (forest)")
 	case *leader != "":
-		err = runFollower(*leader, *httpAddr, *wait)
+		err = runFollower(*leader, *httpAddr, *blobDir, *blobPrefix, *wait)
 	case *walDir != "":
-		err = runLeader(*walDir, *seed, *shipAddr, *httpAddr, *wait)
+		err = runLeader(*walDir, *seed, *shipAddr, *httpAddr, *blobDir, *blobPrefix, *blobRelease, *wait)
 	case *forestDir != "":
 		err = runForest(*forestDir, *shards, *httpAddr, *wait)
 	default:
@@ -87,10 +107,24 @@ func main() {
 
 // runLeader recovers (or seeds) the store, starts the replication
 // listener, and serves HTTP until the process dies.
-func runLeader(walDir, seed, shipAddr, httpAddr string, wait time.Duration) error {
-	w, err := ltree.NewWALBackend(walDir, ltree.WALOptions{})
+func runLeader(walDir, seed, shipAddr, httpAddr, blobDir, blobPrefix string, blobRelease bool, wait time.Duration) error {
+	w, err := ltree.NewWALBackend(walDir, ltree.WALOptions{SegmentBytes: 4 << 20})
 	if err != nil {
 		return err
+	}
+	if blobDir != "" {
+		// Attach the tier before recovery: an empty local WAL over a
+		// non-empty blob store is restore-from-backup, and recovery reads
+		// below go through the tier.
+		bs, err := ltree.NewBlobDir(blobDir)
+		if err != nil {
+			return err
+		}
+		if _, err := ltree.AttachBlobTier(w, bs, ltree.BlobTierOptions{
+			Prefix: blobPrefix, ReleaseLocal: blobRelease,
+		}); err != nil {
+			return fmt.Errorf("attach blob tier %s: %w", blobDir, err)
+		}
 	}
 	st, err := ltree.LoadLatest(w)
 	if errors.Is(err, ltree.ErrNoVersion) {
@@ -142,16 +176,34 @@ func runForest(dir string, shards int, httpAddr string, wait time.Duration) erro
 }
 
 // runFollower attaches a replica to a remote leader and serves reads.
-func runFollower(leaderAddr, httpAddr string, wait time.Duration) error {
+// With a blob store configured, the bootstrap (checkpoint + segment
+// tail) comes from the object store and only the live tail from the
+// leader.
+func runFollower(leaderAddr, httpAddr, blobDir, blobPrefix string, wait time.Duration) error {
 	dial := func() (net.Conn, error) { return net.Dial("tcp", leaderAddr) }
 	src, err := storage.OpenRemoteTail(dial, storage.RemoteOptions{})
 	if err != nil {
 		return fmt.Errorf("attach to leader %s: %w", leaderAddr, err)
 	}
-	f, err := ltree.OpenFollower(src)
-	if err != nil {
-		src.Close()
-		return fmt.Errorf("bootstrap from leader %s: %w", leaderAddr, err)
+	var f *ltree.Follower
+	if blobDir != "" {
+		bs, err := ltree.NewBlobDir(blobDir)
+		if err != nil {
+			src.Close()
+			return err
+		}
+		f, err = ltree.OpenFollowerSeeded(src, bs, blobPrefix)
+		if err != nil {
+			src.Close()
+			return fmt.Errorf("blob-seeded bootstrap from %s: %w", blobDir, err)
+		}
+		log.Printf("follower: seeded from blob store %s (prefix %q)", blobDir, blobPrefix)
+	} else {
+		f, err = ltree.OpenFollower(src)
+		if err != nil {
+			src.Close()
+			return fmt.Errorf("bootstrap from leader %s: %w", leaderAddr, err)
+		}
 	}
 	log.Printf("follower: http %s, leader %s (applied seq %d)", httpAddr, leaderAddr, f.Stats().AppliedSeq)
 	return http.ListenAndServe(httpAddr, newHandler(&followerNode{f: f}, wait))

@@ -305,6 +305,126 @@ func TestForestHTTP(t *testing.T) {
 	}
 }
 
+// TestLeaderBlobStatsAndSeededFollower drives the blob-tier daemon path
+// end to end: a leader with an attached tier exposes wal/blob sections
+// in /v1/stats, and a follower seeded from the same blob store (over a
+// real replication socket for the live tail) converges and answers the
+// same queries.
+func TestLeaderBlobStatsAndSeededFollower(t *testing.T) {
+	blobRoot := t.TempDir()
+	bs, err := ltree.NewBlobDir(blobRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ltree.NewWALBackend(t.TempDir(), ltree.WALOptions{SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	tier, err := ltree.AttachBlobTier(w, bs, ltree.BlobTierOptions{Prefix: "node-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ltree.OpenString(`<shop><item><name>mug</name></item></shop>`, ltree.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WithWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	var seq uint64
+	for i := 0; i < 20; i++ {
+		if _, err := st.InsertXML(st.Root(), 0, `<item><name>bulk</name></item>`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ws, ok := st.WALStats()
+	if !ok {
+		t.Fatal("leader store has no WAL stats")
+	}
+	seq = ws.Seq
+	if err := tier.Barrier(30 * time.Second); err != nil {
+		t.Fatalf("tier barrier: %v", err)
+	}
+
+	ship, err := storage.NewShipServer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ship.Serve(ln)
+	defer ship.Close()
+
+	leaderSrv := httptest.NewServer(newHandler(&leaderNode{st: st, src: w.(storage.TailSource)}, 5*time.Second))
+	defer leaderSrv.Close()
+
+	// /v1/stats carries the retention + tier sections.
+	var stats map[string]any
+	getJSON(t, leaderSrv, "/v1/stats", &stats)
+	wal, ok := stats["wal"].(map[string]any)
+	if !ok {
+		t.Fatalf("leader stats missing wal section: %v", stats)
+	}
+	for _, k := range []string{"checkpoint_seq", "local_segments", "oldest_local_base", "leases", "lease_floor"} {
+		if _, ok := wal[k]; !ok {
+			t.Fatalf("wal stats missing %q: %v", k, wal)
+		}
+	}
+	blob, ok := stats["blob"].(map[string]any)
+	if !ok {
+		t.Fatalf("leader stats missing blob section: %v", stats)
+	}
+	for _, k := range []string{"durable_seq", "upload_lag", "uploaded_segments", "uploaded_checkpoints", "local_released", "manifest_writes"} {
+		if _, ok := blob[k]; !ok {
+			t.Fatalf("blob stats missing %q: %v", k, blob)
+		}
+	}
+	if blob["upload_lag"] != float64(0) || blob["durable_seq"] != float64(seq) {
+		t.Fatalf("tier caught up but stats say %v", blob)
+	}
+
+	// Blob-seeded follower over the wire: bootstrap from the object
+	// store, live tail from the leader socket.
+	addr := ln.Addr().String()
+	rsrc, err := storage.OpenRemoteTail(func() (net.Conn, error) { return net.Dial("tcp", addr) }, storage.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsrc.Close()
+	f, err := ltree.OpenFollowerSeeded(rsrc, bs, "node-a")
+	if err != nil {
+		t.Fatalf("blob-seeded bootstrap: %v", err)
+	}
+	defer f.Close()
+	followerSrv := httptest.NewServer(newHandler(&followerNode{f: f}, 5*time.Second))
+	defer followerSrv.Close()
+
+	// A write on the leader after the seed reaches the follower live.
+	resp, body := doReq(t, leaderSrv, http.MethodPost, "/v1/insert?parent=//shop", `<item><name>fresh</name></item>`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: status %d: %s", resp.StatusCode, body)
+	}
+	var ins struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.Unmarshal(body, &ins); err != nil || ins.Seq <= seq {
+		t.Fatalf("insert reply %q (prev seq %d): %v", body, seq, err)
+	}
+	var res resultJSON
+	if resp := getJSON(t, followerSrv, "/v1/query?q=//item/name&wait_seq="+jsonUint(ins.Seq), &res); resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower wait_seq query: status %d", resp.StatusCode)
+	}
+	if res.Count != 22 { // 1 seeded + 20 bulk + 1 fresh
+		t.Fatalf("seeded follower sees %d names, want 22", res.Count)
+	}
+}
+
 func TestHealthz(t *testing.T) {
 	st, err := ltree.OpenString(`<r/>`, ltree.DefaultParams)
 	if err != nil {

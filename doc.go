@@ -51,6 +51,13 @@
 //     serves a leader's WAL on any net.Conn and storage.RemoteTailSource
 //     satisfies the same contract across it (DESIGN.md §7.5), with
 //     cmd/ltreed packaging leader + follower fleet as an HTTP daemon.
+//   - BlobTier: an asynchronous object-store tier under the WAL —
+//     AttachBlobTier mirrors sealed segments and checkpoints into any
+//     BlobStore off the commit path, ReleaseLocal bounds local disk to
+//     the active tail while reads fetch released history back, LoadAt
+//     reconstructs any blob-durable seq bit-identically, and
+//     OpenFollowerSeeded bootstraps a replica from the object store
+//     instead of the leader (DESIGN.md §9; ltreed -blob serves it).
 //   - Tree / Node: the raw materialized L-Tree over abstract list slots
 //     (paper §2), for embedding in other systems.
 //   - Virtual: the B-tree-backed virtual L-Tree (paper §4.2) that stores

@@ -1,0 +1,263 @@
+// Package blob is the object-store seam under the WAL's tiered segment
+// storage: a deliberately tiny key→bytes contract that local directories,
+// in-memory fakes, and (eventually) real object stores can satisfy. The
+// WAL's sealed segments and checkpoints are immutable once written, which
+// is exactly the shape an object store wants — graviton's "decoupled
+// storage layer usable over Ceph/S3" pitch maps one-to-one onto these
+// files — so everything above this interface (internal/storage's BlobTier)
+// treats a blob store as dumb, eventually-available, possibly-lying
+// storage: objects are verified by size+CRC recorded in a manifest, writes
+// are retried until durable, and nothing on the commit path ever waits on
+// one.
+package blob
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the object-store contract. Keys are "/"-separated names
+// (name-addressed, not content-addressed: the manifest layer above pins
+// content by size+CRC instead, so a retried upload can overwrite its own
+// partial predecessor under the same key).
+//
+// Implementations must allow concurrent use. Put must be a full-object
+// write: either the complete value becomes readable under the key or the
+// call errors — except that implementations over non-atomic media may
+// leave a partial object behind a failed Put (the fault-injecting wrapper
+// simulates exactly this), which is why readers above verify what they
+// fetch and never trust a blob's bytes alone.
+type Store interface {
+	// Put stores data under key, overwriting any previous object.
+	Put(key string, data []byte) error
+	// Get returns the object stored under key, or ErrNotExist.
+	Get(key string) ([]byte, error)
+	// List returns the keys beginning with prefix, sorted ascending.
+	List(prefix string) ([]string, error)
+	// Delete removes the object under key. Deleting a missing key is not
+	// an error (idempotent).
+	Delete(key string) error
+}
+
+// ErrNotExist reports a Get of a missing object.
+var ErrNotExist = errors.New("blob: object does not exist")
+
+// validKey checks a "/"-separated key: non-empty components of safe
+// filename characters, so the directory implementation can map keys to
+// paths without escaping its root.
+func validKey(key string) error {
+	if key == "" {
+		return errors.New("blob: empty key")
+	}
+	for _, part := range strings.Split(key, "/") {
+		if part == "" || part == "." || part == ".." {
+			return fmt.Errorf("blob: bad key %q", key)
+		}
+		for _, r := range part {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+				r == '.', r == '_', r == '-':
+			default:
+				return fmt.Errorf("blob: bad key %q", key)
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- Memory
+
+// Memory is an in-process Store, safe for concurrent use. The fake for
+// tests and the seed for the fault-injecting wrapper.
+type Memory struct {
+	mu   sync.RWMutex
+	objs map[string][]byte
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{objs: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (m *Memory) Put(key string, data []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.objs[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get implements Store.
+func (m *Memory) Get(key string) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.objs[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, key)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List implements Store.
+func (m *Memory) List(prefix string) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := []string{}
+	for k := range m.objs {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Delete implements Store.
+func (m *Memory) Delete(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.objs, key)
+	return nil
+}
+
+// ------------------------------------------------------------------- Dir
+
+// Dir is a directory-backed Store: one file per object, keys mapping to
+// relative paths. Writes go to a temp name in the target directory and
+// rename into place, so a crash (of this process) never leaves a torn
+// object visible — the same discipline as WAL checkpoints. This is the
+// "local object store" tier: point it at an NFS/Ceph mount or an
+// rsync-replicated backup directory and the WAL's cold segments live
+// there.
+type Dir struct {
+	root string
+}
+
+// tmpPrefix marks in-flight writes; List skips them.
+const tmpPrefix = ".tmp-"
+
+// NewDir opens (creating if needed) a directory-backed store.
+func NewDir(root string) (*Dir, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	return &Dir{root: root}, nil
+}
+
+// path maps a validated key to its file path.
+func (d *Dir) path(key string) string {
+	return filepath.Join(d.root, filepath.FromSlash(key))
+}
+
+// Put implements Store.
+func (d *Dir) Put(key string, data []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	dst := d.path(key)
+	dir := filepath.Dir(dst)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, tmpPrefix+"*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return syncDir(dir)
+}
+
+// Get implements Store.
+func (d *Dir) Get(key string) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(d.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, key)
+	}
+	return data, err
+}
+
+// List implements Store.
+func (d *Dir) List(prefix string) ([]string, error) {
+	out := []string{}
+	err := filepath.WalkDir(d.root, func(path string, e os.DirEntry, err error) error {
+		if err != nil || e.IsDir() {
+			return err
+		}
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			return nil
+		}
+		rel, err := filepath.Rel(d.root, path)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) {
+			out = append(out, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Delete implements Store.
+func (d *Dir) Delete(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	err := os.Remove(d.path(key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// syncDir makes directory-entry changes durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,254 @@
+package blob
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// stores builds one of each Store implementation for contract tests.
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"memory": NewMemory(), "dir": d}
+}
+
+func TestStoreContract(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			// Missing object is ErrNotExist, matchable.
+			if _, err := s.Get("nope"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("Get(missing) = %v, want ErrNotExist", err)
+			}
+			// Roundtrip, including an empty value and a nested key.
+			cases := map[string][]byte{
+				"a":              []byte("alpha"),
+				"seg/0000000001": []byte("one"),
+				"seg/0000000002": {},
+				"ckpt/x.y-z_0":   []byte("dotted"),
+			}
+			for k, v := range cases {
+				if err := s.Put(k, v); err != nil {
+					t.Fatalf("Put(%q): %v", k, err)
+				}
+			}
+			for k, v := range cases {
+				got, err := s.Get(k)
+				if err != nil {
+					t.Fatalf("Get(%q): %v", k, err)
+				}
+				if string(got) != string(v) {
+					t.Fatalf("Get(%q) = %q, want %q", k, got, v)
+				}
+			}
+			// Overwrite replaces.
+			if err := s.Put("a", []byte("beta")); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := s.Get("a"); string(got) != "beta" {
+				t.Fatalf("overwrite: got %q", got)
+			}
+			// List is sorted and prefix-filtered.
+			keys, err := s.List("seg/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"seg/0000000001", "seg/0000000002"}
+			if !reflect.DeepEqual(keys, want) {
+				t.Fatalf("List(seg/) = %v, want %v", keys, want)
+			}
+			all, err := s.List("")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(all) != len(cases) || !strings.HasPrefix(all[0], "a") {
+				t.Fatalf("List(\"\") = %v", all)
+			}
+			// Delete is idempotent.
+			if err := s.Delete("a"); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete("a"); err != nil {
+				t.Fatalf("second Delete: %v", err)
+			}
+			if _, err := s.Get("a"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("Get(deleted) = %v, want ErrNotExist", err)
+			}
+			// Mutating a returned slice must not corrupt the store.
+			if err := s.Put("mut", []byte("orig")); err != nil {
+				t.Fatal(err)
+			}
+			got, _ := s.Get("mut")
+			for i := range got {
+				got[i] = 'x'
+			}
+			if again, _ := s.Get("mut"); string(again) != "orig" {
+				t.Fatalf("stored object mutated through returned slice: %q", again)
+			}
+		})
+	}
+}
+
+func TestStoreRejectsBadKeys(t *testing.T) {
+	bad := []string{"", "/", "a//b", "../escape", "a/../b", "a/./b", "sp ace", "semi;colon", "a/"}
+	for name, s := range stores(t) {
+		for _, k := range bad {
+			if err := s.Put(k, []byte("x")); err == nil {
+				t.Errorf("%s: Put(%q) accepted a bad key", name, k)
+			}
+			if _, err := s.Get(k); err == nil || errors.Is(err, ErrNotExist) {
+				t.Errorf("%s: Get(%q) should fail validation, got %v", name, k, err)
+			}
+		}
+	}
+}
+
+func TestDirSkipsTempFiles(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("seg/a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed Put leaves a temp file behind; List and Get must not
+	// surface it.
+	if err := os.WriteFile(filepath.Join(root, "seg", tmpPrefix+"dead"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := d.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, []string{"seg/a"}) {
+		t.Fatalf("List with temp litter = %v", keys)
+	}
+}
+
+func TestDirSurvivesReopen(t *testing.T) {
+	root := t.TempDir()
+	d, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d2.Get("k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("reopened Get = %q, %v", got, err)
+	}
+}
+
+func TestFaultsInjects(t *testing.T) {
+	inner := NewMemory()
+	f := NewFaults(inner, FaultOptions{Seed: 1, ErrorRate: 0.3, PartialPuts: 0.3, TornReads: 0.3})
+	data := []byte("0123456789abcdef")
+	var transient, partial, torn, clean int
+	for i := 0; i < 400; i++ {
+		err := f.Put("k", data)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrTransient):
+			transient++
+		default:
+			t.Fatalf("unexpected Put error: %v", err)
+		}
+		got, err := f.Get("k")
+		switch {
+		case errors.Is(err, ErrTransient):
+		case errors.Is(err, ErrNotExist):
+			// The very first Puts may all have failed.
+		case err != nil:
+			t.Fatalf("unexpected Get error: %v", err)
+		case len(got) < len(data):
+			// Torn read, or a partial Put's prefix really stored.
+			torn++
+		default:
+			clean++
+		}
+	}
+	st := f.Stats()
+	if st.Errors == 0 || st.Partials == 0 || st.Torn == 0 {
+		t.Fatalf("expected all fault kinds at these rates, got %+v", st)
+	}
+	if transient == 0 || clean == 0 || torn == 0 {
+		t.Fatalf("observed transient=%d clean=%d torn=%d; injection not mixing", transient, clean, torn)
+	}
+	if st.Calls != 800 {
+		t.Fatalf("Calls = %d, want 800", st.Calls)
+	}
+	partial = int(st.Partials)
+	if partial == 0 {
+		t.Fatal("no partial puts recorded")
+	}
+}
+
+func TestFaultsDeterministic(t *testing.T) {
+	run := func() FaultStats {
+		f := NewFaults(NewMemory(), FaultOptions{Seed: 42, ErrorRate: 0.25, PartialPuts: 0.25, TornReads: 0.25})
+		for i := 0; i < 200; i++ {
+			_ = f.Put("k", []byte("payload-payload"))
+			_, _ = f.Get("k")
+			_, _ = f.List("")
+			_ = f.Delete("maybe")
+		}
+		return f.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFaultsPartialPutLeavesPrefix(t *testing.T) {
+	inner := NewMemory()
+	// ErrorRate 0 so every failure is a partial put.
+	f := NewFaults(inner, FaultOptions{Seed: 3, PartialPuts: 1})
+	data := []byte("full-object-bytes")
+	err := f.Put("k", data)
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("Put = %v, want ErrTransient", err)
+	}
+	got, err := inner.Get("k")
+	if err != nil {
+		t.Fatalf("partial put left nothing behind: %v", err)
+	}
+	if len(got) >= len(data) || string(got) != string(data[:len(got)]) {
+		t.Fatalf("partial put stored %q, want a strict prefix of %q", got, data)
+	}
+	// A clean retry overwrites the torn object.
+	f.SetOptions(FaultOptions{})
+	if err := f.Put("k", data); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := inner.Get("k"); string(got) != string(data) {
+		t.Fatalf("retry did not overwrite: %q", got)
+	}
+}
+
+func TestFaultsZeroValuePassesThrough(t *testing.T) {
+	f := NewFaults(NewMemory(), FaultOptions{})
+	for i := 0; i < 50; i++ {
+		if err := f.Put("k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := f.Get("k"); err != nil || string(got) != "v" {
+			t.Fatalf("Get = %q, %v", got, err)
+		}
+	}
+	if st := f.Stats(); st.Errors != 0 || st.Torn != 0 || st.Partials != 0 {
+		t.Fatalf("zero options injected faults: %+v", st)
+	}
+}

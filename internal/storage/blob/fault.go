@@ -1,0 +1,170 @@
+package blob
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Faults wraps a Store with configurable misbehavior — added latency,
+// transient errors, partial writes, torn reads — in the same spirit as
+// the crash-at-every-offset WAL torture suite: the tier above must keep
+// commits unblocked and recovery exact while the object store flakes.
+// All decisions come from one seeded rng, so a torture run is
+// reproducible from its seed.
+//
+// Failure model (what each knob simulates):
+//
+//	ErrorRate     the store is briefly unreachable: the call does nothing
+//	              and reports ErrTransient. Retry-able.
+//	PartialPuts   a non-atomic medium died mid-upload: a PREFIX of the
+//	              object becomes readable under the real key, and the Put
+//	              reports ErrTransient. A later retry overwrites it. This
+//	              is why readers must verify fetched bytes (the tier's
+//	              manifest records size+CRC) — a torn object looks exactly
+//	              like a complete one to Get.
+//	TornReads     an eventually-consistent read raced the upload: Get
+//	              succeeds but returns a prefix of the object.
+//	Latency       per-call delay, uniform in [Latency/2, Latency). Applied
+//	              outside the wrapper's lock so concurrent calls overlap.
+type Faults struct {
+	inner Store
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	opt FaultOptions
+	st  FaultStats
+}
+
+// FaultOptions configures the injected misbehavior. All probabilities are
+// in [0, 1]; the zero value injects nothing.
+type FaultOptions struct {
+	Seed        int64         // rng seed (0 is a valid, fixed seed)
+	ErrorRate   float64       // per-call transient-failure probability
+	PartialPuts float64       // probability a failing-free Put writes a prefix then errors
+	TornReads   float64       // probability a successful Get returns a prefix
+	Latency     time.Duration // per-call added delay upper bound
+}
+
+// FaultStats counts what the wrapper did.
+type FaultStats struct {
+	Calls    uint64 // total operations attempted through the wrapper
+	Errors   uint64 // transient errors injected (includes partial puts)
+	Partials uint64 // puts that left a torn object behind
+	Torn     uint64 // gets that returned truncated bytes
+}
+
+// ErrTransient is the injected failure: the operation did not (fully)
+// happen and may be retried.
+var ErrTransient = errors.New("blob: injected transient error")
+
+// NewFaults wraps inner with fault injection.
+func NewFaults(inner Store, opt FaultOptions) *Faults {
+	return &Faults{inner: inner, rng: rand.New(rand.NewSource(opt.Seed)), opt: opt}
+}
+
+// SetOptions swaps the fault configuration (the rng keeps its state, so
+// a test can build clean state first and then turn the pain on).
+func (f *Faults) SetOptions(opt FaultOptions) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.opt = opt
+}
+
+// Stats returns the injection counters so far.
+func (f *Faults) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+// roll draws the per-call decisions under the lock and applies latency
+// outside it.
+func (f *Faults) roll(pExtra float64) (fail, extra bool) {
+	f.mu.Lock()
+	f.st.Calls++
+	fail = f.rng.Float64() < f.opt.ErrorRate
+	extra = f.rng.Float64() < pExtra
+	delay := time.Duration(0)
+	if f.opt.Latency > 0 {
+		delay = f.opt.Latency/2 + time.Duration(f.rng.Int63n(int64(f.opt.Latency/2)+1))
+	}
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return fail, extra
+}
+
+// Put implements Store with injected failures.
+func (f *Faults) Put(key string, data []byte) error {
+	fail, partial := f.roll(f.opt.PartialPuts)
+	if fail {
+		f.count(func(s *FaultStats) { s.Errors++ })
+		return fmt.Errorf("%w: put %s", ErrTransient, key)
+	}
+	if partial {
+		// Simulate a non-atomic upload dying midway: a prefix lands under
+		// the real key, then the call fails. len(data)==0 still "succeeds
+		// partially" as an empty object.
+		n := 0
+		if len(data) > 0 {
+			f.mu.Lock()
+			n = f.rng.Intn(len(data))
+			f.mu.Unlock()
+		}
+		_ = f.inner.Put(key, data[:n])
+		f.count(func(s *FaultStats) { s.Errors++; s.Partials++ })
+		return fmt.Errorf("%w: partial put %s (%d/%d bytes)", ErrTransient, key, n, len(data))
+	}
+	return f.inner.Put(key, data)
+}
+
+// Get implements Store with injected failures.
+func (f *Faults) Get(key string) ([]byte, error) {
+	fail, torn := f.roll(f.opt.TornReads)
+	if fail {
+		f.count(func(s *FaultStats) { s.Errors++ })
+		return nil, fmt.Errorf("%w: get %s", ErrTransient, key)
+	}
+	data, err := f.inner.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	if torn && len(data) > 0 {
+		f.mu.Lock()
+		n := f.rng.Intn(len(data))
+		f.mu.Unlock()
+		f.count(func(s *FaultStats) { s.Torn++ })
+		return data[:n], nil
+	}
+	return data, nil
+}
+
+// List implements Store with injected failures.
+func (f *Faults) List(prefix string) ([]string, error) {
+	fail, _ := f.roll(0)
+	if fail {
+		f.count(func(s *FaultStats) { s.Errors++ })
+		return nil, fmt.Errorf("%w: list %s", ErrTransient, prefix)
+	}
+	return f.inner.List(prefix)
+}
+
+// Delete implements Store with injected failures.
+func (f *Faults) Delete(key string) error {
+	fail, _ := f.roll(0)
+	if fail {
+		f.count(func(s *FaultStats) { s.Errors++ })
+		return fmt.Errorf("%w: delete %s", ErrTransient, key)
+	}
+	return f.inner.Delete(key)
+}
+
+func (f *Faults) count(fn func(*FaultStats)) {
+	f.mu.Lock()
+	fn(&f.st)
+	f.mu.Unlock()
+}

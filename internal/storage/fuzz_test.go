@@ -137,6 +137,76 @@ func FuzzWALReplay(f *testing.F) {
 	})
 }
 
+// manifestSeeds builds blob-manifest corpus inputs: a populated manifest,
+// an empty one, a truncation, a CRC-breaking flip, and raw junk.
+func manifestSeeds(tb testing.TB) [][]byte {
+	full, err := EncodeBlobManifest(BlobManifest{
+		Ckpts: []BlobObject{{Seq: 5, Size: 100, CRC: 0xdead}, {Seq: 12, Size: 2048, CRC: 0xbeef}},
+		Segs: []BlobSegment{
+			{Base: 0, End: 5, Size: 400, CRC: 1},
+			{Base: 5, End: 12, Size: 512, CRC: 2},
+			{Base: 12, End: 19, Size: 64, CRC: 3},
+		},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	empty, err := EncodeBlobManifest(BlobManifest{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	torn := full[:len(full)/2]
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/3] ^= 0x40
+	return [][]byte{full, empty, torn, flipped, []byte("LTBLOB\x00\x01junk"), {}}
+}
+
+func FuzzBlobManifest(f *testing.F) {
+	for _, seed := range manifestSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzInputCap {
+			t.Skip()
+		}
+		// The decoder must terminate without panicking and keep allocations
+		// bounded by the input (the per-entry size floors cap the counts).
+		m, err := DecodeBlobManifest(data)
+		if err != nil {
+			return
+		}
+		// Accepted input: ordering invariants actually hold and the value
+		// survives an encode/decode roundtrip — the uploader rewrites the
+		// manifest on every flush, so a decode that "repairs" input
+		// silently would corrupt the tier over time. (Byte identity is NOT
+		// required: varint encodings need not be canonical.)
+		for i := 1; i < len(m.Ckpts); i++ {
+			if m.Ckpts[i].Seq <= m.Ckpts[i-1].Seq {
+				t.Fatalf("decoder accepted unordered checkpoints: %+v", m.Ckpts)
+			}
+		}
+		for i, s := range m.Segs {
+			if s.End <= s.Base {
+				t.Fatalf("decoder accepted empty segment: %+v", s)
+			}
+			if i > 0 && s.Base <= m.Segs[i-1].Base {
+				t.Fatalf("decoder accepted unordered segments: %+v", m.Segs)
+			}
+		}
+		out, err := EncodeBlobManifest(m)
+		if err != nil {
+			t.Fatalf("re-encode of decoded manifest failed: %v", err)
+		}
+		again, err := DecodeBlobManifest(out)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded manifest failed: %v", err)
+		}
+		if !reflect.DeepEqual(m, again) {
+			t.Fatal("manifest roundtrip not stable")
+		}
+	})
+}
+
 // reencodeOps checks the accepted-input roundtrip: ops that decoded must
 // encode cleanly and decode back to the same value.
 func reencodeOps(t *testing.T, ops []Op) {
@@ -179,6 +249,7 @@ func TestWriteFuzzSeeds(t *testing.T) {
 	}
 	write("FuzzSnapshotDecode", snapshotSeeds(t))
 	write("FuzzWALReplay", walSeeds(t))
+	write("FuzzBlobManifest", manifestSeeds(t))
 }
 
 // TestFuzzSeedCorpusLoads asserts the checked-in corpus files decode with
@@ -186,7 +257,7 @@ func TestWriteFuzzSeeds(t *testing.T) {
 // changed without regenerating testdata/fuzz (old files must keep
 // loading; see the golden back-compat test for the snapshot side).
 func TestFuzzSeedCorpusLoads(t *testing.T) {
-	for _, target := range []string{"FuzzSnapshotDecode", "FuzzWALReplay"} {
+	for _, target := range []string{"FuzzSnapshotDecode", "FuzzWALReplay", "FuzzBlobManifest"} {
 		dir := filepath.Join("testdata", "fuzz", target)
 		entries, err := os.ReadDir(dir)
 		if err != nil {

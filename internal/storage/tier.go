@@ -1,0 +1,733 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/ltree-db/ltree/internal/storage/blob"
+)
+
+// This file is the blob tier: an asynchronous upload path that mirrors
+// the WAL's immutable artifacts — sealed log segments and checkpoint
+// snapshots — into an object store, and the read-through fallbacks that
+// let the WAL serve history it no longer holds on local disk.
+//
+// The contract, in order of importance:
+//
+//  1. The commit path never waits on the blob store. AppendBatch and
+//     Checkpoint only ever *kick* the uploader goroutine (a non-blocking
+//     channel send); every blob operation happens off to the side.
+//  2. Nothing durable is lost to the tier's failures. The uploader
+//     retries transient errors forever (capped backoff); a local file is
+//     deleted only after its object AND a manifest listing it are both
+//     durably stored; readers verify every fetched object against the
+//     manifest's size+CRC, so a partial upload or torn read is retried,
+//     never trusted.
+//  3. Blob-durable history is bottomless. Local retention may release a
+//     sealed segment the moment it is blob-durable and checkpoint-covered
+//     — even while a Retain lease still needs it — because ReplaySince /
+//     ReplayFromPos transparently fetch released segments back from the
+//     tier. Old checkpoints pruned locally stay fetchable the same way,
+//     which is what makes historical reconstruction (ltree.LoadAt) work
+//     across restarts.
+//
+// Upload state machine, per artifact:
+//
+//	local only ──upload──▶ blob-stored ──manifest flush──▶ blob-durable
+//	                                        │
+//	         (ReleaseLocal, end ≤ blob ckpt)└──▶ local file removed
+//
+// A crash between "blob-stored" and "blob-durable" re-uploads the object
+// on the next pass (Put is idempotent under the same key); a crash during
+// an upload leaves at worst a partial object that the next pass
+// overwrites and that no reader trusts (manifest CRC).
+
+// TierOptions configures AttachTier.
+type TierOptions struct {
+	// Prefix namespaces this WAL's objects inside the blob store
+	// ("wal-a/"); empty means the store root. A trailing "/" is added if
+	// missing.
+	Prefix string
+	// ReleaseLocal deletes local sealed segment files once they are
+	// blob-durable and covered by a blob-durable checkpoint, reclaiming
+	// disk; reads through Retain leases and historical replays then fetch
+	// from the tier. Off, local files follow the ordinary lease-gated
+	// checkpoint retention (the tier is pure backup).
+	ReleaseLocal bool
+	// RetryBase and RetryCap bound the uploader's backoff between
+	// attempts after a blob error. Defaults: 5ms base, 500ms cap.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+}
+
+// TierStats is a snapshot of the tier's accounting.
+type TierStats struct {
+	// UploadedSegments / UploadedCheckpoints count objects made durable
+	// (manifest-listed) since attach.
+	UploadedSegments    uint64
+	UploadedCheckpoints uint64
+	// BytesUploaded counts object payload bytes successfully Put.
+	BytesUploaded uint64
+	// DurableSeq is the highest sequence number reconstructible from the
+	// blob tier alone: the newest blob checkpoint extended through every
+	// contiguous blob segment after it.
+	DurableSeq uint64
+	// UploadLag is how many sealed sequence numbers await upload: the
+	// local sealed end minus DurableSeq (0 when the tier has caught up).
+	// Live (unsealed) records are excluded — they are not upload
+	// candidates yet.
+	UploadLag uint64
+	// PendingSegments counts sealed local segments not yet blob-durable.
+	PendingSegments int
+	// Fetches / FetchBytes count read-through object fetches (a released
+	// or pruned artifact served from the tier).
+	Fetches    uint64
+	FetchBytes uint64
+	// UploadRetries / FetchRetries count blob operations that failed
+	// transiently and were retried.
+	UploadRetries uint64
+	FetchRetries  uint64
+	// LocalReleased counts local segment files deleted because the tier
+	// holds them.
+	LocalReleased uint64
+	// ManifestWrites counts durable manifest updates.
+	ManifestWrites uint64
+}
+
+// RetentionStats reports the WAL's retention state — what observability
+// surfaces (Store.WALStats, ltreed /v1/stats) expose.
+type RetentionStats struct {
+	// Seq is the last appended batch sequence number.
+	Seq uint64
+	// CheckpointSeq is the newest checkpoint's covered sequence number.
+	CheckpointSeq uint64
+	// LocalSegments counts log segment files on local disk (live
+	// included); OldestLocalBase is the lowest base among them.
+	LocalSegments   int
+	OldestLocalBase uint64
+	// Leases counts registered retention leases; LeaseFloor is the lowest
+	// floor among them (meaningful when Leases > 0): records above it
+	// must stay replayable, locally or through the tier.
+	Leases     int
+	LeaseFloor uint64
+	// Tier is the blob tier's accounting, nil when none is attached.
+	Tier *TierStats
+}
+
+// ErrNoBlobSegment reports a segment the blob manifest does not list.
+var ErrNoBlobSegment = errors.New("storage: segment not in blob tier")
+
+// blobRetry bounds and paces retries against a flaky blob store.
+type blobRetry struct {
+	max  int // attempts; 0 = unlimited
+	base time.Duration
+	cap  time.Duration
+	stop <-chan struct{} // optional: abort sleeps
+}
+
+func (r *blobRetry) attempt(i int) bool { return r.max == 0 || i < r.max }
+
+func (r *blobRetry) sleep(i int) {
+	d := r.base
+	if d <= 0 {
+		d = 5 * time.Millisecond
+	}
+	for j := 0; j < i && d < r.cap; j++ {
+		d *= 2
+	}
+	if r.cap > 0 && d > r.cap {
+		d = r.cap
+	}
+	if r.stop == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-r.stop:
+	}
+}
+
+// readRetry is the budget for read-through fetches: generous enough to
+// ride out injected fault storms, bounded so a dead blob store surfaces
+// as an error instead of a hang.
+func readRetry() *blobRetry {
+	return &blobRetry{max: 50, base: 1 * time.Millisecond, cap: 50 * time.Millisecond}
+}
+
+// blobFetch gets one object and verifies it against the manifest's
+// size+CRC, retrying transient errors and torn reads.
+func blobFetch(bs blob.Store, key string, size uint64, crc uint32, retry *blobRetry, retries *uint64) ([]byte, error) {
+	var lastErr error
+	for i := 0; retry.attempt(i); i++ {
+		data, err := bs.Get(key)
+		if err == nil {
+			if uint64(len(data)) == size && crc32.Checksum(data, crcTable) == crc {
+				return data, nil
+			}
+			err = fmt.Errorf("storage: blob object %s failed verification (%d bytes)", key, len(data))
+		}
+		lastErr = err
+		if retries != nil {
+			*retries++
+		}
+		retry.sleep(i)
+	}
+	return nil, fmt.Errorf("storage: blob fetch %s: %w", key, lastErr)
+}
+
+// BlobTier mirrors a WAL's sealed artifacts into a blob store. Create
+// one with WAL.AttachTier; its methods are safe for concurrent use.
+type BlobTier struct {
+	bs  blob.Store
+	opt TierOptions
+	w   *WAL
+
+	// passMu serializes upload passes (the uploader goroutine and
+	// Barrier both run them).
+	passMu sync.Mutex
+
+	mu      sync.Mutex   // protects man, flushed, dirty, st
+	man     BlobManifest // in-memory truth: entry present ⇒ object bytes durable
+	flushed BlobManifest // last manifest durably written to the blob store
+	dirty   bool         // man has entries flushed lacks
+	st      TierStats
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// AttachTier mirrors this WAL into a blob store and starts the async
+// uploader. The tier's manifest is loaded (and reconciled) first:
+//
+//   - A fresh blob store adopts this WAL.
+//   - A blob store holding exactly this WAL's history (its durable end at
+//     or behind the local log) resumes uploading where it left off.
+//   - A blob store AHEAD of a virgin local directory seeds it: the local
+//     log fast-forwards to the blob-durable end, and recovery
+//     (Latest + ReplaySince) reads the history through the tier. This is
+//     the restore-from-backup / geo-seed path.
+//   - Anything else — a non-empty local log behind the blob state — is
+//     ambiguous (two diverged histories) and refuses loudly.
+//
+// Attach before handing the WAL to a store (WithWAL / LoadLatest), so
+// recovery already sees the tier. Detaching is not supported; Close the
+// WAL to stop the uploader.
+func (w *WAL) AttachTier(bs blob.Store, opt TierOptions) (*BlobTier, error) {
+	if opt.Prefix != "" && opt.Prefix[len(opt.Prefix)-1] != '/' {
+		opt.Prefix += "/"
+	}
+	if opt.RetryBase <= 0 {
+		opt.RetryBase = 5 * time.Millisecond
+	}
+	if opt.RetryCap <= 0 {
+		opt.RetryCap = 500 * time.Millisecond
+	}
+	man, err := loadBlobManifest(bs, opt.Prefix, readRetry())
+	if err != nil {
+		return nil, err
+	}
+	t := &BlobTier{
+		bs:      bs,
+		opt:     opt,
+		w:       w,
+		man:     man,
+		flushed: man,
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.seg == nil {
+		return nil, errors.New("storage: WAL is closed")
+	}
+	if w.tier != nil {
+		return nil, errors.New("storage: WAL already has a blob tier attached")
+	}
+	if blobEnd := man.durableSeq(); blobEnd > w.seq {
+		// The blob tier is ahead of the local log. Only a virgin local
+		// directory may adopt it (fast-forward); anything else means two
+		// diverged histories and silently picking one would lose data.
+		localCkpts, err := w.listCheckpoints()
+		if err != nil {
+			return nil, err
+		}
+		virgin := w.seq == 0 && w.segBase == 0 &&
+			w.segEnd == int64(segHeaderLen) && len(localCkpts) == 0
+		if !virgin {
+			return nil, fmt.Errorf(
+				"storage: blob tier is at seq %d but the local WAL holds diverged state at seq %d",
+				blobEnd, w.seq)
+		}
+		if err := w.newSegment(blobEnd); err != nil {
+			return nil, err
+		}
+		// Drop the virgin base-0 segment file: left in place it would be
+		// mistaken for a sealed segment claiming records it never held.
+		if err := os.Remove(w.segPath(0)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+		if err := w.syncDir(); err != nil {
+			return nil, err
+		}
+		if ck, ok := man.newestCkpt(); ok {
+			w.ckptSeq = ck
+		}
+	}
+	w.tier = t
+	go t.run()
+	t.Kick()
+	return t, nil
+}
+
+// Kick nudges the uploader: something sealed. Non-blocking; safe under
+// the WAL's lock.
+func (t *BlobTier) Kick() {
+	select {
+	case t.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Stats returns the tier's accounting. UploadLag and PendingSegments are
+// computed against the WAL's current sealed state. (The WAL snapshot is
+// taken before the tier lock — w.mu is ordered before tier.mu.)
+func (t *BlobTier) Stats() TierStats {
+	sealed, sealedEnd, _ := t.w.sealedLocal()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.st
+	st.DurableSeq = t.man.durableSeq()
+	if sealedEnd > st.DurableSeq {
+		st.UploadLag = sealedEnd - st.DurableSeq
+	}
+	for _, s := range sealed {
+		if !t.man.hasSeg(s.base) {
+			st.PendingSegments++
+		}
+	}
+	return st
+}
+
+// noteReleased counts a local segment file the WAL deleted because this
+// tier holds it.
+func (t *BlobTier) noteReleased() {
+	t.mu.Lock()
+	t.st.LocalReleased++
+	t.mu.Unlock()
+}
+
+// Barrier runs upload passes until everything sealed is blob-durable or
+// the deadline passes — the test/benchmark hook for "the tier has caught
+// up"; production code never needs it (the uploader converges on its
+// own).
+func (t *BlobTier) Barrier(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	retry := &blobRetry{base: t.opt.RetryBase, cap: t.opt.RetryCap, stop: t.stop}
+	for i := 0; ; i++ {
+		err := t.pass()
+		if err == nil && t.caughtUp() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = errors.New("uploads still pending")
+			}
+			return fmt.Errorf("storage: blob tier barrier: %w", err)
+		}
+		retry.sleep(i)
+	}
+}
+
+// caughtUp reports whether every sealed local artifact is blob-durable
+// and the manifest is flushed.
+func (t *BlobTier) caughtUp() bool {
+	sealed, _, ckpts := t.w.sealedLocal()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dirty {
+		return false
+	}
+	for _, s := range sealed {
+		if !t.man.hasSeg(s.base) {
+			return false
+		}
+	}
+	for _, seq := range ckpts {
+		if !t.man.hasCkpt(seq) {
+			return false
+		}
+	}
+	return true
+}
+
+// Close stops the uploader and waits for it to exit. In-flight blob
+// operations finish; pending uploads resume on the next attach.
+func (t *BlobTier) Close() {
+	select {
+	case <-t.stop:
+	default:
+		close(t.stop)
+	}
+	<-t.done
+}
+
+// run is the uploader goroutine: wait for a kick, then run passes until
+// one succeeds with nothing left to do.
+func (t *BlobTier) run() {
+	defer close(t.done)
+	retry := &blobRetry{base: t.opt.RetryBase, cap: t.opt.RetryCap, stop: t.stop}
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-t.kick:
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-t.stop:
+				return
+			default:
+			}
+			if err := t.pass(); err == nil {
+				break
+			}
+			t.mu.Lock()
+			t.st.UploadRetries++
+			t.mu.Unlock()
+			retry.sleep(i)
+		}
+	}
+}
+
+// pass runs one upload sweep: checkpoints newest-first (a fresh follower
+// seeds from the newest one, so it matters most), then sealed segments
+// oldest-first (extending the contiguous blob-durable range), then the
+// manifest flush, then local release. Idempotent; an error leaves the
+// in-memory manifest consistent and the caller retries.
+func (t *BlobTier) pass() error {
+	t.passMu.Lock()
+	defer t.passMu.Unlock()
+	sealed, _, ckpts := t.w.sealedLocal()
+	for i := len(ckpts) - 1; i >= 0; i-- {
+		seq := ckpts[i]
+		if t.hasCkpt(seq) {
+			continue
+		}
+		data, err := os.ReadFile(t.w.ckptPath(seq))
+		if errors.Is(err, os.ErrNotExist) {
+			continue // pruned since the listing
+		}
+		if err != nil {
+			return err
+		}
+		if err := t.bs.Put(t.opt.Prefix+blobCkptKey(seq), data); err != nil {
+			return err
+		}
+		t.mu.Lock()
+		t.man.Ckpts = insertCkpt(t.man.Ckpts, BlobObject{
+			Seq: seq, Size: uint64(len(data)), CRC: crc32.Checksum(data, crcTable)})
+		t.dirty = true
+		t.st.UploadedCheckpoints++
+		t.st.BytesUploaded += uint64(len(data))
+		t.mu.Unlock()
+	}
+	for _, s := range sealed {
+		if t.hasSeg(s.base) {
+			continue
+		}
+		data, err := os.ReadFile(s.path)
+		if errors.Is(err, os.ErrNotExist) {
+			continue // released or checkpoint-swept since the listing
+		}
+		if err != nil {
+			return err
+		}
+		if err := t.bs.Put(t.opt.Prefix+blobSegKey(s.base), data); err != nil {
+			return err
+		}
+		t.mu.Lock()
+		t.man.Segs = insertSeg(t.man.Segs, BlobSegment{
+			Base: s.base, End: s.end, Size: uint64(len(data)), CRC: crc32.Checksum(data, crcTable)})
+		t.dirty = true
+		t.st.UploadedSegments++
+		t.st.BytesUploaded += uint64(len(data))
+		t.mu.Unlock()
+	}
+	if err := t.flushManifest(); err != nil {
+		return err
+	}
+	if t.opt.ReleaseLocal {
+		if err := t.w.releaseLocal(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushManifest durably writes the in-memory manifest if it has entries
+// the blob store's copy lacks.
+func (t *BlobTier) flushManifest() error {
+	t.mu.Lock()
+	if !t.dirty {
+		t.mu.Unlock()
+		return nil
+	}
+	man := t.man // entries only append; a snapshot of the slices is safe
+	t.mu.Unlock()
+	data, err := EncodeBlobManifest(man)
+	if err != nil {
+		return err
+	}
+	if err := t.bs.Put(t.opt.Prefix+blobManifestKey, data); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.flushed = man
+	t.dirty = len(t.man.Ckpts) != len(man.Ckpts) || len(t.man.Segs) != len(man.Segs)
+	t.st.ManifestWrites++
+	t.mu.Unlock()
+	return nil
+}
+
+func (t *BlobTier) hasCkpt(seq uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.man.hasCkpt(seq)
+}
+
+func (t *BlobTier) hasSeg(base uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.man.hasSeg(base)
+}
+
+// segDurableFlushed reports whether the segment is listed by the last
+// DURABLY WRITTEN manifest — the bar a local file must clear before
+// deletion (an in-memory-only entry would be forgotten by a crash,
+// orphaning the object and losing the history).
+func (t *BlobTier) segDurableFlushed(base uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flushed.hasSeg(base)
+}
+
+// flushedNewestCkpt returns the newest checkpoint in the durable
+// manifest.
+func (t *BlobTier) flushedNewestCkpt() (uint64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flushed.newestCkpt()
+}
+
+// manifestSegs returns a snapshot of the manifest's segment entries.
+func (t *BlobTier) manifestSegs() []BlobSegment {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.man.Segs
+}
+
+// manifestCkptSeqs returns the manifest's checkpoint seqs, ascending.
+func (t *BlobTier) manifestCkptSeqs() []uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]uint64, len(t.man.Ckpts))
+	for i, c := range t.man.Ckpts {
+		out[i] = c.Seq
+	}
+	return out
+}
+
+// fetchSegment reads one sealed segment back from the tier, verified
+// against the manifest.
+func (t *BlobTier) fetchSegment(base uint64) ([]byte, error) {
+	t.mu.Lock()
+	var ent *BlobSegment
+	for i := range t.man.Segs {
+		if t.man.Segs[i].Base == base {
+			ent = &t.man.Segs[i]
+			break
+		}
+	}
+	t.mu.Unlock()
+	if ent == nil {
+		return nil, fmt.Errorf("%w: base %d", ErrNoBlobSegment, base)
+	}
+	var retries uint64
+	data, err := blobFetch(t.bs, t.opt.Prefix+blobSegKey(base), ent.Size, ent.CRC, readRetry(), &retries)
+	t.mu.Lock()
+	t.st.FetchRetries += retries
+	if err == nil {
+		t.st.Fetches++
+		t.st.FetchBytes += uint64(len(data))
+	}
+	t.mu.Unlock()
+	return data, err
+}
+
+// fetchCheckpoint reads one checkpoint snapshot back from the tier,
+// verified against the manifest. ErrNoVersion when the manifest does not
+// list it.
+func (t *BlobTier) fetchCheckpoint(seq uint64) ([]byte, error) {
+	t.mu.Lock()
+	var ent *BlobObject
+	for i := range t.man.Ckpts {
+		if t.man.Ckpts[i].Seq == seq {
+			ent = &t.man.Ckpts[i]
+			break
+		}
+	}
+	t.mu.Unlock()
+	if ent == nil {
+		return nil, fmt.Errorf("%w: %d", ErrNoVersion, seq)
+	}
+	var retries uint64
+	data, err := blobFetch(t.bs, t.opt.Prefix+blobCkptKey(seq), ent.Size, ent.CRC, readRetry(), &retries)
+	t.mu.Lock()
+	t.st.FetchRetries += retries
+	if err == nil {
+		t.st.Fetches++
+		t.st.FetchBytes += uint64(len(data))
+	}
+	t.mu.Unlock()
+	return data, err
+}
+
+// insertCkpt inserts c keeping the slice ascending by Seq (idempotent on
+// duplicates). Copy-on-write: manifest snapshots taken by flushManifest
+// must not see in-place mutation.
+func insertCkpt(s []BlobObject, c BlobObject) []BlobObject {
+	out := make([]BlobObject, 0, len(s)+1)
+	added := false
+	for _, e := range s {
+		if e.Seq == c.Seq {
+			return s
+		}
+		if !added && e.Seq > c.Seq {
+			out = append(out, c)
+			added = true
+		}
+		out = append(out, e)
+	}
+	if !added {
+		out = append(out, c)
+	}
+	return out
+}
+
+// insertSeg inserts g keeping the slice ascending by Base (idempotent on
+// duplicates).
+func insertSeg(s []BlobSegment, g BlobSegment) []BlobSegment {
+	out := make([]BlobSegment, 0, len(s)+1)
+	added := false
+	for _, e := range s {
+		if e.Base == g.Base {
+			return s
+		}
+		if !added && e.Base > g.Base {
+			out = append(out, g)
+			added = true
+		}
+		out = append(out, e)
+	}
+	if !added {
+		out = append(out, g)
+	}
+	return out
+}
+
+// ------------------------------------------------- blob-seeded bootstrap
+
+// BlobLatest reads the newest checkpoint directly from a blob tier —
+// no WAL, no leader connection — verified against the tier's manifest.
+// The first half of seeding a follower from the object store.
+func BlobLatest(bs blob.Store, prefix string) (uint64, []byte, error) {
+	if prefix != "" && prefix[len(prefix)-1] != '/' {
+		prefix += "/"
+	}
+	man, err := loadBlobManifest(bs, prefix, readRetry())
+	if err != nil {
+		return 0, nil, err
+	}
+	seq, ok := man.newestCkpt()
+	if !ok {
+		return 0, nil, ErrNoVersion
+	}
+	var ent BlobObject
+	for _, c := range man.Ckpts {
+		if c.Seq == seq {
+			ent = c
+		}
+	}
+	data, err := blobFetch(bs, prefix+blobCkptKey(seq), ent.Size, ent.CRC, readRetry(), nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	return seq, data, nil
+}
+
+// ReplayBlobSince streams every blob-durable batch with sequence number
+// > since, in order, straight from the tier's sealed segments — the
+// second half of seeding a follower: restore BlobLatest's checkpoint,
+// replay this, then attach a live tail at the returned sequence number.
+// Returns the last sequence number delivered (== since when the tier
+// holds nothing newer). A tier whose segments cannot reach past since
+// contiguously reports ErrCorruptWAL, mirroring the WAL's gap semantics.
+func ReplayBlobSince(bs blob.Store, prefix string, since uint64, fn func(seq uint64, payload []byte) error) (uint64, error) {
+	if prefix != "" && prefix[len(prefix)-1] != '/' {
+		prefix += "/"
+	}
+	man, err := loadBlobManifest(bs, prefix, readRetry())
+	if err != nil {
+		return since, err
+	}
+	next := since
+	for _, s := range man.Segs {
+		if s.End <= since {
+			continue
+		}
+		if s.Base > next {
+			return next, fmt.Errorf("%w: blob tier gap: segment starts after %d but batch %d 	is missing",
+				ErrCorruptWAL, s.Base, next+1)
+		}
+		data, err := blobFetch(bs, prefix+blobSegKey(s.Base), s.Size, s.CRC, readRetry(), nil)
+		if err != nil {
+			return next, err
+		}
+		r := bytes.NewReader(data)
+		if err := checkSegHeader(r, s.Base); err != nil {
+			return next, err
+		}
+		if _, err := scanRecords(r, s.Base, func(seq uint64, payload []byte) error {
+			if seq <= since {
+				return nil
+			}
+			if seq != next+1 {
+				return fmt.Errorf("%w: blob tier gap: batch %d follows %d", ErrCorruptWAL, seq, next)
+			}
+			if err := fn(seq, payload); err != nil {
+				return err
+			}
+			next = seq
+			return nil
+		}); err != nil {
+			return next, err
+		}
+		if next < s.End {
+			// A verified sealed segment must hold every record up to its
+			// manifest end; anything less is a lying manifest.
+			return next, fmt.Errorf("%w: blob segment %d ends at %d, manifest claims %d",
+				ErrCorruptWAL, s.Base, next, s.End)
+		}
+	}
+	return next, nil
+}

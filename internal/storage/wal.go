@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -46,6 +47,15 @@ type WAL struct {
 	unsynced int    // appends since the last fsync (group commit)
 	broken   error  // a partial append this handle could not roll back
 
+	ckptSeq   uint64 // sequence number covered by the newest checkpoint
+	liveBytes int64  // framed record bytes appended since that checkpoint
+
+	// tier, when non-nil, mirrors sealed segments and checkpoints into a
+	// blob store (tier.go): rotations and checkpoints kick its uploader,
+	// reads of released or pruned artifacts fall through to it. Lock
+	// order: w.mu may be held when taking tier.mu, never the reverse.
+	tier *BlobTier
+
 	// watch is the durability-notification broadcast: whenever appended
 	// records become durable (a synced append, Sync, Checkpoint) the
 	// current channel is closed — waking every Tailer blocked on it —
@@ -76,6 +86,13 @@ type WALOptions struct {
 	// durability); larger values trade the tail of a crash for latency.
 	// Sync and Checkpoint always flush regardless.
 	SyncEvery int
+	// SegmentBytes seals the live segment and starts a fresh one once it
+	// grows past this many bytes, decoupling segment boundaries from
+	// checkpoints. 0 (the default) rotates only at checkpoints — the
+	// original behavior. Size rotation is what gives an attached blob
+	// tier sealed segments to upload between checkpoints, bounding the
+	// not-yet-blob-durable window.
+	SegmentBytes int64
 }
 
 // walMagic heads every log segment: "LTWAL" + NUL + format version 1.
@@ -117,6 +134,7 @@ func OpenWAL(dir string, opt WALOptions) (*WAL, error) {
 		if err := w.newSegment(base); err != nil {
 			return nil, err
 		}
+		w.ckptSeq = base
 		return w, nil
 	}
 	base := segs[len(segs)-1]
@@ -134,6 +152,34 @@ func OpenWAL(dir string, opt WALOptions) (*WAL, error) {
 		return nil, err
 	}
 	w.seg, w.segBase, w.segEnd, w.seq = f, base, good, lastSeq
+	// Rebuild the live-log accounting: bytes in every segment after the
+	// newest checkpoint. Only the newest segment can hold a torn tail
+	// (appends go nowhere else), so sealed sizes are trusted as-is.
+	cks, err := w.listCheckpoints()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if len(cks) > 0 {
+		w.ckptSeq = cks[len(cks)-1]
+	}
+	for _, b := range segs {
+		if b < w.ckptSeq {
+			continue
+		}
+		n := good - int64(segHeaderLen)
+		if b != base {
+			st, err := os.Stat(w.segPath(b))
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			n = st.Size() - int64(segHeaderLen)
+		}
+		if n > 0 {
+			w.liveBytes += n
+		}
+	}
 	return w, nil
 }
 
@@ -240,7 +286,17 @@ func (w *WAL) newSegment(base uint64) error {
 }
 
 // Close releases the segment file handle. Appending after Close fails.
+// An attached blob tier is stopped first (its uploader briefly takes the
+// WAL lock, so it must not be running when the handle goes away); blob
+// uploads it had not finished resume on the next attach.
 func (w *WAL) Close() error {
+	w.mu.Lock()
+	t := w.tier
+	w.tier = nil
+	w.mu.Unlock()
+	if t != nil {
+		t.Close()
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.notifyLocked() // wake waiting tailers so they re-check state
@@ -253,6 +309,13 @@ func (w *WAL) Close() error {
 	}
 	w.seg = nil
 	return err
+}
+
+// tierRef returns the attached blob tier, nil when none.
+func (w *WAL) tierRef() *BlobTier {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tier
 }
 
 // notifyLocked fires the durability broadcast: the current watch channel
@@ -367,8 +430,8 @@ func (w *WAL) Seq() uint64 {
 }
 
 // LiveLog reports the size of the live log — framed record bytes and
-// record count appended since the last checkpoint. Segments rotate
-// exactly at checkpoints, so the live log is the current segment. The
+// record count appended since the last checkpoint, across every segment
+// after it (size rotation can spread the live log over several). The
 // Store's auto-checkpoint policy polls this after each logged commit.
 func (w *WAL) LiveLog() (bytes int64, records int) {
 	w.mu.Lock()
@@ -376,7 +439,7 @@ func (w *WAL) LiveLog() (bytes int64, records int) {
 	if w.seg == nil {
 		return 0, 0
 	}
-	return w.segEnd - int64(segHeaderLen), int(w.seq - w.segBase)
+	return w.liveBytes, int(w.seq - w.ckptSeq)
 }
 
 // AppendBatch implements WALBackend: it frames payload as the next record
@@ -410,6 +473,7 @@ func (w *WAL) AppendBatch(payload []byte) (uint64, error) {
 		return 0, fmt.Errorf("storage: WAL append: %w", err)
 	}
 	w.segEnd += int64(len(frame))
+	w.liveBytes += int64(len(frame))
 	w.seq = seq
 	w.unsynced++
 	if w.opt.SyncEvery <= 1 || w.unsynced >= w.opt.SyncEvery {
@@ -419,7 +483,35 @@ func (w *WAL) AppendBatch(payload []byte) (uint64, error) {
 		w.unsynced = 0
 		w.notifyLocked() // the record is durable: wake tailers
 	}
+	if w.opt.SegmentBytes > 0 && w.segEnd >= int64(segHeaderLen)+w.opt.SegmentBytes {
+		// Size rotation: seal the segment, continue in a fresh one. The
+		// record above is already durable (or will be at the next group
+		// flush — rotateLocked forces it), so a rotation failure is not a
+		// commit failure: swallow it and retry on the next append.
+		_ = w.rotateLocked()
+	}
 	return seq, nil
+}
+
+// rotateLocked seals the current segment and opens a fresh one based at
+// the current sequence number, kicking the blob tier (a sealed segment
+// is an upload candidate). Caller holds the lock.
+func (w *WAL) rotateLocked() error {
+	if w.unsynced > 0 {
+		// The sealed file must be durable before the tier may upload it.
+		if err := w.seg.Sync(); err != nil {
+			return err
+		}
+		w.unsynced = 0
+		w.notifyLocked()
+	}
+	if err := w.newSegment(w.seq); err != nil {
+		return err
+	}
+	if w.tier != nil {
+		w.tier.Kick()
+	}
+	return nil
 }
 
 // Sync flushes any group-committed appends to disk.
@@ -479,16 +571,42 @@ func (w *WAL) ReplayFromPos(pos TailPos, fn func(seq uint64, payload []byte) err
 		w.unsynced = 0
 		w.notifyLocked()
 	}
-	segs, err := w.listSegments()
+	local, err := w.listSegments()
+	t := w.tier
 	w.mu.Unlock()
 	if err != nil {
 		return pos, err
 	}
+	// The replay source is the union of local segment files and blob-tier
+	// segments, preferring local (no fetch, and the live segment only
+	// exists locally). A segment released from local disk is read back
+	// through the tier — this is what keeps Retain leases and historical
+	// replays working after ReleaseLocal reclaims the files.
+	type segRef struct {
+		base  uint64
+		local bool
+	}
+	var segs []segRef
+	if t != nil {
+		have := make(map[uint64]bool, len(local))
+		for _, b := range local {
+			have[b] = true
+		}
+		for _, s := range t.manifestSegs() {
+			if !have[s.Base] {
+				segs = append(segs, segRef{base: s.Base})
+			}
+		}
+	}
+	for _, b := range local {
+		segs = append(segs, segRef{base: b, local: true})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].base < segs[j].base })
 	since := pos.Seq
 	start, resume := 0, false
 	if pos.Off >= int64(segHeaderLen) {
-		for i, base := range segs {
-			if base == pos.SegBase {
+		for i, s := range segs {
+			if s.base == pos.SegBase {
 				start, resume = i, true
 				break
 			}
@@ -498,7 +616,7 @@ func (w *WAL) ReplayFromPos(pos TailPos, fn func(seq uint64, payload []byte) err
 		// Drop segments that end at or before since: segment i covers
 		// (segs[i], segs[i+1]] (the last one is open-ended).
 		for i := 0; i+1 < len(segs); i++ {
-			if segs[i+1] <= since {
+			if segs[i+1].base <= since {
 				start = i + 1
 			}
 		}
@@ -506,18 +624,39 @@ func (w *WAL) ReplayFromPos(pos TailPos, fn func(seq uint64, payload []byte) err
 	next := since // last sequence number delivered (or skipped)
 	out := pos
 	for i := start; i < len(segs); i++ {
-		base := segs[i]
+		base := segs[i].base
 		if base > next {
 			return out, fmt.Errorf("%w: log gap: segment starts after %d but batch %d is missing",
 				ErrCorruptWAL, base, next+1)
 		}
-		f, err := os.Open(w.segPath(base))
-		if err != nil {
-			return out, err
+		var (
+			src    io.ReadSeeker
+			closer io.Closer
+		)
+		if segs[i].local {
+			f, ferr := os.Open(w.segPath(base))
+			switch {
+			case ferr == nil:
+				src, closer = f, f
+			case errors.Is(ferr, os.ErrNotExist) && t != nil && t.hasSeg(base):
+				// Released between the listing and the open: fall through
+				// to the tier below.
+			default:
+				return out, ferr
+			}
 		}
-		herr := checkSegHeader(f, base)
+		if src == nil {
+			data, ferr := t.fetchSegment(base)
+			if ferr != nil {
+				return out, ferr
+			}
+			src = bytes.NewReader(data)
+		}
+		herr := checkSegHeader(src, base)
 		if herr != nil {
-			f.Close()
+			if closer != nil {
+				closer.Close()
+			}
 			if errors.Is(herr, ErrCorruptWAL) && i == len(segs)-1 {
 				return out, nil // torn newest segment: nothing durable in it
 			}
@@ -528,13 +667,15 @@ func (w *WAL) ReplayFromPos(pos TailPos, fn func(seq uint64, payload []byte) err
 		// when seeking into the middle of the cursor's segment.
 		scanBase, offBase := base, int64(segHeaderLen)
 		if resume && base == pos.SegBase {
-			if _, err := f.Seek(pos.Off, io.SeekStart); err != nil {
-				f.Close()
+			if _, err := src.Seek(pos.Off, io.SeekStart); err != nil {
+				if closer != nil {
+					closer.Close()
+				}
 				return out, err
 			}
 			scanBase, offBase = since, pos.Off
 		}
-		good, serr := scanRecords(f, scanBase, func(seq uint64, payload []byte) error {
+		good, serr := scanRecords(src, scanBase, func(seq uint64, payload []byte) error {
 			if seq <= since {
 				next = seq
 				return nil
@@ -548,7 +689,9 @@ func (w *WAL) ReplayFromPos(pos TailPos, fn func(seq uint64, payload []byte) err
 			next = seq
 			return nil
 		})
-		f.Close()
+		if closer != nil {
+			closer.Close()
+		}
 		// good counts only fully-consumed records (a record whose fn
 		// errored is excluded), so the cursor lands exactly after the
 		// last delivered one.
@@ -607,6 +750,7 @@ func (w *WAL) Checkpoint(snapshot []byte) (uint64, error) {
 	if err := w.syncDir(); err != nil {
 		return 0, err
 	}
+	w.ckptSeq, w.liveBytes = seq, 0
 	// Log truncation: switch to a fresh segment starting after seq, then
 	// drop the now-redundant older segments. Skip the switch when the
 	// current segment is already empty at seq (repeat checkpoint) — but a
@@ -640,7 +784,12 @@ func (w *WAL) Checkpoint(snapshot []byte) (uint64, error) {
 	// every older segment has a successor). A segment is disposable
 	// only when every record it holds is at or below the lowest lease
 	// floor — an attached tailer mid-catch-up still needs everything
-	// above its floor, checkpoint or not.
+	// above its floor, checkpoint or not. With a blob tier attached, two
+	// more rules apply: never delete a segment the tier has not made
+	// durable (the local file may be the only copy of history the tier
+	// promises to keep forever), and — under ReleaseLocal — leases stop
+	// blocking deletion, because a leased replay transparently fetches
+	// released segments back from the tier.
 	floor, guarded := w.retentionFloorLocked()
 	removed := false
 	for i, base := range segs {
@@ -651,7 +800,10 @@ func (w *WAL) Checkpoint(snapshot []byte) (uint64, error) {
 		if i+1 < len(segs) {
 			end = segs[i+1]
 		}
-		if guarded && end > floor {
+		if w.tier != nil && !w.tier.segDurableFlushed(base) {
+			continue // the blob tier still needs the local file
+		}
+		if guarded && end > floor && (w.tier == nil || !w.tier.opt.ReleaseLocal) {
 			continue // a tailer still needs records in (base, end]
 		}
 		if err := os.Remove(w.segPath(base)); err != nil {
@@ -664,7 +816,111 @@ func (w *WAL) Checkpoint(snapshot []byte) (uint64, error) {
 			return 0, err
 		}
 	}
+	if w.tier != nil {
+		w.tier.Kick() // a new checkpoint (and maybe a sealed segment) to upload
+	}
 	return seq, nil
+}
+
+// sealedSeg is one local sealed segment, as the blob tier sees it.
+type sealedSeg struct {
+	base, end uint64
+	path      string
+}
+
+// sealedLocal snapshots the local artifacts the blob tier may upload:
+// sealed segments (every local segment below the live one) and local
+// checkpoint versions. Listing errors yield empty results — the uploader
+// finds nothing to do and retries on the next kick.
+func (w *WAL) sealedLocal() (segs []sealedSeg, segBase uint64, ckpts []uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segBase = w.segBase
+	bases, err := w.listSegments()
+	if err != nil {
+		return nil, segBase, nil
+	}
+	for i, base := range bases {
+		if base >= segBase {
+			continue
+		}
+		end := segBase
+		if i+1 < len(bases) {
+			end = bases[i+1]
+		}
+		segs = append(segs, sealedSeg{base: base, end: end, path: w.segPath(base)})
+	}
+	ckpts, err = w.listCheckpoints()
+	if err != nil {
+		return segs, segBase, nil
+	}
+	return segs, segBase, ckpts
+}
+
+// releaseLocal deletes local sealed segment files that the blob tier
+// holds durably AND that a blob-durable checkpoint covers — so even if
+// every blob object but the newest checkpoint vanished, local recovery
+// through the tier would still reach the same state. Called by the
+// tier's upload pass when ReleaseLocal is set.
+func (w *WAL) releaseLocal(t *BlobTier) error {
+	ck, ok := t.flushedNewestCkpt()
+	if !ok {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.seg == nil {
+		return nil
+	}
+	segs, err := w.listSegments()
+	if err != nil {
+		return err
+	}
+	removed := false
+	for i, base := range segs {
+		if base >= w.segBase {
+			continue
+		}
+		end := w.segBase
+		if i+1 < len(segs) {
+			end = segs[i+1]
+		}
+		if end > ck || !t.segDurableFlushed(base) {
+			continue
+		}
+		if err := os.Remove(w.segPath(base)); err != nil {
+			return err
+		}
+		t.noteReleased()
+		removed = true
+	}
+	if removed {
+		return w.syncDir()
+	}
+	return nil
+}
+
+// RetentionStats reports the WAL's current retention state; see the
+// RetentionStats type (tier.go).
+func (w *WAL) RetentionStats() RetentionStats {
+	w.mu.Lock()
+	rs := RetentionStats{Seq: w.seq, CheckpointSeq: w.ckptSeq}
+	if floor, guarded := w.retentionFloorLocked(); guarded {
+		rs.LeaseFloor = floor
+	}
+	rs.Leases = len(w.leases)
+	segs, _ := w.listSegments()
+	t := w.tier
+	w.mu.Unlock()
+	rs.LocalSegments = len(segs)
+	if len(segs) > 0 {
+		rs.OldestLocalBase = segs[0]
+	}
+	if t != nil {
+		ts := t.Stats()
+		rs.Tier = &ts
+	}
+	return rs
 }
 
 // ---------------------------------------------------------------- Backend
@@ -672,20 +928,49 @@ func (w *WAL) Checkpoint(snapshot []byte) (uint64, error) {
 // Put implements Backend: for a WAL, storing a snapshot is a checkpoint.
 func (w *WAL) Put(data []byte) (uint64, error) { return w.Checkpoint(data) }
 
-// Get implements Backend over checkpoint snapshots.
+// Get implements Backend over checkpoint snapshots. A checkpoint missing
+// locally (pruned after upload) is fetched back from the blob tier.
 func (w *WAL) Get(version uint64) ([]byte, error) {
 	data, err := os.ReadFile(w.ckptPath(version))
 	if errors.Is(err, os.ErrNotExist) {
+		if t := w.tierRef(); t != nil {
+			return t.fetchCheckpoint(version)
+		}
 		return nil, fmt.Errorf("%w: %d", ErrNoVersion, version)
 	}
 	return data, err
+}
+
+// checkpointVersions merges local checkpoint versions with the blob
+// tier's (ascending, deduplicated) — the tier makes checkpoint history
+// bottomless, so addressable versions outlive local pruning.
+func (w *WAL) checkpointVersions() ([]uint64, error) {
+	cks, err := w.listCheckpoints()
+	if err != nil {
+		return nil, err
+	}
+	t := w.tierRef()
+	if t == nil {
+		return cks, nil
+	}
+	seen := make(map[uint64]bool, len(cks))
+	for _, v := range cks {
+		seen[v] = true
+	}
+	for _, v := range t.manifestCkptSeqs() {
+		if !seen[v] {
+			cks = append(cks, v)
+		}
+	}
+	sort.Slice(cks, func(i, j int) bool { return cks[i] < cks[j] })
+	return cks, nil
 }
 
 // Latest implements Backend: the newest checkpoint snapshot. Batches
 // appended after it are not reflected — recovery is Latest + ReplaySince
 // (the Store's LoadLatest does exactly that for WAL backends).
 func (w *WAL) Latest() (uint64, []byte, error) {
-	cks, err := w.listCheckpoints()
+	cks, err := w.checkpointVersions()
 	if err != nil {
 		return 0, nil, err
 	}
@@ -697,11 +982,14 @@ func (w *WAL) Latest() (uint64, []byte, error) {
 	return v, data, err
 }
 
-// Versions implements Backend: the checkpoint versions, ascending.
-func (w *WAL) Versions() ([]uint64, error) { return w.listCheckpoints() }
+// Versions implements Backend: the checkpoint versions, ascending —
+// blob-tier checkpoints included.
+func (w *WAL) Versions() ([]uint64, error) { return w.checkpointVersions() }
 
-// Prune implements Backend: drops checkpoints strictly below keep, always
-// retaining the newest one (the log after it is the live tail).
+// Prune implements Backend: drops LOCAL checkpoints strictly below keep,
+// always retaining the newest one (the log after it is the live tail).
+// Blob-tier copies are untouched — the tier's history is bottomless by
+// design, so a pruned version stays addressable through Get.
 func (w *WAL) Prune(keep uint64) error {
 	cks, err := w.listCheckpoints()
 	if err != nil || len(cks) == 0 {
