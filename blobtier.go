@@ -33,10 +33,6 @@ import (
 // never needs conditional writes or multipart uploads.
 type BlobStore = blob.Store
 
-// ErrBlobNotExist reports a missing blob object, matchable with
-// errors.Is.
-var ErrBlobNotExist = blob.ErrNotExist
-
 // NewBlobMemory returns an in-process BlobStore (tests, ephemeral
 // tiers).
 func NewBlobMemory() BlobStore { return blob.NewMemory() }
@@ -51,10 +47,6 @@ type BlobFaultOptions = blob.FaultOptions
 
 // BlobFaultStats counts what a NewBlobFaults wrapper injected.
 type BlobFaultStats = blob.FaultStats
-
-// ErrBlobTransient is the injected transient failure, matchable with
-// errors.Is.
-var ErrBlobTransient = blob.ErrTransient
 
 // NewBlobFaults wraps a BlobStore with deterministic fault injection —
 // transient errors, partial uploads, torn reads, latency — for torture
@@ -93,6 +85,26 @@ func AttachBlobTier(w WALBackend, bs BlobStore, opt BlobTierOptions) (*BlobTier,
 		return nil, errors.New("ltree: backend does not support a blob tier (use NewWALBackend)")
 	}
 	return a.AttachTier(bs, opt)
+}
+
+// BlobCheckpointRoot returns the newest blob-tier checkpoint's sequence
+// number and the index root hash its snapshot was stamped with, read
+// from the tier manifest alone — no object download. ok is false when
+// the tier is empty or the newest checkpoint predates root stamping.
+//
+// This is hash-compare backup verification: a backup is current exactly
+// when the returned root equals the leader's Store.RootHash (or a
+// historical LoadAt root) — no byte-compare, no restore.
+func BlobCheckpointRoot(bs BlobStore, prefix string) (seq uint64, root Hash, ok bool, err error) {
+	man, err := storage.ReadBlobManifest(bs, prefix)
+	if err != nil {
+		return 0, Hash{}, false, err
+	}
+	if len(man.Ckpts) == 0 {
+		return 0, Hash{}, false, nil
+	}
+	c := man.Ckpts[len(man.Ckpts)-1]
+	return c.Seq, Hash(c.Root), c.HasRoot, nil
 }
 
 // WALStats reports a WAL backend's retention state: sequence numbers,
@@ -152,6 +164,9 @@ func LoadAt(b Backend, seq uint64) (*Store, error) {
 		return nil, err
 	}
 	s := newStore(doc)
+	if err := s.verifyRestoredRoot(); err != nil {
+		return nil, err
+	}
 	reached := base
 	if err := w.ReplaySince(base, func(q uint64, payload []byte) error {
 		if q > seq {
@@ -207,8 +222,12 @@ func OpenFollowerSeeded(w WALBackend, bs BlobStore, prefix string) (*Follower, e
 	if err != nil {
 		return nil, fmt.Errorf("ltree: open seeded follower: checkpoint restore: %w", err)
 	}
+	st := newStore(doc)
+	if err := st.verifyRestoredRoot(); err != nil {
+		return nil, fmt.Errorf("ltree: open seeded follower: %w", err)
+	}
 	f := &Follower{
-		st:      newStore(doc),
+		st:      st,
 		src:     src,
 		done:    make(chan struct{}),
 		applied: seq,

@@ -1,0 +1,248 @@
+package ltree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/ltree-db/ltree/internal/index"
+)
+
+// This file is the version-diff surface: content hashes, entry-level
+// change sets between two published index versions, and a compact wire
+// codec for shipping them to change-feed consumers (cmd/ltreed serves
+// them over /v1/changes). The underlying hash-pruned walk lives in
+// internal/index; DESIGN.md §10 explains why it costs O(changed chunks)
+// instead of O(document).
+
+// Hash is a 32-byte index content hash: a commutative multiset digest
+// over every (tag, label, level) entry, rolled up per tag and across
+// tags. Two indexes holding the same logical content report the same
+// Hash regardless of chunk partitioning or the operation history that
+// produced them. The zero Hash never names real content (the digest of
+// even an empty index is non-zero).
+type Hash = index.Hash
+
+// Change is one entry-level difference between two index versions. Node
+// is the live DOM node — non-nil when the diff was computed in-process,
+// nil after a ChangeSet round-trips through its codec (node identity is
+// process-local and does not serialize; Tag plus the labels identify
+// the entry on the wire).
+type Change = index.Change
+
+// ChangeKind classifies a Change.
+type ChangeKind = index.ChangeKind
+
+// Change kinds, reported by Change.Kind.
+const (
+	// ChangeAdded: the node is indexed in the newer version only.
+	ChangeAdded ChangeKind = index.Added
+	// ChangeRemoved: the node is indexed in the older version only.
+	ChangeRemoved ChangeKind = index.Removed
+	// ChangeRelabeled: indexed in both, label or level differs (an
+	// L-Tree split renumbered it, or a move re-homed it).
+	ChangeRelabeled ChangeKind = index.Relabeled
+)
+
+// DiffStats reports how much work a diff walk did — chunks shared by
+// pointer, tags skipped by digest — the observable behind the
+// O(changed-chunks) cost claim.
+type DiffStats = index.DiffStats
+
+// ChangeSet is the entry-level difference between two published index
+// versions, as computed by DiffVersions or delivered by a Watcher. The
+// root hashes authenticate the endpoints: a consumer holding its own
+// copy of version From can apply Changes and verify it arrived at
+// ToRoot.
+//
+// Changes are ordered by tag (sorted), and within a tag Relabeled, then
+// Added, then Removed. The diff is index-content precise: a node
+// replaced by a different node under the identical (tag, label, level)
+// is not a change (see internal/index.Diff).
+type ChangeSet struct {
+	From     uint64 // older version number
+	To       uint64 // newer version number
+	FromRoot Hash   // content hash of version From
+	ToRoot   Hash   // content hash of version To
+	Changes  []Change
+	Stats    DiffStats // work accounting for the walk that produced this set
+}
+
+// csMagic frames an encoded ChangeSet: "LTCS" plus a format version.
+var csMagic = [5]byte{'L', 'T', 'C', 'S', 1}
+
+// ErrCorruptChangeSet reports a ChangeSet stream that does not decode.
+var ErrCorruptChangeSet = errors.New("ltree: corrupt change-set stream")
+
+// Encode writes the ChangeSet in its compact binary framing. Node
+// pointers are process-local and are not serialized. Stats travels so a
+// feed consumer can observe the producer's walk cost.
+func (cs *ChangeSet) Encode(w io.Writer) error {
+	var buf bytes.Buffer
+	buf.Write(csMagic[:])
+	var u [binary.MaxVarintLen64]byte
+	putUv := func(v uint64) { buf.Write(u[:binary.PutUvarint(u[:], v)]) }
+	putUv(cs.From)
+	putUv(cs.To)
+	buf.Write(cs.FromRoot[:])
+	buf.Write(cs.ToRoot[:])
+	putUv(uint64(cs.Stats.Tags))
+	putUv(uint64(cs.Stats.TagsSkipped))
+	putUv(uint64(cs.Stats.ChunksShared))
+	putUv(uint64(cs.Stats.ChunksTouched))
+	putUv(uint64(len(cs.Changes)))
+	for i := range cs.Changes {
+		c := &cs.Changes[i]
+		switch c.Kind {
+		case ChangeAdded, ChangeRemoved, ChangeRelabeled:
+		default:
+			return fmt.Errorf("ltree: change-set encode: unknown change kind %d", c.Kind)
+		}
+		putUv(uint64(len(c.Tag)))
+		buf.WriteString(c.Tag)
+		buf.WriteByte(byte(c.Kind))
+		putUv(c.Old.Begin)
+		putUv(c.Old.End)
+		putUv(c.New.Begin)
+		putUv(c.New.End)
+		putUv(uint64(c.Level))
+		putUv(uint64(c.OldLevel))
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// DecodeChangeSet reads one encoded ChangeSet, rejecting short, torn,
+// or trailing-garbage streams. Decoded Changes carry nil Node pointers
+// — node identity does not cross a process boundary.
+func DecodeChangeSet(data []byte) (*ChangeSet, error) {
+	if len(data) < len(csMagic) || !bytes.Equal(data[:len(csMagic)], csMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptChangeSet)
+	}
+	br := bytes.NewReader(data[len(csMagic):])
+	getUv := func() (uint64, error) { return binary.ReadUvarint(br) }
+	cs := &ChangeSet{}
+	var err error
+	if cs.From, err = getUv(); err != nil {
+		return nil, fmt.Errorf("%w: from: %v", ErrCorruptChangeSet, err)
+	}
+	if cs.To, err = getUv(); err != nil {
+		return nil, fmt.Errorf("%w: to: %v", ErrCorruptChangeSet, err)
+	}
+	if _, err := io.ReadFull(br, cs.FromRoot[:]); err != nil {
+		return nil, fmt.Errorf("%w: from root: %v", ErrCorruptChangeSet, err)
+	}
+	if _, err := io.ReadFull(br, cs.ToRoot[:]); err != nil {
+		return nil, fmt.Errorf("%w: to root: %v", ErrCorruptChangeSet, err)
+	}
+	stats := [4]*int{&cs.Stats.Tags, &cs.Stats.TagsSkipped, &cs.Stats.ChunksShared, &cs.Stats.ChunksTouched}
+	for _, p := range stats {
+		v, err := getUv()
+		if err != nil {
+			return nil, fmt.Errorf("%w: stats: %v", ErrCorruptChangeSet, err)
+		}
+		*p = int(v)
+	}
+	n, err := getUv()
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrCorruptChangeSet, err)
+	}
+	if n > uint64(br.Len()) { // every change costs ≥ 7 bytes; cheap bound first
+		return nil, fmt.Errorf("%w: change count %d exceeds stream", ErrCorruptChangeSet, n)
+	}
+	cs.Stats.Changes = int(n)
+	cs.Changes = make([]Change, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var c Change
+		tl, err := getUv()
+		if err != nil || tl > uint64(br.Len()) {
+			return nil, fmt.Errorf("%w: change %d tag length", ErrCorruptChangeSet, i)
+		}
+		tag := make([]byte, tl)
+		if _, err := io.ReadFull(br, tag); err != nil {
+			return nil, fmt.Errorf("%w: change %d tag", ErrCorruptChangeSet, i)
+		}
+		c.Tag = string(tag)
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: change %d kind", ErrCorruptChangeSet, i)
+		}
+		c.Kind = ChangeKind(kind)
+		switch c.Kind {
+		case ChangeAdded, ChangeRemoved, ChangeRelabeled:
+		default:
+			return nil, fmt.Errorf("%w: change %d has unknown kind %d", ErrCorruptChangeSet, i, kind)
+		}
+		labels := [4]*uint64{&c.Old.Begin, &c.Old.End, &c.New.Begin, &c.New.End}
+		for _, p := range labels {
+			if *p, err = getUv(); err != nil {
+				return nil, fmt.Errorf("%w: change %d label", ErrCorruptChangeSet, i)
+			}
+		}
+		lvl, err := getUv()
+		if err != nil {
+			return nil, fmt.Errorf("%w: change %d level", ErrCorruptChangeSet, i)
+		}
+		c.Level = int(lvl)
+		olvl, err := getUv()
+		if err != nil {
+			return nil, fmt.Errorf("%w: change %d old level", ErrCorruptChangeSet, i)
+		}
+		c.OldLevel = int(olvl)
+		cs.Changes = append(cs.Changes, c)
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorruptChangeSet, br.Len())
+	}
+	return cs, nil
+}
+
+// DiffVersions computes the entry-level change set from version `from`
+// to version `to`, walking only the index subtrees whose content hashes
+// disagree: tags and chunks the two versions share — which, for
+// versions related by commits, is everything the intervening batches
+// did not touch — are skipped without decoding an entry, so the cost is
+// O(changed chunks), not O(document).
+//
+// Both versions must still be reachable: the current version always is,
+// and an older one is while some open transaction (View/SnapshotView)
+// pins it — pin first, then diff against the pin's version number
+// later. Unreachable versions return ErrVersionRetired. from and to
+// may arrive in either order; the set is always oriented oldest → To.
+func (s *Store) DiffVersions(from, to uint64) (*ChangeSet, error) {
+	if from > to {
+		from, to = to, from
+	}
+	va, ra, ok := s.vers.PinAt(from)
+	if !ok {
+		return nil, fmt.Errorf("ltree: diff: version %d: %w", from, ErrVersionRetired)
+	}
+	defer ra()
+	vb, rb, ok := s.vers.PinAt(to)
+	if !ok {
+		return nil, fmt.Errorf("ltree: diff: version %d: %w", to, ErrVersionRetired)
+	}
+	defer rb()
+	return diffPinned(va, vb)
+}
+
+// diffPinned runs the hash-pruned walk between two pinned versions.
+func diffPinned(va, vb *index.Version) (*ChangeSet, error) {
+	cs := &ChangeSet{
+		From:     va.N,
+		To:       vb.N,
+		FromRoot: va.Ix.RootHash(),
+		ToRoot:   vb.Ix.RootHash(),
+	}
+	st, err := index.Diff(va.Ix, vb.Ix, func(c Change) error {
+		cs.Changes = append(cs.Changes, c)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cs.Stats = st
+	return cs, nil
+}

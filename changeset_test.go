@@ -1,0 +1,184 @@
+package ltree_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	ltree "github.com/ltree-db/ltree"
+)
+
+// sampleChangeSet covers every change kind and the stats block — the
+// full surface of the codec.
+func sampleChangeSet() *ltree.ChangeSet {
+	cs := &ltree.ChangeSet{From: 7, To: 9}
+	for i := range cs.FromRoot {
+		cs.FromRoot[i] = byte(i)
+		cs.ToRoot[i] = byte(255 - i)
+	}
+	cs.Changes = []ltree.Change{
+		{Tag: "item", Kind: ltree.ChangeAdded, New: ltree.Label{Begin: 10, End: 21}, Level: 3},
+		{Tag: "person", Kind: ltree.ChangeRemoved, Old: ltree.Label{Begin: 4, End: 5}, Level: 2, OldLevel: 2},
+		{Tag: "note", Kind: ltree.ChangeRelabeled,
+			Old: ltree.Label{Begin: 6, End: 7}, New: ltree.Label{Begin: 30, End: 31}, Level: 4, OldLevel: 2},
+	}
+	cs.Stats = ltree.DiffStats{Tags: 3, TagsSkipped: 12, ChunksShared: 40, ChunksTouched: 2, Changes: 3}
+	return cs
+}
+
+// TestChangeSetRoundTrip checks that Encode → Decode reproduces every
+// field the codec promises to carry (all but the process-local Node).
+func TestChangeSetRoundTrip(t *testing.T) {
+	cs := sampleChangeSet()
+	var buf bytes.Buffer
+	if err := cs.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ltree.DecodeChangeSet(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cs) {
+		t.Fatalf("round trip mutated the set:\n got %+v\nwant %+v", got, cs)
+	}
+
+	// Empty set round-trips too.
+	empty := &ltree.ChangeSet{From: 1, To: 1}
+	buf.Reset()
+	if err := empty.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ltree.DecodeChangeSet(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != 1 || got.To != 1 || len(got.Changes) != 0 {
+		t.Fatalf("empty set decoded as %+v", got)
+	}
+}
+
+// TestChangeSetDecodeRejectsCorrupt drives the decoder through every
+// torn prefix of a valid stream plus the classic corruptions; each must
+// surface ErrCorruptChangeSet, never a partial set.
+func TestChangeSetDecodeRejectsCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChangeSet().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	for i := 0; i < len(valid); i++ {
+		if _, err := ltree.DecodeChangeSet(valid[:i]); !errors.Is(err, ltree.ErrCorruptChangeSet) {
+			t.Fatalf("truncation at %d/%d decoded: %v", i, len(valid), err)
+		}
+	}
+	bad := append([]byte(nil), valid...)
+	bad[0] ^= 0xff
+	if _, err := ltree.DecodeChangeSet(bad); !errors.Is(err, ltree.ErrCorruptChangeSet) {
+		t.Fatalf("bad magic decoded: %v", err)
+	}
+	trailing := append(append([]byte(nil), valid...), 0)
+	if _, err := ltree.DecodeChangeSet(trailing); !errors.Is(err, ltree.ErrCorruptChangeSet) {
+		t.Fatalf("trailing garbage decoded: %v", err)
+	}
+
+	// Unknown change kind: encoding refuses to produce one, and the
+	// decoder refuses a stream claiming one.
+	cs := sampleChangeSet()
+	cs.Changes[0].Kind = ltree.ChangeKind(99)
+	if err := cs.Encode(&bytes.Buffer{}); err == nil {
+		t.Fatal("encode accepted an unknown change kind")
+	}
+}
+
+// FuzzChangeSetDecode asserts decoder totality (no panic, no partial
+// result on error) and that anything it accepts re-encodes to a stream
+// that decodes identically. The seed corpus under
+// testdata/fuzz/FuzzChangeSetDecode pins the interesting shapes; run
+// with WRITE_CORPUS=1 on TestChangeSetWriteCorpus to regenerate it.
+func FuzzChangeSetDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cs, err := ltree.DecodeChangeSet(data)
+		if err != nil {
+			if cs != nil {
+				t.Fatal("decode returned a set alongside an error")
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := cs.Encode(&buf); err != nil {
+			t.Fatalf("re-encoding an accepted set: %v", err)
+		}
+		cs2, err := ltree.DecodeChangeSet(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded set: %v", err)
+		}
+		if !reflect.DeepEqual(cs, cs2) {
+			t.Fatalf("decode/encode/decode not a fixpoint:\n got %+v\nwant %+v", cs2, cs)
+		}
+	})
+}
+
+// fuzzSeeds builds the in-code seed inputs: the canonical sample, an
+// empty set, and near-miss corruptions the decoder must survive.
+func fuzzSeeds() [][]byte {
+	var out [][]byte
+	for _, cs := range []*ltree.ChangeSet{sampleChangeSet(), {From: 1, To: 1}} {
+		var buf bytes.Buffer
+		if err := cs.Encode(&buf); err == nil {
+			out = append(out, buf.Bytes())
+		}
+	}
+	valid := out[0]
+	out = append(out,
+		nil,
+		[]byte("LTCS"),
+		valid[:len(valid)/2],
+		append(append([]byte(nil), valid...), 0xff),
+	)
+	return out
+}
+
+// TestChangeSetWriteCorpus regenerates the checked-in fuzz seed corpus
+// when run with WRITE_CORPUS=1; otherwise it verifies every corpus file
+// still parses as a Go fuzz input. Keeping the seeds on disk lets the
+// CI fuzz smoke start from the interesting shapes without a warmup.
+func TestChangeSetWriteCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzChangeSetDecode")
+	if os.Getenv("WRITE_CORPUS") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range fuzzSeeds() {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fuzz corpus missing (regenerate with WRITE_CORPUS=1): %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("fuzz corpus directory is empty")
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(data, []byte("go test fuzz v1\n")) {
+			t.Fatalf("%s: not a go fuzz corpus entry", e.Name())
+		}
+	}
+}

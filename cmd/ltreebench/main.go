@@ -57,6 +57,7 @@ var experiments = []experiment{
 	{"serve", "engine: follower fleet over the wire — aggregate queries/sec vs single store, per-follower fan-out cost", expServe},
 	{"forest", "engine: sharded forest — parallel commit pipelines, parallel recovery, k-way merged drain tax", expForest},
 	{"blob", "engine: blob storage tier — async upload commit tax, blob-seeded bootstrap, history beyond released local disk", expBlob},
+	{"diff", "engine: hash-pruned version diff — O(changed chunks) walk vs full-fingerprint oracle on a 1%-touched document", expDiff},
 }
 
 func main() {

@@ -1,0 +1,269 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	ltree "github.com/ltree-db/ltree"
+	"github.com/ltree-db/ltree/internal/storage"
+)
+
+// newLeaderServer builds a WAL-backed leader and its HTTP server with
+// the given long-poll budget.
+func newLeaderServer(t *testing.T, maxWait time.Duration) (*ltree.Store, *httptest.Server) {
+	t.Helper()
+	w, err := ltree.NewWALBackend(t.TempDir(), ltree.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	st, err := ltree.OpenString(`<shop><item><name>mug</name></item></shop>`, ltree.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WithWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(&leaderNode{Store: st, src: w.(storage.TailSource)}, maxWait))
+	t.Cleanup(srv.Close)
+	return st, srv
+}
+
+// TestChangesEndpoint drives the /v1/changes long-poll on a leader: a
+// commit inside the poll window surfaces as a 200 change set, an idle
+// window drains to 204, and a retired cursor is a 410.
+func TestChangesEndpoint(t *testing.T) {
+	st, srv := newLeaderServer(t, 2*time.Second)
+
+	// Commit while the poll is parked: the feed must wake it.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(100 * time.Millisecond)
+		_ = st.Update(func(b *ltree.Batch) error {
+			_, err := b.InsertXML(st.Elements("shop")[0], 0, `<item><name>pot</name></item>`)
+			return err
+		})
+	}()
+	var cj changesJSON
+	resp := getJSON(t, srv, "/v1/changes", &cj)
+	<-done
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("changes during commit: status %d", resp.StatusCode)
+	}
+	if cj.To <= cj.From || cj.Count != len(cj.Changes) || cj.Count == 0 {
+		t.Fatalf("changes reply: %+v", cj)
+	}
+	sawItem := false
+	for _, c := range cj.Changes {
+		if c.Kind == "added" && c.Tag == "item" {
+			sawItem = true
+		}
+	}
+	if !sawItem {
+		t.Fatalf("added <item> missing from %+v", cj.Changes)
+	}
+	if cj.ToRoot == "" || cj.FromRoot == "" || cj.ToRoot == cj.FromRoot {
+		t.Fatalf("change set roots not populated: from=%q to=%q", cj.FromRoot, cj.ToRoot)
+	}
+
+	// since=<old pinned version> backfills immediately, no new commit
+	// needed.
+	pin := st.SnapshotView()
+	defer pin.Close()
+	if err := st.Update(func(b *ltree.Batch) error {
+		_, err := b.InsertXML(st.Elements("shop")[0], 0, `<item><name>urn</name></item>`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp = getJSON(t, srv, "/v1/changes?since="+jsonUint(pin.Version()), &cj)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("changes since pinned: status %d", resp.StatusCode)
+	}
+	if cj.From != pin.Version() || cj.To != st.IndexVersion() {
+		t.Fatalf("backfill %d→%d, want %d→%d", cj.From, cj.To, pin.Version(), st.IndexVersion())
+	}
+
+	// A cursor no transaction pins anymore is gone, not silently reset.
+	if resp := getJSON(t, srv, "/v1/changes?since=1", nil); resp.StatusCode != http.StatusGone {
+		t.Fatalf("changes since retired: status %d, want 410", resp.StatusCode)
+	}
+
+	// Garbage cursor.
+	if resp := getJSON(t, srv, "/v1/changes?since=no", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("changes with bad since: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestChangesEndpointTimeout pins the idle contract: no commit inside
+// the window means 204, not a hang and not an empty 200.
+func TestChangesEndpointTimeout(t *testing.T) {
+	_, srv := newLeaderServer(t, 200*time.Millisecond)
+	start := time.Now()
+	resp := getJSON(t, srv, "/v1/changes", nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("idle changes: status %d, want 204", resp.StatusCode)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("idle changes poll did not respect the wait budget")
+	}
+}
+
+// TestChangesEndpointScoped checks path scoping through the HTTP
+// surface: an out-of-scope commit does not satisfy the poll, an
+// in-scope one does.
+func TestChangesEndpointScoped(t *testing.T) {
+	st, srv := newLeaderServer(t, 2*time.Second)
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		// Out of scope, appended after <item> so the insert allocates
+		// labels from the trailing gap instead of relabeling the scoped
+		// subtree (a relabel of <item> itself would be in scope).
+		_ = st.Update(func(b *ltree.Batch) error {
+			shop := st.Elements("shop")[0]
+			_, err := b.InsertXML(shop, shop.NumChildren(), `<aside/>`)
+			return err
+		})
+		time.Sleep(100 * time.Millisecond)
+		_ = st.Update(func(b *ltree.Batch) error { // in scope
+			_, err := b.InsertXML(st.Elements("item")[0], 0, `<name>alt</name>`)
+			return err
+		})
+	}()
+	var cj changesJSON
+	resp := getJSON(t, srv, "/v1/changes?path=//item", &cj)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scoped changes: status %d", resp.StatusCode)
+	}
+	for _, c := range cj.Changes {
+		if c.Tag == "aside" {
+			t.Fatalf("out-of-scope change delivered: %+v", c)
+		}
+	}
+	sawName := false
+	for _, c := range cj.Changes {
+		if c.Kind == "added" && c.Tag == "name" {
+			sawName = true
+		}
+	}
+	if !sawName {
+		t.Fatalf("in-scope added <name> missing from %+v", cj.Changes)
+	}
+}
+
+// TestChangesEndpointForest pins the forest answer: its history is
+// per-shard, so the composite feed is refused with 501 rather than
+// served wrong.
+func TestChangesEndpointForest(t *testing.T) {
+	f, err := ltree.OpenForest(t.TempDir(), ltree.ForestOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fsrv := httptest.NewServer(newHandler(&forestNode{Forest: f}, time.Second))
+	defer fsrv.Close()
+	if resp := getJSON(t, fsrv, "/v1/changes", nil); resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("forest changes: status %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestForestStatsTiers pins the /v1/stats regression this PR fixes: a
+// forest whose shards own WAL backends must report the wal (and, when
+// tiered, blob) sections both per shard and as forest-wide totals —
+// they were silently omitted before.
+func TestForestStatsTiers(t *testing.T) {
+	f, err := ltree.OpenForest(t.TempDir(), ltree.ForestOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Put("d1", `<site><people><person>alice</person></people></site>`); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(&forestNode{Forest: f}, time.Second))
+	defer srv.Close()
+
+	var stats map[string]any
+	if resp := getJSON(t, srv, "/v1/stats", &stats); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+	wal, ok := stats["wal"].(map[string]any)
+	if !ok {
+		t.Fatalf("forest stats lack a wal section: %v", stats)
+	}
+	if _, ok := wal["local_segments"]; !ok {
+		t.Fatalf("forest wal section lacks local_segments: %v", wal)
+	}
+	shards, ok := stats["shard"].([]any)
+	if !ok || len(shards) != 2 {
+		t.Fatalf("forest stats lack the per-shard breakdown: %v", stats)
+	}
+	for i, raw := range shards {
+		sh, ok := raw.(map[string]any)
+		if !ok {
+			t.Fatalf("shard %d stats: %v", i, raw)
+		}
+		if _, ok := sh["wal"].(map[string]any); !ok {
+			t.Fatalf("shard %d stats lack a wal section: %v", i, sh)
+		}
+		root, ok := sh["root_hash"].(string)
+		if !ok || len(root) != 64 {
+			t.Fatalf("shard %d stats lack a root_hash: %v", i, sh)
+		}
+	}
+}
+
+// TestChangesEndpointFollower keeps the follower half of the feed
+// covered without a TCP ship server: the follower tails the leader's
+// in-process WAL handle, and its feed fires off the apply seam.
+func TestChangesEndpointFollower(t *testing.T) {
+	w, err := ltree.NewWALBackend(t.TempDir(), ltree.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	st, err := ltree.OpenString(`<shop><item><name>mug</name></item></shop>`, ltree.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WithWAL(w); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ltree.OpenFollower(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fsrv := httptest.NewServer(newHandler(&followerNode{Follower: f}, 2*time.Second))
+	defer fsrv.Close()
+
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		_ = st.Update(func(b *ltree.Batch) error {
+			_, err := b.InsertXML(st.Elements("shop")[0], 0, `<item><name>jar</name></item>`)
+			return err
+		})
+	}()
+	var cj changesJSON
+	resp := getJSON(t, fsrv, "/v1/changes", &cj)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower changes: status %d", resp.StatusCode)
+	}
+	if cj.Count == 0 || !strings.Contains(string(mustJSON(t, cj)), `"added"`) {
+		t.Fatalf("follower change set: %+v", cj)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -8,6 +8,15 @@
 //	                                          per shard on a forest node
 //	GET    /v1/query?q=EXPR[&wait_seq=N]      path query over the store
 //	GET    /v1/elements?tag=T[&wait_seq=N]    all elements with tag T
+//	GET    /v1/changes?since=N[&path=P]       long-poll change feed: the
+//	                                          hash-pruned diff from index
+//	                                          version N to the current one
+//	                                          (or the next commit when
+//	                                          already current; 204 after
+//	                                          -wait with nothing new).
+//	                                          path scopes to one subtree
+//	                                          family. 501 on a forest —
+//	                                          histories are per-shard.
 //	POST   /v1/insert?parent=EXPR[&idx=I]     write; body is an XML
 //	                                          fragment; returns the
 //	                                          commit's WAL seq
@@ -35,15 +44,15 @@ import (
 )
 
 // node is what the HTTP layer needs from any role: the shared
-// snapshot-isolated read surface, a freshness gate, and write hooks
-// (leaders and forests commit, followers refuse; whole-document routing
-// exists only on forests).
+// snapshot-isolated read surface (ltree.Reader — every role implements
+// it, so the handlers never switch on the concrete node type), plus a
+// freshness gate, the change feed, and write hooks (leaders and forests
+// commit, followers refuse; whole-document routing exists only on
+// forests).
 type node interface {
-	Query(expr string) ([]*ltree.Elem, error)
-	Elements(tag string) []*ltree.Elem
-	Label(n *ltree.Elem) (ltree.Label, error)
-	IndexVersion() uint64
+	ltree.Reader
 	WaitFor(seq uint64, timeout time.Duration) error
+	Changes(since uint64, path string, wait time.Duration) (*ltree.ChangeSet, error)
 	Insert(parentExpr string, idx int, fragment string) (uint64, error)
 	PutDoc(id, src string) (uint64, error)
 	DeleteDoc(id string) (uint64, error)
@@ -56,23 +65,54 @@ var errReadOnly = errors.New("ltreed: node is a read-only follower; write to the
 // errNotForest rejects document routing on single-store roles.
 var errNotForest = errors.New("ltreed: node is not a forest; start with -forest to route documents")
 
-// leaderNode adapts a WAL-attached Store.
-type leaderNode struct {
-	st  *ltree.Store
-	src storage.TailSource
+// errForestChanges rejects the unified change feed on a forest: each
+// shard has its own version history, so feeds are per-shard.
+var errForestChanges = errors.New("ltreed: a forest has per-shard version histories; subscribe to one shard's store")
+
+// watchSource is the change-feed seam shared by Store and Follower.
+type watchSource interface {
+	Watch(ltree.WatchOptions) (*ltree.Watcher, error)
 }
 
-func (l *leaderNode) Query(expr string) ([]*ltree.Elem, error) { return l.st.Query(expr) }
-func (l *leaderNode) Elements(tag string) []*ltree.Elem        { return l.st.Elements(tag) }
-func (l *leaderNode) Label(n *ltree.Elem) (ltree.Label, error) { return l.st.Label(n) }
-func (l *leaderNode) IndexVersion() uint64                     { return l.st.IndexVersion() }
+// changesSince answers one long-poll: the first feed event (which
+// covers since → current when the store has already moved, or the next
+// commit otherwise), or nil after the wait bound with nothing to
+// report.
+func changesSince(src watchSource, since uint64, path string, wait time.Duration) (*ltree.ChangeSet, error) {
+	w, err := src.Watch(ltree.WatchOptions{Since: since, Path: path, Buffer: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	select {
+	case ev, ok := <-w.C:
+		if !ok {
+			return nil, w.Err()
+		}
+		return ev.Changes, nil
+	case <-time.After(wait):
+		return nil, nil
+	}
+}
+
+// leaderNode adapts a WAL-attached Store. The embedded Store provides
+// the whole Reader surface; only the role-specific seams are written
+// out.
+type leaderNode struct {
+	*ltree.Store
+	src storage.TailSource
+}
 
 // WaitFor on the leader is trivially satisfied: the store IS the
 // durable state the seq refers to.
 func (l *leaderNode) WaitFor(uint64, time.Duration) error { return nil }
 
+func (l *leaderNode) Changes(since uint64, path string, wait time.Duration) (*ltree.ChangeSet, error) {
+	return changesSince(l.Store, since, path, wait)
+}
+
 func (l *leaderNode) Insert(parentExpr string, idx int, fragment string) (uint64, error) {
-	parents, err := l.st.Query(parentExpr)
+	parents, err := l.Query(parentExpr)
 	if err != nil {
 		return 0, err
 	}
@@ -82,7 +122,7 @@ func (l *leaderNode) Insert(parentExpr string, idx int, fragment string) (uint64
 	if idx < 0 {
 		idx = len(parents[0].Children())
 	}
-	if _, err := l.st.InsertXML(parents[0], idx, fragment); err != nil {
+	if _, err := l.InsertXML(parents[0], idx, fragment); err != nil {
 		return 0, err
 	}
 	return l.src.Seq(), nil
@@ -92,64 +132,73 @@ func (l *leaderNode) PutDoc(string, string) (uint64, error) { return 0, errNotFo
 func (l *leaderNode) DeleteDoc(string) (uint64, error)      { return 0, errNotForest }
 
 func (l *leaderNode) Stats() map[string]any {
-	open, retired := l.st.TxnStats()
+	rs := l.ReaderStats()
 	m := map[string]any{
 		"role":          "leader",
 		"seq":           l.src.Seq(),
 		"rebases":       l.src.Rebases(),
-		"index_version": l.st.IndexVersion(),
-		"txn_open":      open,
-		"txn_retired":   retired,
+		"index_version": rs.IndexVersion,
+		"root_hash":     fmt.Sprintf("%x", l.RootHash()),
+		"txn_open":      rs.TxnOpen,
+		"txn_retired":   rs.TxnRetired,
 	}
 	// WAL retention state, and the blob tier's accounting when one is
 	// attached — dashboards watch blob.upload_lag (sealed records not yet
 	// object-store durable) and wal.local_segments (disk footprint).
-	if ws, ok := l.st.WALStats(); ok {
-		m["wal"] = map[string]any{
-			"checkpoint_seq":    ws.CheckpointSeq,
-			"local_segments":    ws.LocalSegments,
-			"oldest_local_base": ws.OldestLocalBase,
-			"leases":            ws.Leases,
-			"lease_floor":       ws.LeaseFloor,
-		}
+	if ws, ok := l.WALStats(); ok {
+		m["wal"] = walJSON(ws)
 		if ws.Tier != nil {
-			m["blob"] = map[string]any{
-				"durable_seq":          ws.Tier.DurableSeq,
-				"upload_lag":           ws.Tier.UploadLag,
-				"pending_segments":     ws.Tier.PendingSegments,
-				"uploaded_segments":    ws.Tier.UploadedSegments,
-				"uploaded_checkpoints": ws.Tier.UploadedCheckpoints,
-				"bytes_uploaded":       ws.Tier.BytesUploaded,
-				"upload_retries":       ws.Tier.UploadRetries,
-				"fetches":              ws.Tier.Fetches,
-				"fetch_bytes":          ws.Tier.FetchBytes,
-				"local_released":       ws.Tier.LocalReleased,
-				"manifest_writes":      ws.Tier.ManifestWrites,
-			}
+			m["blob"] = blobJSON(ws.Tier)
 		}
 	}
 	return m
 }
 
-// followerNode adapts a replicating Follower.
-type followerNode struct {
-	f *ltree.Follower
+// walJSON renders one backend's retention state; shared by the leader
+// and the per-shard forest sections.
+func walJSON(ws ltree.WALStats) map[string]any {
+	return map[string]any{
+		"checkpoint_seq":    ws.CheckpointSeq,
+		"local_segments":    ws.LocalSegments,
+		"oldest_local_base": ws.OldestLocalBase,
+		"leases":            ws.Leases,
+		"lease_floor":       ws.LeaseFloor,
+	}
 }
 
-func (n *followerNode) Query(expr string) ([]*ltree.Elem, error) { return n.f.Query(expr) }
-func (n *followerNode) Elements(tag string) []*ltree.Elem        { return n.f.Elements(tag) }
-func (n *followerNode) Label(e *ltree.Elem) (ltree.Label, error) { return n.f.Label(e) }
-func (n *followerNode) IndexVersion() uint64                     { return n.f.IndexVersion() }
-func (n *followerNode) WaitFor(seq uint64, timeout time.Duration) error {
-	return n.f.WaitFor(seq, timeout)
+func blobJSON(t *ltree.BlobTierStats) map[string]any {
+	return map[string]any{
+		"durable_seq":          t.DurableSeq,
+		"upload_lag":           t.UploadLag,
+		"pending_segments":     t.PendingSegments,
+		"uploaded_segments":    t.UploadedSegments,
+		"uploaded_checkpoints": t.UploadedCheckpoints,
+		"bytes_uploaded":       t.BytesUploaded,
+		"upload_retries":       t.UploadRetries,
+		"fetches":              t.Fetches,
+		"fetch_bytes":          t.FetchBytes,
+		"local_released":       t.LocalReleased,
+		"manifest_writes":      t.ManifestWrites,
+	}
 }
+
+// followerNode adapts a replicating Follower; the embedded Follower
+// provides Reader and WaitFor.
+type followerNode struct {
+	*ltree.Follower
+}
+
+func (n *followerNode) Changes(since uint64, path string, wait time.Duration) (*ltree.ChangeSet, error) {
+	return changesSince(n.Follower, since, path, wait)
+}
+
 func (n *followerNode) Insert(string, int, string) (uint64, error) { return 0, errReadOnly }
 func (n *followerNode) PutDoc(string, string) (uint64, error)      { return 0, errReadOnly }
 func (n *followerNode) DeleteDoc(string) (uint64, error)           { return 0, errReadOnly }
 
 func (n *followerNode) Stats() map[string]any {
-	s := n.f.Stats()
-	open, retired := n.f.TxnStats()
+	s := n.Follower.Stats()
+	rs := n.ReaderStats()
 	m := map[string]any{
 		"role":          "follower",
 		"applied_seq":   s.AppliedSeq,
@@ -157,9 +206,10 @@ func (n *followerNode) Stats() map[string]any {
 		"lag":           s.Lag,
 		"batches":       s.Batches,
 		"running":       s.Running,
-		"index_version": n.f.IndexVersion(),
-		"txn_open":      open,
-		"txn_retired":   retired,
+		"index_version": rs.IndexVersion,
+		"root_hash":     fmt.Sprintf("%x", n.RootHash()),
+		"txn_open":      rs.TxnOpen,
+		"txn_retired":   rs.TxnRetired,
 	}
 	if s.Err != nil {
 		m["error"] = s.Err.Error()
@@ -169,50 +219,42 @@ func (n *followerNode) Stats() map[string]any {
 
 // forestNode adapts a sharded Forest: reads scatter-gather across every
 // shard, writes route to the owning shard, and /v1/doc gains meaning.
+// The embedded Forest provides Reader (composite versions, merged
+// streams).
 type forestNode struct {
-	f *ltree.Forest
-}
-
-func (n *forestNode) Query(expr string) ([]*ltree.Elem, error) { return n.f.Query(expr) }
-func (n *forestNode) Elements(tag string) []*ltree.Elem        { return n.f.Elements(tag) }
-func (n *forestNode) Label(e *ltree.Elem) (ltree.Label, error) { return n.f.Label(e) }
-
-// IndexVersion sums the per-shard versions: each shard commit bumps
-// exactly one of them, so the sum is a monotone forest-wide version.
-func (n *forestNode) IndexVersion() uint64 {
-	var total uint64
-	for _, sh := range n.f.Stats().Shard {
-		total += sh.IndexVersion
-	}
-	return total
+	*ltree.Forest
 }
 
 // WaitFor on a forest leader is trivially satisfied, as on a store
 // leader: the shards ARE the durable state any returned seq refers to.
 func (n *forestNode) WaitFor(uint64, time.Duration) error { return nil }
 
+func (n *forestNode) Changes(uint64, string, time.Duration) (*ltree.ChangeSet, error) {
+	return nil, errForestChanges
+}
+
 // shardSeq is the WAL seq a write to docID just advanced — the
 // per-shard freshness token handed back to clients.
 func (n *forestNode) shardSeq(docID string) uint64 {
-	return n.f.Stats().Shard[n.f.ShardFor(docID)].Seq
+	return n.Forest.Stats().Shard[n.ShardFor(docID)].Seq
 }
 
 func (n *forestNode) Insert(parentExpr string, idx int, fragment string) (uint64, error) {
-	parents, err := n.f.Query(parentExpr)
+	parents, err := n.Query(parentExpr)
 	if err != nil {
 		return 0, err
 	}
 	if len(parents) != 1 {
 		return 0, fmt.Errorf("ltreed: parent query %q matched %d elements, need exactly 1", parentExpr, len(parents))
 	}
-	id, ok := n.f.DocOf(parents[0])
+	id, ok := n.DocOf(parents[0])
 	if !ok {
 		return 0, fmt.Errorf("ltreed: parent of %q is not inside a forest document", parentExpr)
 	}
 	if idx < 0 {
 		idx = len(parents[0].Children())
 	}
-	err = n.f.Update(id, func(b *ltree.Batch, _ *ltree.Elem) error {
+	err = n.Update(id, func(b *ltree.Batch, _ *ltree.Elem) error {
 		_, err := b.InsertXML(parents[0], idx, fragment)
 		return err
 	})
@@ -223,7 +265,7 @@ func (n *forestNode) Insert(parentExpr string, idx int, fragment string) (uint64
 }
 
 func (n *forestNode) PutDoc(id, src string) (uint64, error) {
-	if _, err := n.f.Put(id, src); err != nil {
+	if _, err := n.Put(id, src); err != nil {
 		return 0, err
 	}
 	return n.shardSeq(id), nil
@@ -232,19 +274,24 @@ func (n *forestNode) PutDoc(id, src string) (uint64, error) {
 func (n *forestNode) DeleteDoc(id string) (uint64, error) {
 	// Capture the owning shard first: the registry forgets the id the
 	// moment the delete commits.
-	shard := n.f.ShardFor(id)
-	if err := n.f.Delete(id); err != nil {
+	shard := n.ShardFor(id)
+	if err := n.Forest.Delete(id); err != nil {
 		return 0, err
 	}
-	return n.f.Stats().Shard[shard].Seq, nil
+	return n.Forest.Stats().Shard[shard].Seq, nil
 }
 
 // Stats aggregates the per-shard counters instead of assuming one
 // backend: forest-wide totals first, then the per-shard breakdown.
+// Shards own real WAL backends, so each shard section carries the same
+// wal/blob retention state a leader reports, and the forest totals sum
+// the tier accounting across shards.
 func (n *forestNode) Stats() map[string]any {
-	s := n.f.Stats()
+	s := n.Forest.Stats()
 	var open, retired int
 	var seq, iv uint64
+	var segs, lag uint64
+	var tiered bool
 	perShard := make([]map[string]any, len(s.Shard))
 	for i, sh := range s.Shard {
 		open += sh.TxnOpen
@@ -257,9 +304,19 @@ func (n *forestNode) Stats() map[string]any {
 			"index_version": sh.IndexVersion,
 			"txn_open":      sh.TxnOpen,
 			"txn_retired":   sh.TxnRetired,
+			"root_hash":     fmt.Sprintf("%x", n.ShardStore(i).RootHash()),
+		}
+		if ws, ok := n.ShardStore(i).WALStats(); ok {
+			perShard[i]["wal"] = walJSON(ws)
+			segs += uint64(ws.LocalSegments)
+			if ws.Tier != nil {
+				perShard[i]["blob"] = blobJSON(ws.Tier)
+				lag += ws.Tier.UploadLag
+				tiered = true
+			}
 		}
 	}
-	return map[string]any{
+	m := map[string]any{
 		"role":          "forest",
 		"shards":        s.Shards,
 		"docs":          s.Docs,
@@ -267,8 +324,13 @@ func (n *forestNode) Stats() map[string]any {
 		"index_version": iv,
 		"txn_open":      open,
 		"txn_retired":   retired,
+		"wal":           map[string]any{"local_segments": segs},
 		"shard":         perShard,
 	}
+	if tiered {
+		m["blob"] = map[string]any{"upload_lag": lag}
+	}
+	return m
 }
 
 // elemJSON is one query result on the wire: the element, its interval
@@ -295,6 +357,7 @@ func newHandler(n node, maxWait time.Duration) http.Handler {
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("GET /v1/stats", h.stats)
+	mux.HandleFunc("GET /v1/changes", h.changes)
 	mux.HandleFunc("GET /v1/query", h.query)
 	mux.HandleFunc("GET /v1/elements", h.elements)
 	mux.HandleFunc("POST /v1/insert", h.insert)
@@ -462,6 +525,96 @@ func writeErr(w http.ResponseWriter, err error) {
 
 func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, h.n.Stats())
+}
+
+// changeJSON is one index entry change on the wire.
+type changeJSON struct {
+	Kind string `json:"kind"` // "added", "removed", "relabeled"
+	Tag  string `json:"tag"`
+	// Old/New are the entry's interval labels on each side; removed
+	// changes carry only old, added only new, relabeled both.
+	OldBegin uint64 `json:"old_begin,omitempty"`
+	OldEnd   uint64 `json:"old_end,omitempty"`
+	NewBegin uint64 `json:"new_begin,omitempty"`
+	NewEnd   uint64 `json:"new_end,omitempty"`
+	Level    int    `json:"level"`
+	// OldLevel is the old entry's depth — it differs from Level only
+	// for a relabel caused by a move across depths.
+	OldLevel int `json:"old_level,omitempty"`
+}
+
+type changesJSON struct {
+	From     uint64       `json:"from"`
+	To       uint64       `json:"to"`
+	FromRoot string       `json:"from_root"`
+	ToRoot   string       `json:"to_root"`
+	Count    int          `json:"count"`
+	Changes  []changeJSON `json:"changes"`
+}
+
+func changeKind(k ltree.ChangeKind) string {
+	switch k {
+	case ltree.ChangeAdded:
+		return "added"
+	case ltree.ChangeRemoved:
+		return "removed"
+	case ltree.ChangeRelabeled:
+		return "relabeled"
+	}
+	return "unknown"
+}
+
+// changes serves the long-poll change feed. 200 with the diff when the
+// store moved past since (now, or within the wait bound), 204 when it
+// did not, 410 when since has been retired (the client must resync from
+// a full read), 501 on a forest.
+func (h *handler) changes(w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	cs, err := h.n.Changes(since, r.URL.Query().Get("path"), h.maxWait)
+	switch {
+	case errors.Is(err, errForestChanges):
+		http.Error(w, err.Error(), http.StatusNotImplemented)
+		return
+	case errors.Is(err, ltree.ErrVersionRetired):
+		http.Error(w, err.Error(), http.StatusGone)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	case cs == nil:
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	out := changesJSON{
+		From:     cs.From,
+		To:       cs.To,
+		FromRoot: fmt.Sprintf("%x", cs.FromRoot),
+		ToRoot:   fmt.Sprintf("%x", cs.ToRoot),
+		Count:    len(cs.Changes),
+		Changes:  make([]changeJSON, 0, len(cs.Changes)),
+	}
+	for _, c := range cs.Changes {
+		cj := changeJSON{Kind: changeKind(c.Kind), Tag: c.Tag, Level: c.Level, OldLevel: c.OldLevel}
+		switch c.Kind {
+		case ltree.ChangeRemoved:
+			cj.OldBegin, cj.OldEnd = c.Old.Begin, c.Old.End
+		case ltree.ChangeAdded:
+			cj.NewBegin, cj.NewEnd = c.New.Begin, c.New.End
+		default:
+			cj.OldBegin, cj.OldEnd = c.Old.Begin, c.Old.End
+			cj.NewBegin, cj.NewEnd = c.New.Begin, c.New.End
+		}
+		out.Changes = append(out.Changes, cj)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

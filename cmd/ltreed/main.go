@@ -160,7 +160,7 @@ func runLeader(walDir, seed, shipAddr, httpAddr, blobDir, blobPrefix string, blo
 
 	src := w.(storage.TailSource)
 	log.Printf("leader: http %s, shipping %s, wal %s (seq %d)", httpAddr, ln.Addr(), walDir, src.Seq())
-	return http.ListenAndServe(httpAddr, newHandler(&leaderNode{st: st, src: src}, wait))
+	return http.ListenAndServe(httpAddr, newHandler(&leaderNode{Store: st, src: src}, wait))
 }
 
 // runForest opens (or creates) a document-sharded forest — every shard
@@ -172,7 +172,7 @@ func runForest(dir string, shards int, httpAddr string, wait time.Duration) erro
 	}
 	s := f.Stats()
 	log.Printf("forest: http %s, dir %s (%d shards, %d docs)", httpAddr, dir, s.Shards, s.Docs)
-	return http.ListenAndServe(httpAddr, newHandler(&forestNode{f: f}, wait))
+	return http.ListenAndServe(httpAddr, newHandler(&forestNode{Forest: f}, wait))
 }
 
 // runFollower attaches a replica to a remote leader and serves reads.
@@ -206,5 +206,5 @@ func runFollower(leaderAddr, httpAddr, blobDir, blobPrefix string, wait time.Dur
 		}
 	}
 	log.Printf("follower: http %s, leader %s (applied seq %d)", httpAddr, leaderAddr, f.Stats().AppliedSeq)
-	return http.ListenAndServe(httpAddr, newHandler(&followerNode{f: f}, wait))
+	return http.ListenAndServe(httpAddr, newHandler(&followerNode{Follower: f}, wait))
 }

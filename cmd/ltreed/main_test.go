@@ -61,7 +61,7 @@ func TestLeaderFollowerHTTP(t *testing.T) {
 	defer ship.Close()
 
 	src := w.(storage.TailSource)
-	leaderSrv := httptest.NewServer(newHandler(&leaderNode{st: st, src: src}, 5*time.Second))
+	leaderSrv := httptest.NewServer(newHandler(&leaderNode{Store: st, src: src}, 5*time.Second))
 	defer leaderSrv.Close()
 
 	// Follower: attaches over TCP, serves the same surface.
@@ -76,7 +76,7 @@ func TestLeaderFollowerHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	followerSrv := httptest.NewServer(newHandler(&followerNode{f: f}, time.Second))
+	followerSrv := httptest.NewServer(newHandler(&followerNode{Follower: f}, time.Second))
 	defer followerSrv.Close()
 
 	// Both roles answer the seeded query.
@@ -227,7 +227,7 @@ func TestForestHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	srv := httptest.NewServer(newHandler(&forestNode{f: f}, time.Second))
+	srv := httptest.NewServer(newHandler(&forestNode{Forest: f}, time.Second))
 	defer srv.Close()
 
 	// Upsert documents; each lands on its id's shard.
@@ -361,7 +361,7 @@ func TestLeaderBlobStatsAndSeededFollower(t *testing.T) {
 	go ship.Serve(ln)
 	defer ship.Close()
 
-	leaderSrv := httptest.NewServer(newHandler(&leaderNode{st: st, src: w.(storage.TailSource)}, 5*time.Second))
+	leaderSrv := httptest.NewServer(newHandler(&leaderNode{Store: st, src: w.(storage.TailSource)}, 5*time.Second))
 	defer leaderSrv.Close()
 
 	// /v1/stats carries the retention + tier sections.
@@ -402,7 +402,7 @@ func TestLeaderBlobStatsAndSeededFollower(t *testing.T) {
 		t.Fatalf("blob-seeded bootstrap: %v", err)
 	}
 	defer f.Close()
-	followerSrv := httptest.NewServer(newHandler(&followerNode{f: f}, 5*time.Second))
+	followerSrv := httptest.NewServer(newHandler(&followerNode{Follower: f}, 5*time.Second))
 	defer followerSrv.Close()
 
 	// A write on the leader after the seed reaches the follower live.
@@ -438,7 +438,7 @@ func TestHealthz(t *testing.T) {
 	if err := st.WithWAL(w); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(&leaderNode{st: st, src: w.(storage.TailSource)}, time.Second))
+	srv := httptest.NewServer(newHandler(&leaderNode{Store: st, src: w.(storage.TailSource)}, time.Second))
 	defer srv.Close()
 	resp, err := srv.Client().Get(srv.URL + "/healthz")
 	if err != nil {

@@ -1,0 +1,277 @@
+package ltree_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	ltree "github.com/ltree-db/ltree"
+)
+
+// This file pins DiffVersions against a provider that cannot be wrong:
+// a full-fingerprint oracle that scans every entry of both versions and
+// takes a multiset difference. The diff walks only unequal-hash
+// subtrees; the oracle walks everything — if they ever disagree on the
+// net content change, the pruning dropped or invented something.
+
+// diffKey is the content identity of one index entry — what both the
+// diff and the oracle ultimately compare.
+type diffKey struct {
+	tag        string
+	begin, end uint64
+	level      int
+}
+
+// canonChanges flattens a ChangeSet to net (removed, added) multisets
+// over entry content. A relabel contributes to both sides, and pairs
+// meeting at the same content key cancel: two relabels can hand a label
+// position from one node to another, which the node-blind oracle sees
+// as no content change at all.
+func canonChanges(cs *ltree.ChangeSet) (rem, add map[diffKey]int) {
+	rem, add = map[diffKey]int{}, map[diffKey]int{}
+	for _, c := range cs.Changes {
+		if c.Kind == ltree.ChangeRemoved || c.Kind == ltree.ChangeRelabeled {
+			rem[diffKey{c.Tag, c.Old.Begin, c.Old.End, c.OldLevel}]++
+		}
+		if c.Kind == ltree.ChangeAdded || c.Kind == ltree.ChangeRelabeled {
+			add[diffKey{c.Tag, c.New.Begin, c.New.End, c.Level}]++
+		}
+	}
+	for k, r := range rem {
+		a := add[k]
+		if a == 0 {
+			continue
+		}
+		m := min(r, a)
+		if rem[k] -= m; rem[k] == 0 {
+			delete(rem, k)
+		}
+		if add[k] -= m; add[k] == 0 {
+			delete(add, k)
+		}
+	}
+	return rem, add
+}
+
+// fingerprintAt scans one pinned version's entire index content.
+func fingerprintAt(t *testing.T, r ltree.Reader, v uint64) map[diffKey]int {
+	t.Helper()
+	tx, err := r.SnapshotAt(v)
+	if err != nil {
+		t.Fatalf("snapshot at %d: %v", v, err)
+	}
+	defer tx.Close()
+	fp := map[diffKey]int{}
+	for _, e := range tx.Elements("*") {
+		lab, err := tx.Label(e)
+		if err != nil {
+			t.Fatalf("label at %d: %v", v, err)
+		}
+		// tx.Level, not e.Level(): the entry's depth as of the pinned
+		// version, not the node's live depth after later moves.
+		lvl, err := tx.Level(e)
+		if err != nil {
+			t.Fatalf("level at %d: %v", v, err)
+		}
+		fp[diffKey{e.Tag(), lab.Begin, lab.End, lvl}]++
+	}
+	return fp
+}
+
+// oracleDiff is the full-scan baseline: fingerprint both versions, then
+// multiset-subtract.
+func oracleDiff(t *testing.T, r ltree.Reader, va, vb uint64) (rem, add map[diffKey]int) {
+	t.Helper()
+	fa, fb := fingerprintAt(t, r, va), fingerprintAt(t, r, vb)
+	rem, add = map[diffKey]int{}, map[diffKey]int{}
+	for k, n := range fa {
+		if d := n - fb[k]; d > 0 {
+			rem[k] = d
+		}
+	}
+	for k, n := range fb {
+		if d := n - fa[k]; d > 0 {
+			add[k] = d
+		}
+	}
+	return rem, add
+}
+
+func diffMapsEqual(a, b map[diffKey]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// checkDiffAgainstOracle diffs every sampled version pair two ways and
+// requires identical net content change. diff is DiffVersions on the
+// provider under test; the oracle reads through the same provider.
+func checkDiffAgainstOracle(t *testing.T, r ltree.Reader, diff func(a, b uint64) (*ltree.ChangeSet, error), versions []uint64, rng *rand.Rand) {
+	t.Helper()
+	pairs := [][2]uint64{{versions[0], versions[len(versions)-1]}}
+	for i := 1; i < len(versions); i++ { // every adjacent pair
+		pairs = append(pairs, [2]uint64{versions[i-1], versions[i]})
+	}
+	for extra := 0; extra < 8; extra++ { // plus random wide ones
+		i := rng.Intn(len(versions) - 1)
+		j := i + 1 + rng.Intn(len(versions)-i-1)
+		pairs = append(pairs, [2]uint64{versions[i], versions[j]})
+	}
+	for _, p := range pairs {
+		cs, err := diff(p[0], p[1])
+		if err != nil {
+			t.Fatalf("diff %d→%d: %v", p[0], p[1], err)
+		}
+		if cs.From != p[0] || cs.To != p[1] {
+			t.Fatalf("diff %d→%d reported endpoints %d→%d", p[0], p[1], cs.From, cs.To)
+		}
+		rem, add := canonChanges(cs)
+		orem, oadd := oracleDiff(t, r, p[0], p[1])
+		if !diffMapsEqual(rem, orem) || !diffMapsEqual(add, oadd) {
+			t.Errorf("diff %d→%d: net change %d-/%d+ disagrees with full-fingerprint oracle %d-/%d+",
+				p[0], p[1], len(rem), len(add), len(orem), len(oadd))
+		}
+		if cs.Stats.Changes != len(cs.Changes) {
+			t.Errorf("diff %d→%d: Stats.Changes=%d but %d changes", p[0], p[1], cs.Stats.Changes, len(cs.Changes))
+		}
+	}
+}
+
+// TestDiffVersionsDifferentialProperty drives a random batched history
+// and pins DiffVersions to the full-fingerprint oracle on every
+// adjacent version pair plus sampled wide ones — first on a leader,
+// then on a log-shipped follower whose versions were produced by the
+// apply path rather than live commits.
+func TestDiffVersionsDifferentialProperty(t *testing.T) {
+	const batches = 18
+
+	t.Run("leader", func(t *testing.T) {
+		st, err := ltree.OpenString(replaySeedDoc, ltree.DefaultParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		// Hold a pin on every intermediate version so the pairs stay
+		// diffable after later writes retire them.
+		var held []*ltree.Txn
+		defer func() {
+			for _, h := range held {
+				h.Close()
+			}
+		}()
+		pin := func() uint64 {
+			h := st.SnapshotView()
+			held = append(held, h)
+			return h.Version()
+		}
+		versions := []uint64{pin()}
+		for i := 0; i < batches; i++ {
+			applyBatch(t, st, planBatch(rng, len(st.Elements("*"))))
+			versions = append(versions, pin())
+		}
+		checkDiffAgainstOracle(t, st, st.DiffVersions, versions, rng)
+	})
+
+	t.Run("follower", func(t *testing.T) {
+		st, w := openLeader(t, t.TempDir())
+		f, err := ltree.OpenFollower(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		rng := rand.New(rand.NewSource(11))
+		var held []*ltree.Txn
+		defer func() {
+			for _, h := range held {
+				h.Close()
+			}
+		}()
+		// Commit on the leader, wait for the follower to ack, pin the
+		// follower's applied version: the diffed history is the one the
+		// apply seam built, not the one the commits built.
+		pin := func() uint64 {
+			if err := f.WaitFor(w.Seq(), waitTimeout); err != nil {
+				t.Fatalf("waitfor: %v", err)
+			}
+			h := f.SnapshotView()
+			held = append(held, h)
+			return h.Version()
+		}
+		versions := []uint64{pin()}
+		for i := 0; i < batches; i++ {
+			applyBatch(t, st, planBatch(rng, len(st.Elements("*"))))
+			versions = append(versions, pin())
+		}
+		if lr, fr := st.RootHash(), f.RootHash(); lr != fr {
+			t.Fatalf("leader root %x != follower root %x", lr, fr)
+		}
+		checkDiffAgainstOracle(t, f, f.DiffVersions, versions, rng)
+	})
+}
+
+// TestDiffVersionsEndpoints covers the version-addressing contract:
+// identity diffs, argument order, and retired versions.
+func TestDiffVersionsEndpoints(t *testing.T) {
+	st, err := ltree.OpenString(replaySeedDoc, ltree.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := st.IndexVersion()
+
+	cs, err := st.DiffVersions(v0, v0)
+	if err != nil {
+		t.Fatalf("identity diff: %v", err)
+	}
+	if len(cs.Changes) != 0 || cs.FromRoot != cs.ToRoot {
+		t.Fatalf("identity diff reported %d changes, roots %x vs %x", len(cs.Changes), cs.FromRoot, cs.ToRoot)
+	}
+	if cs.FromRoot != st.RootHash() {
+		t.Fatalf("diff root %x != store root %x", cs.FromRoot, st.RootHash())
+	}
+
+	pin := st.SnapshotView()
+	defer pin.Close()
+	if err := st.Update(func(b *ltree.Batch) error {
+		_, err := b.InsertXML(st.Elements("people")[0], 0, "<person>carol</person>")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v1 := st.IndexVersion()
+
+	fwd, err := st.DiffVersions(v0, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := st.DiffVersions(v1, v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either argument order orients the set oldest → newest.
+	if fwd.From != rev.From || fwd.To != rev.To || len(fwd.Changes) != len(rev.Changes) {
+		t.Fatalf("argument order changed the diff: %d→%d (%d) vs %d→%d (%d)",
+			fwd.From, fwd.To, len(fwd.Changes), rev.From, rev.To, len(rev.Changes))
+	}
+	if fwd.ToRoot != st.RootHash() {
+		t.Fatalf("diff ToRoot %x != current root %x", fwd.ToRoot, st.RootHash())
+	}
+
+	// Release the only pin on v0 and retire it with another commit: the
+	// diff must now refuse the unreachable endpoint.
+	pin.Close()
+	if err := st.Update(func(b *ltree.Batch) error {
+		_, err := b.InsertXML(st.Elements("people")[0], 0, "<person>dave</person>")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.DiffVersions(v0, st.IndexVersion()); !errors.Is(err, ltree.ErrVersionRetired) {
+		t.Fatalf("diff against retired version: got %v, want ErrVersionRetired", err)
+	}
+}

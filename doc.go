@@ -39,6 +39,16 @@
 //     index version, with lazy streaming query results (DESIGN.md §3.4)
 //     evaluated by a zig-zag structural join with chunk-level predicate
 //     pushdown and a Txn-scoped predicate memo (DESIGN.md §3.5).
+//   - Reader: the unified read surface — one interface over Store,
+//     Follower, and Forest, so generic consumers (the ltreed handlers,
+//     tools, tests) are written once against any node role.
+//   - Hash / ChangeSet / Watcher: Merkle-hashed index versions — every
+//     published version carries a partition-independent content hash;
+//     DiffVersions computes entry-level diffs in O(changed chunks),
+//     Watch subscribes to a gap-free change feed with version cursors
+//     and path scoping, and replicas compare stamped root hashes to
+//     detect divergence at O(1) per applied batch (DESIGN.md §10;
+//     ltreed serves GET /v1/changes).
 //   - Forest: document-partitioned Stores behind one router — writes
 //     route to a document's shard and commit in parallel across shards,
 //     queries scatter-gather through a k-way merge in global

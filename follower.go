@@ -80,17 +80,6 @@ type FollowerStats struct {
 	Err error
 }
 
-// Errors reported by the replication layer.
-var (
-	// ErrFollowerClosed reports use of a follower after Close/Promote.
-	ErrFollowerClosed = errors.New("ltree: follower is closed")
-
-	// ErrWaitTimeout reports that WaitFor's timeout expired before the
-	// follower applied the requested sequence number. Matched with
-	// errors.Is; the returned error carries the seq/applied detail.
-	ErrWaitTimeout = errors.New("ltree: follower wait timed out")
-)
-
 // OpenFollower attaches a read replica to a leader's WAL backend: it
 // restores the newest checkpoint, then streams the durable log tail —
 // catch-up first, live tail on append notification — applying one index
@@ -352,6 +341,25 @@ func (f *Follower) IsAncestor(a, d *Elem) (bool, error) { return f.st.IsAncestor
 // Compare orders two nodes by document order using labels only; see
 // Store.Compare.
 func (f *Follower) Compare(a, b *Elem) (int, error) { return f.st.Compare(a, b) }
+
+// RootHash returns the content hash of the replica's published index
+// version; equal to the leader's RootHash at the same applied batch
+// (the apply loop verifies exactly that on every stamped batch). See
+// Store.RootHash.
+func (f *Follower) RootHash() Hash { return f.st.RootHash() }
+
+// DiffVersions computes the entry-level change set between two applied
+// index versions; see Store.DiffVersions.
+func (f *Follower) DiffVersions(from, to uint64) (*ChangeSet, error) {
+	return f.st.DiffVersions(from, to)
+}
+
+// Watch subscribes to the replica's change feed: one event per applied
+// batch (coalesced under lag), exactly as Store.Watch reports commits.
+// The feed survives Close/Promote in the sense that already-published
+// versions stay diffable, but no further events arrive once the apply
+// loop stops.
+func (f *Follower) Watch(opts WatchOptions) (*Watcher, error) { return f.st.Watch(opts) }
 
 // Root returns the replica document's root element.
 func (f *Follower) Root() *Elem { return f.st.Root() }

@@ -80,19 +80,6 @@ const shardRootTag = "ltree-forest-shard"
 // document registry from the shard stores alone.
 const forestDocAttr = "ltree.doc"
 
-// Errors reported by the forest layer.
-var (
-	// ErrForestTopology re-exports the storage sentinel: OpenForest on a
-	// directory whose manifest pins a different shard count.
-	ErrForestTopology = storage.ErrForestTopology
-	// ErrNoDoc reports an operation on a document id the forest does not
-	// hold.
-	ErrNoDoc = errors.New("ltree: forest holds no document with that id")
-	// ErrDocBusy reports two concurrent writes racing on the same
-	// document id. Writes to different documents never contend here.
-	ErrDocBusy = errors.New("ltree: concurrent write to the same forest document")
-)
-
 // Partitioner places documents on shards: Shard returns the shard index
 // in [0, shards) for a document id. Placement must be deterministic —
 // the forest routes every later operation on the id through the same
@@ -677,105 +664,88 @@ func (f *Forest) Label(el *Elem) (Label, error) {
 	return Label{}, ErrUnbound
 }
 
-// View runs fn inside a forest read transaction: one pinned Txn per
+// View runs fn inside a forest read transaction: one pinned part per
 // shard, all captured before fn starts, so every read through the
-// ForestTxn observes one index version per shard regardless of
+// composite Txn observes one index version per shard regardless of
 // concurrent commits. The transaction is released when fn returns.
-func (f *Forest) View(fn func(*ForestTxn) error) error {
+func (f *Forest) View(fn func(*Txn) error) error {
 	tx := f.SnapshotView()
 	defer tx.Close()
 	return fn(tx)
 }
 
 // SnapshotView opens a forest read transaction and returns the handle;
-// the caller owns its lifetime and must Close it.
+// the caller owns its lifetime and must Close it. The returned Txn is a
+// composite (see Txn): queries fan out to each shard's pinned version
+// and stream through the k-way merge, so consuming a Results costs one
+// buffered entry per shard and Seek pushes down into every shard's
+// chunk fences.
 //
 // The per-shard versions are captured one after another, not atomically:
 // reads within one shard are snapshot-consistent, and cross-shard
 // consistency is exactly cross-document consistency — no forest write
 // spans two shards, so there is no cross-shard state to tear.
-func (f *Forest) SnapshotView() *ForestTxn {
+func (f *Forest) SnapshotView() *Txn {
 	txs := make([]*Txn, len(f.shards))
 	roots := make([]*Elem, len(f.shards))
 	for i, sh := range f.shards {
 		txs[i] = sh.st.SnapshotView()
 		roots[i] = sh.st.Root()
 	}
-	return &ForestTxn{txs: txs, roots: roots}
+	return &Txn{parts: txs, roots: roots}
 }
 
-// ForestTxn is a snapshot-isolated read transaction over every shard:
-// the forest analogue of Txn. Queries fan out to each shard's pinned
-// version and stream through the k-way merge, so consuming a Results
-// from a ForestTxn costs one buffered entry per shard, and a Seek pushes
-// down into every shard's chunk fences. Like Txn it is not safe for
-// concurrent use by multiple goroutines.
-type ForestTxn struct {
-	txs   []*Txn
-	roots []*Elem
-}
-
-// Close releases every shard's pin. Idempotent.
-func (t *ForestTxn) Close() error {
-	for _, tx := range t.txs {
+// SnapshotAt opens a forest read transaction pinned to a composite
+// version number. Forest versions are per-shard; the composite version
+// (IndexVersion, Txn.Version) is their sum, and only the *current*
+// composite is addressable by number — pinning an older one would need
+// a version vector, which a uint64 cannot carry. SnapshotAt therefore
+// succeeds exactly when version is the current composite (the common
+// Reader idiom "read IndexVersion, then pin it" works unless a write
+// slipped between the two calls); anything else is ErrVersionRetired.
+// For historical per-shard snapshots use ShardStore(i).SnapshotAt.
+func (f *Forest) SnapshotAt(version uint64) (*Txn, error) {
+	tx := f.SnapshotView()
+	if tx.Version() != version {
 		tx.Close()
+		return nil, fmt.Errorf("ltree: forest composite version %d is not current: %w", version, ErrVersionRetired)
 	}
-	return nil
+	return tx, nil
 }
 
-// Shards returns the shard count.
-func (t *ForestTxn) Shards() int { return len(t.txs) }
-
-// ShardTxn exposes shard i's pinned Txn — for per-shard reads (labels,
-// ancestry) in that shard's own coordinate space.
-func (t *ForestTxn) ShardTxn(i int) *Txn { return t.txs[i] }
-
-// Query evaluates a path expression against every shard's pinned
-// version and returns one merged streaming Results cursor (global begin
-// order, shard roots filtered, lazy end-to-end).
-func (t *ForestTxn) Query(expr string) (*Results, error) {
-	p, err := query.Parse(expr)
-	if err != nil {
-		return nil, err
+// IndexVersion returns the forest's composite version: the sum of every
+// shard's published index version. It grows by one per committed write
+// batch anywhere in the forest — two reads seeing the same composite
+// version saw the same forest-wide index state.
+func (f *Forest) IndexVersion() uint64 {
+	var sum uint64
+	for _, sh := range f.shards {
+		sum += sh.st.IndexVersion()
 	}
-	p = forestPath(p)
-	rs := make([]*Results, len(t.txs))
-	for i, tx := range t.txs {
-		if _, err := tx.ix(); err != nil {
-			return nil, err
-		}
-		rs[i] = withoutShardRoot(tx.resultsFor(p), t.roots[i])
-	}
-	return MergeResults(rs...), nil
+	return sum
 }
 
-// Stream returns the merged posting stream for a tag ("*" = every
-// element, shard roots excluded) across all pinned versions.
-func (t *ForestTxn) Stream(tag string) *Results {
-	rs := make([]*Results, len(t.txs))
-	for i, tx := range t.txs {
-		rs[i] = withoutShardRoot(tx.Stream(tag), t.roots[i])
-	}
-	return MergeResults(rs...)
+// IsAncestor decides ancestry purely from labels. Elements living in
+// different shards are never related — no forest document spans shards.
+func (f *Forest) IsAncestor(a, d *Elem) (bool, error) {
+	tx := f.SnapshotView()
+	defer tx.Close()
+	return tx.IsAncestor(a, d)
 }
 
-// Elements materializes Stream(tag).
-func (t *ForestTxn) Elements(tag string) []*Elem {
-	return t.Stream(tag).Collect()
+// Compare orders two elements by the forest's deterministic global
+// order — (begin, shard), the order merged query results stream in.
+func (f *Forest) Compare(a, b *Elem) (int, error) {
+	tx := f.SnapshotView()
+	defer tx.Close()
+	return tx.Compare(a, b)
 }
 
-// Count sums the pinned versions' posting counts for a tag ("*" = every
-// element, shard roots excluded).
-func (t *ForestTxn) Count(tag string) int {
-	total := 0
-	for _, tx := range t.txs {
-		total += tx.Count(tag)
-		if (tag == "*" || tag == shardRootTag) && tx.ver != nil {
-			total-- // the synthetic shard root is not a forest element
-		}
-	}
-	return total
-}
+// ForestTxn is the forest composite read transaction. It has been
+// unified with Txn — a composite Txn carries one pinned part per shard
+// — so forest and store read paths share one type and one Reader
+// surface; the alias keeps forest call sites readable.
+type ForestTxn = Txn
 
 // ForestStats aggregates the per-shard engine counters.
 type ForestStats struct {

@@ -65,6 +65,11 @@ func (d *Doc) TrackChanges() {
 	})
 }
 
+// ChangesPending reports whether mutations have been recorded since the
+// last TakeChanges — a non-destructive peek (snapshot stamping uses it
+// to decide whether the published index still describes the document).
+func (d *Doc) ChangesPending() bool { return d.rec != nil && !d.rec.Empty() }
+
 // TakeChanges returns the mutations recorded since the last call and
 // resets the set. It returns nil when tracking is off or nothing changed.
 func (d *Doc) TakeChanges() *Changes {

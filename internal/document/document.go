@@ -57,6 +57,11 @@ type Doc struct {
 	ops       []storage.Op
 	oplogging bool
 	opdepth   int
+
+	// restoredRoot carries the index root hash the restore snapshot was
+	// stamped with (persist.go), for restore-time integrity checks.
+	restoredRoot    [32]byte
+	hasRestoredRoot bool
 }
 
 // Load labels an entire XML document via bulk loading (§2.2).

@@ -113,27 +113,42 @@ func (d *Doc) verifyRunLabels(sub *xmldom.Node, want []uint64) error {
 	return nil
 }
 
+// PayloadInfo summarizes one applied batch payload: whether it held a
+// compaction (compaction relabels everything, so a caller maintaining
+// an incremental index must rebuild instead of patching), and the
+// writer's post-batch index root hash when the batch carried an
+// OpStamp annotation (HasRoot false otherwise — payloads written
+// before stamping existed replay unchanged).
+type PayloadInfo struct {
+	Compacted bool
+	Root      [32]byte
+	HasRoot   bool
+}
+
 // ApplyPayload is the op-stream decode entry point shared by WAL
 // recovery and log-shipping followers: it decodes one encoded batch
 // payload (an EncodeOps record, exactly what AppendBatch persisted and a
-// Tailer ships) and replays it through ApplyOps. It reports whether the
-// batch contained a compaction — compaction relabels everything, so a
-// caller maintaining an incremental index must rebuild instead of
-// patching the change set.
-func (d *Doc) ApplyPayload(payload []byte) (compacted bool, err error) {
+// Tailer ships) and replays it through ApplyOps, returning the batch's
+// PayloadInfo.
+func (d *Doc) ApplyPayload(payload []byte) (PayloadInfo, error) {
+	var info PayloadInfo
 	ops, err := storage.DecodeOps(payload)
 	if err != nil {
-		return false, err
+		return info, err
 	}
 	if err := d.ApplyOps(ops); err != nil {
-		return false, err
+		return info, err
 	}
 	for i := range ops {
-		if ops[i].Kind == storage.OpCompact {
-			compacted = true
+		switch ops[i].Kind {
+		case storage.OpCompact:
+			info.Compacted = true
+		case storage.OpStamp:
+			info.Root = ops[i].Root
+			info.HasRoot = true
 		}
 	}
-	return compacted, nil
+	return info, nil
 }
 
 // ApplyOps replays a recorded op batch through the normal mutation
@@ -200,6 +215,8 @@ func (d *Doc) applyOp(op *storage.Op) error {
 		return d.verifyRunLabels(n, op.Labels)
 	case storage.OpCompact:
 		return d.CompactLabels()
+	case storage.OpStamp:
+		return nil // integrity annotation, no document effect
 	default:
 		return fmt.Errorf("document: unknown op kind %d", op.Kind)
 	}

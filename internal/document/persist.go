@@ -100,6 +100,7 @@ func FromImage(img *storage.Image) (*Doc, error) {
 		return nil, fmt.Errorf("document: restore: %d live labels for %d tokens", len(live), len(tokens))
 	}
 	d := &Doc{X: x, tree: tree, bind: make(map[*xmldom.Node]binding, len(tokens)/2+1)}
+	d.restoredRoot, d.hasRestoredRoot = img.IndexRoot, img.HasIndexRoot
 	d.bindTokens(tokens, live)
 	if err := d.Check(); err != nil {
 		return nil, fmt.Errorf("document: restore: %w", err)
@@ -111,6 +112,23 @@ func FromImage(img *storage.Image) (*Doc, error) {
 // bring it back with bit-identical labels — no relabeling on restart.
 func (d *Doc) Snapshot(w io.Writer) error {
 	return storage.WriteSnapshot(w, d.Image())
+}
+
+// SnapshotStamped is Snapshot with an index root hash embedded in the
+// image header (storage.SnapshotRootHash peeks it back without a
+// decode). The hash is an annotation about the index the document
+// implies; the caller owns its accuracy.
+func (d *Doc) SnapshotStamped(w io.Writer, root [32]byte) error {
+	img := d.Image()
+	img.IndexRoot, img.HasIndexRoot = root, true
+	return storage.WriteSnapshot(w, img)
+}
+
+// RestoredIndexRoot returns the index root hash the restore snapshot
+// carried, if any — the hook restore-time integrity verification
+// compares a freshly built index against.
+func (d *Doc) RestoredIndexRoot() ([32]byte, bool) {
+	return d.restoredRoot, d.hasRestoredRoot
 }
 
 // Restore reconstructs a labeled document from a Snapshot stream; both

@@ -3,6 +3,7 @@ package index
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/ltree-db/ltree/internal/document"
 )
@@ -18,6 +19,12 @@ const DefaultChunkSize = 256
 // build replacement chunks and share the rest.
 type chunk struct {
 	entries []document.Entry // 1 <= len <= chunkSize
+
+	// sum caches the chunk's content digest (hash.go), computed lazily
+	// at most once — immutability makes the cache safe to share across
+	// every version referencing the chunk.
+	sumOnce sync.Once
+	sum     digest
 }
 
 func (c *chunk) minBegin() uint64 { return c.entries[0].Label.Begin }
@@ -54,6 +61,13 @@ type postings struct {
 	sums   []document.AttrSummary
 	chunks []*chunk
 	count  int
+
+	// sum caches the tag's content digest — the lane-wise sum of its
+	// chunks' digests (hash.go) — computed lazily at most once per
+	// version. Untouched tags share the postings pointer across
+	// versions, so their digest is computed once ever.
+	sumOnce sync.Once
+	sum     digest
 }
 
 // builder accumulates a directory during a patch pass.

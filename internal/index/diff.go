@@ -1,0 +1,224 @@
+package index
+
+import (
+	"sort"
+
+	"github.com/ltree-db/ltree/internal/document"
+	"github.com/ltree-db/ltree/internal/xmldom"
+)
+
+// ChangeKind classifies one entry-level difference between two index
+// versions.
+type ChangeKind uint8
+
+const (
+	// Added: the node is indexed under the tag in b but not in a.
+	Added ChangeKind = iota + 1
+	// Removed: the node is indexed under the tag in a but not in b.
+	Removed
+	// Relabeled: the node is indexed in both, with a different label
+	// or level (an L-Tree split renumbered it, or a move re-homed it).
+	Relabeled
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case Added:
+		return "added"
+	case Removed:
+		return "removed"
+	case Relabeled:
+		return "relabeled"
+	default:
+		return "unknown"
+	}
+}
+
+// Change is one entry-level difference. Old is the entry's label in a
+// (zero for Added), New its label in b (zero for Removed); Level is the
+// entry's level in b, or in a for Removed. OldLevel is the a-side
+// entry's level — zero for Added, equal to Level for Removed, and the
+// pre-move depth for Relabeled (a move can re-home a node to a
+// different depth, so a relabel's two entries need not share a level).
+// A consumer maintaining its own content multiset subtracts
+// (Tag, Old, OldLevel) and adds (Tag, New, Level).
+type Change struct {
+	Tag      string
+	Node     *xmldom.Node
+	Kind     ChangeKind
+	Old      document.Label
+	New      document.Label
+	Level    int
+	OldLevel int
+}
+
+// DiffStats reports how much work a diff walk actually did — the
+// observable behind the O(changed chunks) claim: ChunksTouched counts
+// chunks whose entries were decoded, ChunksShared chunks skipped by
+// pointer identity, TagsSkipped whole tags skipped by pointer or
+// digest equality.
+type DiffStats struct {
+	Tags          int // tags in the union of both versions
+	TagsSkipped   int // tags skipped whole (pointer- or digest-equal)
+	ChunksShared  int // chunks skipped by pointer identity
+	ChunksTouched int // chunks whose entries were decoded
+	Changes       int // changes emitted
+}
+
+// Diff streams the entry-level differences from version a to version b
+// through emit, walking only unequal subtrees: tags whose postings are
+// pointer- or digest-equal are skipped whole, and within a changed tag
+// every chunk the two versions share by pointer is skipped without
+// decoding an entry. Versions derived from one another by Apply share
+// every untouched chunk, so the walk costs O(changed chunks ×
+// chunkSize) there; versions with unrelated chunk structure (a leader's
+// live index vs a rebuilt one) degrade gracefully to comparing the
+// tags whose digests disagree.
+//
+// Diff reports *index-content* changes. Node identity is process-local
+// and absent from the content hash, so the one case where they part
+// ways is resolved in the hash's favor: a removed node and an added
+// node carrying the identical (tag, label, level) cancel and emit
+// nothing — the index content at that position is unchanged, and a
+// hash-pruned walk could not have seen it anyway. Every other change
+// is reported in node terms: Relabeled pairs an entry's old and new
+// label through its node pointer.
+//
+// Within a tag, changes stream as Relabeled (b's begin order), then
+// Added (b's begin order), then Removed (a's begin order); tags stream
+// in sorted order. A non-nil error from emit aborts the walk and is
+// returned.
+//
+// Soundness leans on two index invariants: a (node, tag) pair appears
+// exactly once per version (node matching pairs each node's old and
+// new entry, never two stale copies), and begin labels are unique
+// within a version (content cancellation is at most one-to-one).
+func Diff(a, b *Index, emit func(Change) error) (DiffStats, error) {
+	var st DiffStats
+	if a == b || a.RootHash() == b.RootHash() {
+		st.Tags = len(a.tags)
+		st.TagsSkipped = len(a.tags)
+		return st, nil
+	}
+	tags := make([]string, 0, len(a.tags)+len(b.tags))
+	for tag := range a.tags {
+		tags = append(tags, tag)
+	}
+	for tag := range b.tags {
+		if _, dup := a.tags[tag]; !dup {
+			tags = append(tags, tag)
+		}
+	}
+	sort.Strings(tags)
+	st.Tags = len(tags)
+	for _, tag := range tags {
+		pa, pb := a.tags[tag], b.tags[tag]
+		if pa == pb || (pa != nil && pb != nil && pa.contentSum() == pb.contentSum()) {
+			st.TagsSkipped++
+			continue
+		}
+		if err := diffTag(tag, pa, pb, &st, emit); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// diffTag diffs one tag's postings. Chunks present in both directories
+// are skipped by pointer identity; the entries of the remaining chunks
+// are matched by node pointer.
+func diffTag(tag string, pa, pb *postings, st *DiffStats, emit func(Change) error) error {
+	inA := make(map[*chunk]bool)
+	if pa != nil {
+		for _, c := range pa.chunks {
+			inA[c] = true
+		}
+	}
+	shared := make(map[*chunk]bool)
+	var onlyB []*chunk
+	if pb != nil {
+		for _, c := range pb.chunks {
+			if inA[c] {
+				shared[c] = true
+				st.ChunksShared++
+			} else {
+				onlyB = append(onlyB, c)
+				st.ChunksTouched++
+			}
+		}
+	}
+	// Old entries from a-only chunks, keyed by node. Values index a
+	// flat slice so removals can later be emitted in a's begin order.
+	var oldRun []document.Entry
+	old := make(map[*xmldom.Node]int)
+	if pa != nil {
+		for _, c := range pa.chunks {
+			if shared[c] {
+				continue
+			}
+			st.ChunksTouched++
+			for _, e := range c.entries {
+				old[e.Node] = len(oldRun)
+				oldRun = append(oldRun, e)
+			}
+		}
+	}
+	// Pass 1: pair b-side entries with their node's a-side entry. Same
+	// content cancels silently, different content is a relabel; entries
+	// of nodes unseen in a are deferred — whether they are additions or
+	// content-neutral replacements depends on what survives pass 1.
+	matched := make([]bool, len(oldRun))
+	var fresh []document.Entry
+	for _, c := range onlyB {
+		for _, e := range c.entries {
+			i, ok := old[e.Node]
+			if !ok {
+				fresh = append(fresh, e)
+				continue
+			}
+			matched[i] = true
+			prev := oldRun[i]
+			if prev.Label != e.Label || prev.Level != e.Level {
+				st.Changes++
+				if err := emit(Change{Tag: tag, Node: e.Node, Kind: Relabeled, Old: prev.Label, New: e.Label, Level: e.Level, OldLevel: prev.Level}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Pass 2: cancel content-equal removed/added pairs — a different
+	// node under the same (label, level) leaves the index content
+	// unchanged. Begin labels are unique per version, so the content
+	// key maps to at most one survivor on each side.
+	type content struct {
+		lab document.Label
+		lvl int
+	}
+	leftover := make(map[content]int, len(oldRun))
+	for i, e := range oldRun {
+		if !matched[i] {
+			leftover[content{e.Label, e.Level}] = i
+		}
+	}
+	for _, e := range fresh {
+		if i, dup := leftover[content{e.Label, e.Level}]; dup {
+			matched[i] = true
+			delete(leftover, content{e.Label, e.Level})
+			continue
+		}
+		st.Changes++
+		if err := emit(Change{Tag: tag, Node: e.Node, Kind: Added, New: e.Label, Level: e.Level}); err != nil {
+			return err
+		}
+	}
+	for i, e := range oldRun {
+		if matched[i] {
+			continue
+		}
+		st.Changes++
+		if err := emit(Change{Tag: tag, Node: e.Node, Kind: Removed, Old: e.Label, Level: e.Level, OldLevel: e.Level}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -64,6 +64,11 @@ type Index struct {
 	// never goes stale).
 	allOnce sync.Once
 	all     []document.Entry
+
+	// root caches the version's root content hash (hash.go), computed at
+	// most once on first RootHash call.
+	rootOnce sync.Once
+	root     Hash
 }
 
 // CursorStats accumulates chunk-granular work accounting across every
@@ -338,6 +343,13 @@ func Verify(ix *Index, d *document.Doc) error {
 	}
 	if got := ix.Len(); got != total {
 		return fmt.Errorf("index: holds %d postings, want %d", got, total)
+	}
+	// The root hash must agree with an independent recomputation from
+	// ground truth: a stale cached chunk or tag digest would slip past
+	// the content comparison above (which reads entries, not caches)
+	// but not past this.
+	if got, oracle := ix.RootHash(), RootFrom(want); got != oracle {
+		return fmt.Errorf("index: root hash %x disagrees with ground-truth recomputation %x", got, oracle)
 	}
 	return ix.CheckChunks()
 }

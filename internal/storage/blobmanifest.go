@@ -29,20 +29,34 @@ import (
 //
 // Wire format (little-endian, uvarint = binary varint):
 //
-//	magic    [8]byte "LTBLOB\0\1"
+//	magic    [8]byte "LTBLOB\0\2"
 //	nCkpt    uvarint
-//	per ckpt: seq uvarint (strictly ascending), size uvarint, crc uint32
+//	per ckpt: seq uvarint (strictly ascending), size uvarint, crc uint32,
+//	          flags byte (bit 0: index root present),
+//	          root [32]byte when flagged
 //	nSeg     uvarint
 //	per seg:  base uvarint (strictly ascending), end uvarint (> base),
 //	          size uvarint, crc uint32
 //	crc      uint32 over every preceding byte
 //
+// Version 2 added the per-checkpoint index root hash (the flags byte and
+// conditional root). Version-1 manifests — everything before it — decode
+// with no roots; the first flush after an upgrade rewrites the manifest
+// as v2, back-filling nothing (old checkpoints keep HasRoot=false, and
+// their snapshots may carry the root inline regardless).
+//
 // The trailing CRC makes a torn manifest read detectable on its own: a
 // reader that gets garbage retries instead of concluding the blob tier
 // is empty (which would silently forfeit the whole uploaded history).
 
-// blobManifestMagic heads the manifest: "LTBLOB" + NUL + format version 1.
-var blobManifestMagic = [8]byte{'L', 'T', 'B', 'L', 'O', 'B', 0, 1}
+// blobManifestMagic heads the manifest: "LTBLOB" + NUL + format version 2.
+var blobManifestMagic = [8]byte{'L', 'T', 'B', 'L', 'O', 'B', 0, 2}
+
+// blobManifestMagicV1 is the pre-root format, still accepted on read.
+var blobManifestMagicV1 = [8]byte{'L', 'T', 'B', 'L', 'O', 'B', 0, 1}
+
+// blobCkptHasRoot flags a v2 checkpoint entry carrying an index root.
+const blobCkptHasRoot = 1 << 0
 
 // Blob object key names under the tier prefix.
 const (
@@ -64,6 +78,14 @@ type BlobObject struct {
 	Seq  uint64 // covered sequence number (the checkpoint's version)
 	Size uint64 // exact object size in bytes
 	CRC  uint32 // CRC-32C over the object bytes
+
+	// Root is the index content root hash the checkpoint snapshot was
+	// stamped with, when HasRoot: backup verification compares it
+	// against a live store's root without downloading the object.
+	// False for checkpoints uploaded before hashing existed or taken
+	// from un-stamped snapshots.
+	Root    [32]byte
+	HasRoot bool
 }
 
 // BlobSegment is one durable sealed log segment in the blob tier.
@@ -143,6 +165,12 @@ func EncodeBlobManifest(m BlobManifest) ([]byte, error) {
 		putUvarint(bw, c.Size)
 		binary.LittleEndian.PutUint32(tmp[:], c.CRC)
 		bw.Write(tmp[:])
+		if c.HasRoot {
+			bw.WriteByte(blobCkptHasRoot)
+			bw.Write(c.Root[:])
+		} else {
+			bw.WriteByte(0)
+		}
 	}
 	putUvarint(bw, uint64(len(m.Segs)))
 	prev, first = 0, true
@@ -180,7 +208,8 @@ func DecodeBlobManifest(data []byte) (BlobManifest, error) {
 	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
 		return m, fmt.Errorf("%w: checksum mismatch", ErrCorruptManifest)
 	}
-	if !bytes.Equal(body[:len(blobManifestMagic)], blobManifestMagic[:]) {
+	v2 := bytes.Equal(body[:len(blobManifestMagic)], blobManifestMagic[:])
+	if !v2 && !bytes.Equal(body[:len(blobManifestMagic)], blobManifestMagicV1[:]) {
 		return m, fmt.Errorf("%w: bad magic", ErrCorruptManifest)
 	}
 	br := bufio.NewReader(bytes.NewReader(body[len(blobManifestMagic):]))
@@ -211,6 +240,21 @@ func DecodeBlobManifest(data []byte) (BlobManifest, error) {
 			return m, fmt.Errorf("%w: ckpt %d crc: %v", ErrCorruptManifest, i, err)
 		}
 		c.CRC = binary.LittleEndian.Uint32(tmp[:])
+		if v2 {
+			flags, err := br.ReadByte()
+			if err != nil {
+				return m, fmt.Errorf("%w: ckpt %d flags: %v", ErrCorruptManifest, i, err)
+			}
+			if flags&^byte(blobCkptHasRoot) != 0 {
+				return m, fmt.Errorf("%w: ckpt %d unknown flags %#x", ErrCorruptManifest, i, flags)
+			}
+			if flags&blobCkptHasRoot != 0 {
+				if _, err = io.ReadFull(br, c.Root[:]); err != nil {
+					return m, fmt.Errorf("%w: ckpt %d root: %v", ErrCorruptManifest, i, err)
+				}
+				c.HasRoot = true
+			}
+		}
 		m.Ckpts = append(m.Ckpts, c)
 	}
 	ns, err := getInt(br)

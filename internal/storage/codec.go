@@ -35,6 +35,14 @@ type Image struct {
 	Labels  []uint64
 	Deleted []bool // nil when no tombstones
 	Root    NodeRec
+
+	// IndexRoot, when HasIndexRoot is set, is the writer's index root
+	// hash at snapshot time — an integrity annotation backup
+	// verification and seeded followers compare against a recomputed
+	// root. The writer emits it only when present, so images that never
+	// carried one re-encode byte-identically (golden stability).
+	IndexRoot    [32]byte
+	HasIndexRoot bool
 }
 
 // NodeRec is the recursive DOM image. Kind mirrors xmldom.Kind (0 =
@@ -62,6 +70,12 @@ var magic = [8]byte{'L', 'T', 'S', 'N', 'A', 'P', 0, 2}
 const (
 	flagWide       = 1 << 0
 	flagTombstones = 1 << 1
+	// flagIndexRoot marks 32 raw index-root-hash bytes immediately after
+	// the flags byte. Kept header-adjacent so SnapshotRootHash can peek
+	// it without decoding the document; the writer emits the bit (and
+	// bytes) only for images that explicitly carry a hash, keeping every
+	// pre-existing byte stream and its golden fixtures unchanged.
+	flagIndexRoot = 1 << 2
 
 	kindElement = 0
 	kindText    = 1
@@ -87,8 +101,16 @@ func WriteSnapshot(w io.Writer, img *Image) error {
 	if img.Deleted != nil {
 		flags |= flagTombstones
 	}
+	if img.HasIndexRoot {
+		flags |= flagIndexRoot
+	}
 	if err := bw.WriteByte(flags); err != nil {
 		return err
+	}
+	if img.HasIndexRoot {
+		if _, err := bw.Write(img.IndexRoot[:]); err != nil {
+			return err
+		}
 	}
 	putUvarint(bw, uint64(img.F))
 	putUvarint(bw, uint64(img.S))
@@ -126,6 +148,23 @@ func WriteSnapshot(w io.Writer, img *Image) error {
 	return bw.Flush()
 }
 
+// SnapshotRootHash peeks the index root hash out of an encoded v2
+// snapshot without decoding the document — the flags byte and hash
+// bytes sit right after the magic, so backup verification and manifest
+// stamping read 41 bytes, not the image. ok is false for v1 streams,
+// short streams, and v2 streams written without a hash.
+func SnapshotRootHash(data []byte) (root [32]byte, ok bool) {
+	if len(data) < len(magic)+1 || !bytes.Equal(data[:len(magic)], magic[:]) {
+		return root, false
+	}
+	flags := data[len(magic)]
+	if flags&flagIndexRoot == 0 || len(data) < len(magic)+1+len(root) {
+		return root, false
+	}
+	copy(root[:], data[len(magic)+1:])
+	return root, true
+}
+
 // ReadSnapshot decodes a snapshot stream, sniffing the version: streams
 // with the "LTSNAP" magic carry a binary format version (2 today; a
 // higher one is reported as unsupported rather than mis-decoded),
@@ -152,6 +191,12 @@ func readV2(br *bufio.Reader) (*Image, error) {
 		return nil, err
 	}
 	img := &Image{Wide: flags&flagWide != 0}
+	if flags&flagIndexRoot != 0 {
+		if _, err := io.ReadFull(br, img.IndexRoot[:]); err != nil {
+			return nil, err
+		}
+		img.HasIndexRoot = true
+	}
 	if img.F, err = getInt(br); err != nil {
 		return nil, err
 	}

@@ -433,9 +433,13 @@ func (t *BlobTier) pass() error {
 		if err := t.bs.Put(t.opt.Prefix+blobCkptKey(seq), data); err != nil {
 			return err
 		}
+		obj := BlobObject{Seq: seq, Size: uint64(len(data)), CRC: crc32.Checksum(data, crcTable)}
+		// Stamp the index root from the snapshot header so backup
+		// verification against a live store is a manifest read, not a
+		// checkpoint download.
+		obj.Root, obj.HasRoot = SnapshotRootHash(data)
 		t.mu.Lock()
-		t.man.Ckpts = insertCkpt(t.man.Ckpts, BlobObject{
-			Seq: seq, Size: uint64(len(data)), CRC: crc32.Checksum(data, crcTable)})
+		t.man.Ckpts = insertCkpt(t.man.Ckpts, obj)
 		t.dirty = true
 		t.st.UploadedCheckpoints++
 		t.st.BytesUploaded += uint64(len(data))
@@ -646,6 +650,19 @@ func insertSeg(s []BlobSegment, g BlobSegment) []BlobSegment {
 }
 
 // ------------------------------------------------- blob-seeded bootstrap
+
+// ReadBlobManifest loads and decodes the tier manifest under prefix —
+// the hash-compare backup-verification entry point. Each checkpoint
+// entry carries the index root its snapshot was stamped with (HasRoot),
+// so comparing a live store's root against the newest entry verifies
+// the backup without downloading a single object byte. A missing
+// manifest decodes as an empty (fresh) tier.
+func ReadBlobManifest(bs blob.Store, prefix string) (BlobManifest, error) {
+	if prefix != "" && prefix[len(prefix)-1] != '/' {
+		prefix += "/"
+	}
+	return loadBlobManifest(bs, prefix, readRetry())
+}
 
 // BlobLatest reads the newest checkpoint directly from a blob tier —
 // no WAL, no leader connection — verified against the tier's manifest.

@@ -22,6 +22,9 @@ import (
 //	  OpDelete:  path, labels (1 entry: begin label of the deleted root)
 //	  OpMove:    path (source), path (destination parent), idx uvarint, labels
 //	  OpCompact: nothing
+//	  OpStamp:   32 raw bytes — the writer's post-batch index root hash
+//	             (an integrity annotation; replay skips it, followers
+//	             compare it against their own recomputed root)
 //	path   = uvarint count + one uvarint child index per step from the root
 //	labels = uvarint count + first label absolute, then strictly positive
 //	         deltas — the same delta coding the v2 snapshot codec uses
@@ -48,6 +51,7 @@ const (
 	OpDelete  OpKind = 2 // delete the subtree rooted at Path
 	OpMove    OpKind = 3 // move subtree at Path to Dst's Idx-th child
 	OpCompact OpKind = 4 // rebuild labels without tombstones
+	OpStamp   OpKind = 5 // post-batch index root hash (no document effect)
 )
 
 // Op is one logical document mutation, serializable and replayable. Nodes
@@ -62,6 +66,7 @@ type Op struct {
 	Dst    []uint32 // destination parent path (OpMove)
 	Labels []uint64 // post-op token labels, strictly increasing
 	Sub    *NodeRec // inserted subtree (OpInsert)
+	Root   [32]byte // post-batch index root hash (OpStamp)
 }
 
 // crcTable is the Castagnoli polynomial table shared by framing and scan.
@@ -114,6 +119,10 @@ func EncodeOps(ops []Op) ([]byte, error) {
 			}
 		case OpCompact:
 			// no body
+		case OpStamp:
+			if _, err := bw.Write(op.Root[:]); err != nil {
+				return nil, err
+			}
 		default:
 			return nil, fmt.Errorf("storage: encode op %d: unknown kind %d", i, op.Kind)
 		}
@@ -190,6 +199,10 @@ func DecodeOps(payload []byte) ([]Op, error) {
 			}
 		case OpCompact:
 			// no body
+		case OpStamp:
+			if _, err := io.ReadFull(br, op.Root[:]); err != nil {
+				return nil, fmt.Errorf("%w: op %d stamp: %v", ErrCorruptWAL, i, err)
+			}
 		default:
 			return nil, fmt.Errorf("%w: op %d: unknown kind %d", ErrCorruptWAL, i, kind)
 		}

@@ -62,15 +62,6 @@ const (
 // XMLDocument is the unlabeled XML DOM (parse/edit/serialize).
 type XMLDocument = xmldom.Document
 
-// Re-exported sentinel errors.
-var (
-	ErrBadParams     = core.ErrBadParams
-	ErrNotLeaf       = core.ErrNotLeaf
-	ErrLabelOverflow = core.ErrLabelOverflow
-	ErrUnbound       = document.ErrUnbound
-	ErrRootEdit      = document.ErrRootEdit
-)
-
 // New returns an empty materialized L-Tree.
 func New(p Params) (*Tree, error) { return core.New(p) }
 

@@ -1,0 +1,99 @@
+package ltree
+
+// Reader is the shared read surface: everything a snapshot-isolated
+// consumer can do against any of the engine's read providers — a
+// writable *Store, a log-shipped *Follower, or a sharded *Forest. New
+// read APIs land here once instead of once per provider, and generic
+// consumers (the ltreed HTTP handlers, tools, tests) take a Reader
+// instead of switching on the concrete node role.
+//
+// The transactional core is View/SnapshotView/SnapshotAt: each pins one
+// index version (per shard, for a forest composite) and serves every
+// read from it. Query and Elements are the eager single-shot wrappers.
+// Version numbers are comparable only within one provider; a forest
+// reports the composite (summed) version, and only its current
+// composite is addressable by SnapshotAt (see Forest.SnapshotAt).
+//
+// Not part of Reader, deliberately: Watch and DiffVersions need a
+// single version history and live on *Store (with *Follower
+// delegating); a forest's history is per-shard — subscribe per shard
+// via ShardStore. Stats also stays provider-specific (Counters vs
+// FollowerStats vs ForestStats); ReaderStats is the role-neutral
+// aggregate.
+type Reader interface {
+	// View runs fn inside a pinned read transaction; see Store.View.
+	View(fn func(*Txn) error) error
+	// SnapshotView opens a pinned read transaction the caller must
+	// Close; see Store.SnapshotView.
+	SnapshotView() *Txn
+	// SnapshotAt pins an explicit version number, ErrVersionRetired if
+	// it is no longer reachable; see Store.SnapshotAt.
+	SnapshotAt(version uint64) (*Txn, error)
+	// Query eagerly evaluates a path expression; see Store.Query.
+	Query(expr string) ([]*Elem, error)
+	// Elements returns the elements with the given tag ("*" = all) in
+	// document order; see Store.Elements.
+	Elements(tag string) []*Elem
+	// Label returns an element's (begin, end) interval.
+	Label(n *Elem) (Label, error)
+	// IsAncestor decides ancestry purely from labels.
+	IsAncestor(a, d *Elem) (bool, error)
+	// Compare orders two elements by document order using labels only.
+	Compare(a, b *Elem) (int, error)
+	// IndexVersion returns the published (composite, for forests)
+	// version number.
+	IndexVersion() uint64
+	// ReaderStats reports the role-neutral read-side aggregate.
+	ReaderStats() ReaderStats
+}
+
+// Compile-time proof that every provider implements Reader.
+var (
+	_ Reader = (*Store)(nil)
+	_ Reader = (*Follower)(nil)
+	_ Reader = (*Forest)(nil)
+)
+
+// ReaderStats is the role-neutral slice of a provider's statistics —
+// the common denominator of Store.Stats, FollowerStats and ForestStats
+// that generic read-side consumers (dashboards, the HTTP layer) can
+// render without knowing the node role.
+type ReaderStats struct {
+	// IndexVersion is the published version number (composite for
+	// forests).
+	IndexVersion uint64
+	// TxnOpen / TxnRetired are the read-transaction pin accounting:
+	// open pins, and retired versions those pins keep attachable.
+	TxnOpen    int
+	TxnRetired int
+	// Counters are the accumulated L-Tree maintenance counters, summed
+	// across shards for a forest.
+	Counters Counters
+}
+
+// ReaderStats implements Reader.
+func (s *Store) ReaderStats() ReaderStats {
+	open, retired := s.TxnStats()
+	return ReaderStats{
+		IndexVersion: s.IndexVersion(),
+		TxnOpen:      open,
+		TxnRetired:   retired,
+		Counters:     s.Stats(),
+	}
+}
+
+// ReaderStats implements Reader.
+func (f *Follower) ReaderStats() ReaderStats { return f.st.ReaderStats() }
+
+// ReaderStats implements Reader.
+func (f *Forest) ReaderStats() ReaderStats {
+	var out ReaderStats
+	for _, sh := range f.shards {
+		s := sh.st.ReaderStats()
+		out.IndexVersion += s.IndexVersion
+		out.TxnOpen += s.TxnOpen
+		out.TxnRetired += s.TxnRetired
+		out.Counters.Add(s.Counters)
+	}
+	return out
+}

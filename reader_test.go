@@ -1,0 +1,158 @@
+package ltree_test
+
+import (
+	"testing"
+
+	ltree "github.com/ltree-db/ltree"
+)
+
+// exerciseReader drives the whole Reader surface against one provider,
+// knowing only that it holds at least two <person> elements under a
+// <people> parent. Everything here is role-neutral: the same assertions
+// must hold for a writable store, a log-shipped follower, and a sharded
+// forest composite.
+func exerciseReader(t *testing.T, r ltree.Reader) {
+	t.Helper()
+
+	people, err := r.Query("//person")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(people) < 2 {
+		t.Fatalf("Query //person: %d results, want >= 2", len(people))
+	}
+	if got := r.Elements("person"); len(got) != len(people) {
+		t.Fatalf("Elements person: %d, Query found %d", len(got), len(people))
+	}
+
+	// Every person sits under exactly one <people> parent, and where
+	// ancestry holds, so does numeric label containment. Labels are
+	// comparable only within one document (one forest shard), so the
+	// match is found through IsAncestor rather than assumed globally.
+	parents := r.Elements("people")
+	for _, p := range people {
+		matched := 0
+		for _, parent := range parents {
+			anc, err := r.IsAncestor(parent, p)
+			if err != nil {
+				t.Fatalf("IsAncestor: %v", err)
+			}
+			if !anc {
+				continue
+			}
+			matched++
+			lab, err := r.Label(parent)
+			if err != nil {
+				t.Fatalf("Label: %v", err)
+			}
+			pl, err := r.Label(p)
+			if err != nil {
+				t.Fatalf("Label person: %v", err)
+			}
+			if !(lab.Begin < pl.Begin && pl.End < lab.End) {
+				t.Fatalf("person label %v not inside its people label %v", pl, lab)
+			}
+		}
+		if matched != 1 {
+			t.Fatalf("person matched %d <people> ancestors, want 1", matched)
+		}
+	}
+	// Compare orders siblings by label; like labels it is a
+	// within-document relation, so compare two persons sharing a parent.
+	for _, parent := range parents {
+		var sibs []*ltree.Elem
+		for _, p := range people {
+			if anc, err := r.IsAncestor(parent, p); err == nil && anc {
+				sibs = append(sibs, p)
+			}
+		}
+		if len(sibs) < 2 {
+			continue
+		}
+		if c, err := r.Compare(sibs[0], sibs[1]); err != nil || c >= 0 {
+			t.Fatalf("Compare(first, second) = %d, %v; want < 0", c, err)
+		}
+		break
+	}
+
+	// The transactional core agrees with the eager wrappers and with
+	// the published version number.
+	ver := r.IndexVersion()
+	tx := r.SnapshotView()
+	defer tx.Close()
+	if tx.Version() != ver {
+		t.Fatalf("SnapshotView pinned %d, IndexVersion %d", tx.Version(), ver)
+	}
+	if got := tx.Elements("person"); len(got) != len(people) {
+		t.Fatalf("snapshot sees %d persons, eager saw %d", len(got), len(people))
+	}
+	tx2, err := r.SnapshotAt(ver)
+	if err != nil {
+		t.Fatalf("SnapshotAt(current): %v", err)
+	}
+	defer tx2.Close()
+	if err := r.View(func(tx *ltree.Txn) error {
+		if tx.Version() != ver {
+			t.Fatalf("View pinned %d, want %d", tx.Version(), ver)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("View: %v", err)
+	}
+
+	rs := r.ReaderStats()
+	if rs.IndexVersion != ver {
+		t.Fatalf("ReaderStats.IndexVersion %d, IndexVersion %d", rs.IndexVersion, ver)
+	}
+	if rs.TxnOpen < 2 {
+		t.Fatalf("ReaderStats.TxnOpen %d with two snapshots held", rs.TxnOpen)
+	}
+}
+
+// TestReaderSurface runs the shared read surface against all three
+// providers — the satellite's point: a generic consumer written once
+// against Reader works unchanged on any node role.
+func TestReaderSurface(t *testing.T) {
+	t.Run("store", func(t *testing.T) {
+		st, err := ltree.OpenString(replaySeedDoc, ltree.DefaultParams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exerciseReader(t, st)
+	})
+
+	t.Run("follower", func(t *testing.T) {
+		st, w := openLeader(t, t.TempDir())
+		// A committed batch on top of the seed, so the follower reads
+		// replicated — not just checkpoint-restored — state.
+		if err := st.Update(func(b *ltree.Batch) error {
+			_, err := b.InsertXML(st.Elements("people")[0], 0, "<person>carol</person>")
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		f, err := ltree.OpenFollower(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := f.WaitFor(w.Seq(), waitTimeout); err != nil {
+			t.Fatal(err)
+		}
+		exerciseReader(t, f)
+	})
+
+	t.Run("forest", func(t *testing.T) {
+		f, err := ltree.NewForest(ltree.ForestOptions{Shards: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Put("a", replaySeedDoc); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Put("b", `<site><people><person>zoe</person></people></site>`); err != nil {
+			t.Fatal(err)
+		}
+		exerciseReader(t, f)
+	})
+}

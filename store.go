@@ -54,6 +54,14 @@ type Store struct {
 	// walPolicy, when enabled, checkpoints automatically at commit time
 	// once the live log outgrows its thresholds (see AutoCheckpoint).
 	walPolicy walPolicy
+
+	// bump is the watch broadcast: closed and replaced under watchMu on
+	// every published index version, so any number of watchers can wait
+	// for "something newer than what I last saw" without polling
+	// (watch.go). Guarded by its own mutex — publishers hold the write
+	// lock, watchers must not.
+	watchMu sync.Mutex
+	bump    chan struct{}
 }
 
 // walPolicy is the auto-checkpoint configuration attached by WithWAL
@@ -97,11 +105,32 @@ type liveLogger interface {
 // newStore wires a labeled document into the engine: change tracking on,
 // first index version built and published.
 func newStore(doc *document.Doc) *Store {
-	s := &Store{doc: doc}
+	s := &Store{doc: doc, bump: make(chan struct{})}
 	doc.TrackChanges()
 	s.vers = index.NewRetained(index.Build(doc))
 	doc.TakeChanges() // the build reflects everything up to here
 	return s
+}
+
+// publish registers the next index version and wakes every watcher. It
+// is the single seam all publish sites share — live commits, the
+// rebuild-on-error path, compaction, and shipped-batch apply — so
+// change feeds observe every version no matter which path produced it.
+func (s *Store) publish(ix *index.Index) uint64 {
+	n := s.vers.Publish(ix)
+	s.watchMu.Lock()
+	close(s.bump)
+	s.bump = make(chan struct{})
+	s.watchMu.Unlock()
+	return n
+}
+
+// bumpChan returns the current broadcast channel; it is closed as soon
+// as a version newer than the caller's last read publishes.
+func (s *Store) bumpChan() <-chan struct{} {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	return s.bump
 }
 
 // Open parses and labels an XML document.
@@ -170,10 +199,10 @@ func (s *Store) advanceIndexLocked() error {
 	cur := s.vers.Current()
 	next, err := cur.Ix.Apply(s.doc, ch)
 	if err != nil {
-		s.vers.Publish(index.Build(s.doc))
+		s.publish(index.Build(s.doc))
 		return fmt.Errorf("ltree: index patch rejected the change batch (index rebuilt): %w", err)
 	}
-	s.vers.Publish(next)
+	s.publish(next)
 	return nil
 }
 
@@ -208,6 +237,11 @@ func (s *Store) appendOpsLocked(ops []storage.Op) error {
 	if s.walErr != nil {
 		return fmt.Errorf("ltree: wal suspended after a lost batch (Checkpoint to recover): %w", s.walErr)
 	}
+	// Stamp the batch with the just-published index root hash (~35 B on
+	// the wire). Replay skips the stamp; followers compare it against
+	// their own recomputed root after applying the batch, turning silent
+	// divergence into a loud ErrReplicaDiverged at the acking seam.
+	ops = append(ops, storage.Op{Kind: storage.OpStamp, Root: [32]byte(s.vers.Current().Ix.RootHash())})
 	payload, err := storage.EncodeOps(ops)
 	if err != nil {
 		s.walErr = err
@@ -237,6 +271,10 @@ func firstErr(errs ...error) error {
 // lazy pipeline, and collects. For mutually consistent multi-read
 // snapshots or streaming results without materializing, use View /
 // SnapshotView and Txn.Query directly (txn.go).
+//
+// Prefer the transactional surface for new code: this eager wrapper is
+// kept for compatibility and materializes every match up front, where
+// Txn.Query streams lazily and composes with the rest of a pinned read.
 func (s *Store) Query(expr string) ([]*Elem, error) {
 	return s.evalPath(expr, func(tx *Txn, p *query.Path) []*Elem {
 		return tx.resultsFor(p).Collect()
@@ -247,7 +285,7 @@ func (s *Store) Query(expr string) ([]*Elem, error) {
 // reference evaluator, useful for cross-checking and benchmarks. Like
 // Query it is a single-shot View wrapper; see Txn.QueryNav for the
 // consistency caveat (navigation reads the live DOM, not the pinned
-// snapshot).
+// snapshot). Like Query, prefer the transactional surface for new code.
 func (s *Store) QueryNav(expr string) ([]*Elem, error) {
 	return s.evalPath(expr, func(tx *Txn, p *query.Path) []*Elem {
 		return tx.navFor(p)
@@ -449,12 +487,34 @@ func (s *Store) Refresh() error {
 // Snapshot serializes the store — DOM plus exact label state, snapshot
 // format v2 — so that Restore brings it back with bit-identical labels
 // (no relabeling on restart; the tree structure is implicit in the
-// labels, paper §4.2).
+// labels, paper §4.2). The stream is stamped with the published index's
+// root hash so restore and backup verification are a hash compare, not
+// a byte compare; the stamp is deterministic, so two stores in the same
+// state still snapshot byte-identically. The one case left unstamped is
+// uncommitted direct Document() mutations — the published index no
+// longer describes the document, and an honest restore would flag the
+// stamp as divergence.
 func (s *Store) Snapshot(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.doc.Snapshot(w)
+	return s.snapshotLocked(w)
 }
+
+// snapshotLocked is Snapshot's body for callers already holding a lock.
+func (s *Store) snapshotLocked(w io.Writer) error {
+	if s.doc.ChangesPending() {
+		return s.doc.Snapshot(w)
+	}
+	return s.doc.SnapshotStamped(w, [32]byte(s.vers.Current().Ix.RootHash()))
+}
+
+// RootHash returns the content hash of the published index version: a
+// commutative multiset digest over every (tag, label, level) entry, so
+// two stores holding the same logical index report the same hash no
+// matter how their chunks happen to be partitioned or how the state was
+// reached (live commits, replay, snapshot restore). Equal hashes mean
+// equal index content; see DESIGN.md §10.
+func (s *Store) RootHash() Hash { return s.vers.Current().Ix.RootHash() }
 
 // Restore reconstructs a Store from a Snapshot stream (format v2 or the
 // legacy v1 gob format).
@@ -463,15 +523,35 @@ func Restore(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newStore(doc), nil
+	s := newStore(doc)
+	if err := s.verifyRestoredRoot(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// verifyRestoredRoot compares the index root hash a restore snapshot was
+// stamped with against the index just built from the restored document.
+// A mismatch means the snapshot bytes don't describe the state the
+// writer thought it saved — bit rot, a torn copy a CRC missed, or a
+// labeling bug — and surfaces as ErrReplicaDiverged instead of a store
+// that silently answers queries from corrupt state. Unstamped (v1 or
+// pre-hash) snapshots pass vacuously.
+func (s *Store) verifyRestoredRoot() error {
+	want, ok := s.doc.RestoredIndexRoot()
+	if !ok {
+		return nil
+	}
+	if got := s.vers.Current().Ix.RootHash(); got != index.Hash(want) {
+		return fmt.Errorf("ltree: snapshot stamped index root %x, restored document indexes to %x: %w",
+			want, got, ErrReplicaDiverged)
+	}
+	return nil
 }
 
 // Backend is a versioned snapshot store: every save appends a new
 // version, old versions stay readable until pruned. See DESIGN.md §5.3.
 type Backend = storage.Backend
-
-// ErrNoVersion reports a missing snapshot version.
-var ErrNoVersion = storage.ErrNoVersion
 
 // NewMemoryBackend returns an in-process Backend (tests, ephemeral
 // stores).
@@ -546,7 +626,7 @@ func (s *Store) WithWAL(w WALBackend, opts ...WALOption) error {
 		return errors.New("ltree: WAL already holds log records; recover it with LoadLatest")
 	}
 	var buf bytes.Buffer
-	if err := s.doc.Snapshot(&buf); err != nil {
+	if err := s.snapshotLocked(&buf); err != nil {
 		return err
 	}
 	if _, err := w.Checkpoint(buf.Bytes()); err != nil {
@@ -591,7 +671,11 @@ func (s *Store) checkpointLocked() (uint64, error) {
 	}
 	s.doc.TakeOps()
 	var buf bytes.Buffer
-	if err := s.doc.Snapshot(&buf); err != nil {
+	// advanceIndexLocked just ran, so the published index describes the
+	// document exactly — stamp the checkpoint with its root hash. Restore
+	// verifies the rebuilt index against it, and the blob tier ships it in
+	// manifests for hash-compare backup verification.
+	if err := s.doc.SnapshotStamped(&buf, [32]byte(s.vers.Current().Ix.RootHash())); err != nil {
 		// The drained ops are gone but the snapshot never happened:
 		// appending later batches would leave a hole, so suspend until a
 		// checkpoint succeeds.
@@ -629,20 +713,30 @@ func (s *Store) checkpointLocked() (uint64, error) {
 // exactly as a live commit would — one version per batch, patched
 // copy-on-write from the change set the replay produced. A batch
 // containing a compaction rebuilds the index outright, as Compact does.
+// When the batch carries the writer's root-hash stamp, the recomputed
+// index root must match it — the O(changed-chunks) integrity check
+// that replaces the test-only full-fingerprint oracle in production.
 // Caller holds the write lock (or owns the store exclusively, as during
 // load).
 func (s *Store) applyShippedLocked(payload []byte) error {
-	compacted, err := s.doc.ApplyPayload(payload)
+	info, err := s.doc.ApplyPayload(payload)
 	if err != nil {
 		return err
 	}
 	s.doc.TakeOps() // replay records nothing; drain defensively
-	if compacted {
+	if info.Compacted {
 		s.doc.TakeChanges()
-		s.vers.Publish(index.Build(s.doc))
-		return nil
+		s.publish(index.Build(s.doc))
+	} else if err := s.advanceIndexLocked(); err != nil {
+		return err
 	}
-	return s.advanceIndexLocked()
+	if info.HasRoot {
+		if got := s.vers.Current().Ix.RootHash(); got != index.Hash(info.Root) {
+			return fmt.Errorf("ltree: batch stamped root %x, replica recomputed %x: %w",
+				info.Root, got, ErrReplicaDiverged)
+		}
+	}
+	return nil
 }
 
 // loadWAL recovers a store from a WAL backend: newest checkpoint plus a
@@ -658,6 +752,9 @@ func loadWAL(w WALBackend) (*Store, error) {
 		return nil, err
 	}
 	s := newStore(doc)
+	if err := s.verifyRestoredRoot(); err != nil {
+		return nil, err
+	}
 	s.doc.TrackOps()
 	if err := w.ReplaySince(seq, func(_ uint64, payload []byte) error {
 		return s.applyShippedLocked(payload)
@@ -712,7 +809,7 @@ func (s *Store) Compact() error {
 	defer s.mu.Unlock()
 	err := s.doc.CompactLabels()
 	s.doc.TakeChanges() // everything moved; a patch would refresh it all anyway
-	s.vers.Publish(index.Build(s.doc))
+	s.publish(index.Build(s.doc))
 	// Compaction logs as a single op — replay re-runs the deterministic
 	// rebuild, so the log stays O(1) for an O(document) relabeling.
 	ops := s.doc.TakeOps()

@@ -1,22 +1,13 @@
 package ltree
 
 import (
-	"errors"
+	"fmt"
 	"iter"
 
 	"github.com/ltree-db/ltree/internal/document"
 	"github.com/ltree-db/ltree/internal/index"
 	"github.com/ltree-db/ltree/internal/query"
 	"github.com/ltree-db/ltree/internal/xmldom"
-)
-
-// Errors reported by the read-transaction layer.
-var (
-	// ErrTxnClosed reports a read on a transaction after Close.
-	ErrTxnClosed = errors.New("ltree: read transaction is closed")
-	// ErrVersionRetired reports SnapshotAt on a version number that is
-	// neither current nor pinned by any open transaction.
-	ErrVersionRetired = errors.New("ltree: index version retired (no open transaction pins it)")
 )
 
 // Txn is a snapshot-isolated read transaction: it captures one published
@@ -43,10 +34,24 @@ var (
 //
 // A Txn is not safe for concurrent use by multiple goroutines; open one
 // per goroutine (opening is cheap — a counter increment, no copying).
+//
+// A Txn opened from a Forest is a composite: one pinned part per shard,
+// with Query/Stream/Elements/Count fanning out and merging in global
+// begin order, and the label reads (Label, IsAncestor, Compare)
+// resolving in the owning shard's coordinate space. Shards/ShardTxn
+// expose the parts. ForestTxn is an alias of Txn kept for readability
+// at forest call sites.
 type Txn struct {
 	s       *Store
 	ver     *index.Version
 	release func()
+
+	// parts/roots make this Txn a forest composite: one pinned
+	// single-store Txn per shard, plus each shard's synthetic root so
+	// merged streams can filter it. nil for plain store transactions
+	// (s/ver are then set instead, and vice versa).
+	parts []*Txn
+	roots []*Elem
 
 	// byTag lazily memoizes node→posting lookups against the pinned
 	// version, per tag, for the label reads (Label, IsAncestor, Compare,
@@ -108,6 +113,9 @@ func (s *Store) TxnStats() (open, retired int) { return s.vers.Stats() }
 // (the version is immutable and reachable through them), but the
 // version's registry entry may be retired.
 func (t *Txn) Close() error {
+	for _, p := range t.parts {
+		p.Close()
+	}
 	if t.release != nil {
 		t.release()
 		t.release = nil
@@ -117,13 +125,30 @@ func (t *Txn) Close() error {
 }
 
 // Version returns the pinned index version number: every read through
-// this Txn observes exactly this version.
+// this Txn observes exactly this version. A forest composite reports
+// the sum of its parts' versions (the forest's composite version; see
+// Forest.IndexVersion).
 func (t *Txn) Version() uint64 {
+	if t.parts != nil {
+		var sum uint64
+		for _, p := range t.parts {
+			sum += p.Version()
+		}
+		return sum
+	}
 	if t.ver == nil {
 		return 0
 	}
 	return t.ver.N
 }
+
+// Shards returns the composite's shard count: 0 for a plain store Txn.
+func (t *Txn) Shards() int { return len(t.parts) }
+
+// ShardTxn exposes shard i's pinned part — for per-shard reads (labels,
+// ancestry) in that shard's own coordinate space. Panics on a plain
+// store Txn (Shards() == 0).
+func (t *Txn) ShardTxn(i int) *Txn { return t.parts[i] }
 
 // ix returns the pinned index or fails if the transaction is closed.
 func (t *Txn) ix() (*index.Index, error) {
@@ -143,6 +168,17 @@ func (t *Txn) Query(expr string) (*Results, error) {
 	p, err := query.Parse(expr)
 	if err != nil {
 		return nil, err
+	}
+	if t.parts != nil {
+		p = forestPath(p)
+		rs := make([]*Results, len(t.parts))
+		for i, part := range t.parts {
+			if _, err := part.ix(); err != nil {
+				return nil, err
+			}
+			rs[i] = withoutShardRoot(part.resultsFor(p), t.roots[i])
+		}
+		return MergeResults(rs...), nil
 	}
 	if _, err := t.ix(); err != nil {
 		return nil, err
@@ -184,6 +220,9 @@ func (t *Txn) QueryNav(expr string) ([]*Elem, error) {
 	if err != nil {
 		return nil, err
 	}
+	if t.parts != nil {
+		return nil, fmt.Errorf("ltree: QueryNav is a single-store reference evaluator; navigate one shard's Txn (ShardTxn) instead")
+	}
 	if t.ver == nil {
 		return nil, ErrTxnClosed
 	}
@@ -198,8 +237,12 @@ func (t *Txn) navFor(p *query.Path) []*Elem {
 }
 
 // Elements materializes the pinned version's elements with the given tag
-// ("*" = all) in document order. Stream is the lazy equivalent.
+// ("*" = all; composites exclude shard roots) in document order. Stream
+// is the lazy equivalent.
 func (t *Txn) Elements(tag string) []*Elem {
+	if t.parts != nil {
+		return t.Stream(tag).Collect()
+	}
 	ix, err := t.ix()
 	if err != nil {
 		return nil
@@ -214,7 +257,16 @@ func (t *Txn) Elements(tag string) []*Elem {
 
 // Stream returns the pinned version's posting stream for a tag ("*" =
 // every element) as a Results cursor — document order, nothing copied.
+// A composite merges its parts' streams in global begin order with the
+// shard roots filtered.
 func (t *Txn) Stream(tag string) *Results {
+	if t.parts != nil {
+		rs := make([]*Results, len(t.parts))
+		for i, part := range t.parts {
+			rs[i] = withoutShardRoot(part.Stream(tag), t.roots[i])
+		}
+		return MergeResults(rs...)
+	}
 	ix, err := t.ix()
 	if err != nil {
 		return &Results{cur: document.NewSliceCursor(nil)}
@@ -223,8 +275,19 @@ func (t *Txn) Stream(tag string) *Results {
 }
 
 // Count returns the pinned version's posting count for a tag ("*" =
-// every element) without materializing anything.
+// every element; composites exclude shard roots) without materializing
+// anything.
 func (t *Txn) Count(tag string) int {
+	if t.parts != nil {
+		total := 0
+		for _, part := range t.parts {
+			total += part.Count(tag)
+			if (tag == "*" || tag == shardRootTag) && part.ver != nil {
+				total-- // the synthetic shard root is not a forest element
+			}
+		}
+		return total
+	}
 	ix, err := t.ix()
 	if err != nil {
 		return 0
@@ -237,6 +300,13 @@ func (t *Txn) Count(tag string) int {
 // it is consistent with the Txn's other reads: the anchor label and the
 // scanned postings come from the same version.
 func (t *Txn) Descendants(n *Elem) (*Results, error) {
+	if t.parts != nil {
+		i, _, err := t.partEntry(n)
+		if err != nil {
+			return nil, err
+		}
+		return t.parts[i].Descendants(n)
+	}
 	e, err := t.entry(n)
 	if err != nil {
 		return nil, err
@@ -251,6 +321,13 @@ func (t *Txn) Descendants(n *Elem) (*Results, error) {
 // element relabeled after the capture keeps its capture-time label. Use
 // Store.Label for the live value (text nodes included).
 func (t *Txn) Label(n *Elem) (Label, error) {
+	if t.parts != nil {
+		_, e, err := t.partEntry(n)
+		if err != nil {
+			return Label{}, err
+		}
+		return e.Label, nil
+	}
 	e, err := t.entry(n)
 	if err != nil {
 		return Label{}, err
@@ -258,9 +335,42 @@ func (t *Txn) Label(n *Elem) (Label, error) {
 	return e.Label, nil
 }
 
+// Level returns n's depth as recorded by the pinned version's index.
+// Like Label, it resolves from the snapshot: a node moved to a
+// different depth after the capture keeps its capture-time level. A
+// change-feed consumer rebuilding a content multiset needs this —
+// entries hash as (tag, label, level), and Elem.Level reports only the
+// live depth.
+func (t *Txn) Level(n *Elem) (int, error) {
+	if t.parts != nil {
+		_, e, err := t.partEntry(n)
+		if err != nil {
+			return 0, err
+		}
+		return e.Level, nil
+	}
+	e, err := t.entry(n)
+	if err != nil {
+		return 0, err
+	}
+	return e.Level, nil
+}
+
 // IsAncestor decides ancestry purely from the pinned version's labels
-// (the paper's containment test).
+// (the paper's containment test). On a composite, elements living in
+// different shards are never related — no forest document spans shards.
 func (t *Txn) IsAncestor(a, d *Elem) (bool, error) {
+	if t.parts != nil {
+		ia, ea, err := t.partEntry(a)
+		if err != nil {
+			return false, err
+		}
+		id, ed, err := t.partEntry(d)
+		if err != nil {
+			return false, err
+		}
+		return ia == id && ea.Label.Contains(ed.Label), nil
+	}
 	ea, err := t.entry(a)
 	if err != nil {
 		return false, err
@@ -273,24 +383,56 @@ func (t *Txn) IsAncestor(a, d *Elem) (bool, error) {
 }
 
 // Compare orders two elements by document order using the pinned
-// version's labels only: -1, 0 or 1.
+// version's labels only: -1, 0 or 1. A composite orders by (begin,
+// shard) — exactly the deterministic global order its merged streams
+// deliver.
 func (t *Txn) Compare(a, b *Elem) (int, error) {
-	ea, err := t.entry(a)
-	if err != nil {
-		return 0, err
-	}
-	eb, err := t.entry(b)
-	if err != nil {
-		return 0, err
+	var ea, eb document.Entry
+	var ia, ib int
+	var err error
+	if t.parts != nil {
+		if ia, ea, err = t.partEntry(a); err != nil {
+			return 0, err
+		}
+		if ib, eb, err = t.partEntry(b); err != nil {
+			return 0, err
+		}
+	} else {
+		if ea, err = t.entry(a); err != nil {
+			return 0, err
+		}
+		if eb, err = t.entry(b); err != nil {
+			return 0, err
+		}
 	}
 	switch {
 	case ea.Label.Begin < eb.Label.Begin:
 		return -1, nil
 	case ea.Label.Begin > eb.Label.Begin:
 		return 1, nil
+	case ia < ib:
+		return -1, nil
+	case ia > ib:
+		return 1, nil
 	default:
 		return 0, nil
 	}
+}
+
+// partEntry resolves an element's posting across a composite's parts,
+// returning the owning shard index. Exactly one shard can hold the
+// element (documents never span shards), so the first hit wins.
+func (t *Txn) partEntry(n *Elem) (int, document.Entry, error) {
+	for i, p := range t.parts {
+		e, err := p.entry(n)
+		if err == nil {
+			return i, e, nil
+		}
+		if err != ErrUnbound {
+			return 0, document.Entry{}, err
+		}
+	}
+	return 0, document.Entry{}, ErrUnbound
 }
 
 // entry resolves an element's posting in the pinned version, memoizing

@@ -1,0 +1,249 @@
+package ltree
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/ltree-db/ltree/internal/index"
+	"github.com/ltree-db/ltree/internal/query"
+)
+
+// This file is the change-feed surface: Watch turns the store's
+// published version stream into a subscription — a cursor of (version,
+// root hash, change set) events computed by the same hash-pruned diff
+// walk DiffVersions uses. Watchers ride the commit/apply seam
+// (Store.publish), so every path that publishes a version — live
+// commits, replay, follower apply, compaction — wakes them; nothing
+// polls.
+
+// WatchOptions configures a Watch subscription. The zero value watches
+// everything from the current version forward.
+type WatchOptions struct {
+	// Since, when non-zero, starts the feed at an older version: the
+	// first event covers Since → current. The version must still be
+	// reachable (pinned by some open transaction, or still current) —
+	// ErrVersionRetired otherwise. Zero starts at the current version:
+	// only future commits produce events.
+	Since uint64
+
+	// Path, when non-empty, scopes the feed to one subtree family: only
+	// changes at or under a match of this path expression are delivered
+	// ("what changed under //item?"). Removals are scoped against the
+	// event's older version, additions against its newer one, so a
+	// change escapes the filter only if it was outside the scope on
+	// both sides. Events with no in-scope changes are suppressed.
+	Path string
+
+	// Buffer is the event channel's capacity. 0 means unbuffered: the
+	// feed applies backpressure, and a slow consumer receives coalesced
+	// events (one event spanning every version it missed) rather than a
+	// growing queue.
+	Buffer int
+}
+
+// WatchEvent is one feed delivery: the store moved from version From to
+// version To, whose index content hash is Root, with Changes holding
+// the entry-level difference. Consecutive events chain: the next
+// event's From is this event's To. A slow consumer sees fewer, wider
+// events — From jumps over the coalesced versions — never a gap.
+type WatchEvent struct {
+	From    uint64
+	To      uint64
+	Root    Hash // content hash of version To
+	Changes *ChangeSet
+}
+
+// Watcher is an active subscription. Receive events from C; Close stops
+// the feed and closes C. After C closes, Err reports why the feed
+// ended: nil after Close, the terminal error otherwise (a diff failure,
+// or the store dropping the watcher's pinned version — both indicate
+// bugs rather than operational states).
+type Watcher struct {
+	// C delivers the feed in order. It closes when the feed ends.
+	C <-chan WatchEvent
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+
+	closeOnce sync.Once
+}
+
+// Close stops the subscription, releases its version pins, and closes
+// C. Safe to call concurrently with receives, and idempotent.
+func (w *Watcher) Close() error {
+	w.closeOnce.Do(func() { close(w.done) })
+	w.wg.Wait()
+	return nil
+}
+
+// Err returns the error that terminated the feed, nil while it runs or
+// after a clean Close. Valid once C is closed.
+func (w *Watcher) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+func (w *Watcher) fail(err error) {
+	w.mu.Lock()
+	w.err = err
+	w.mu.Unlock()
+}
+
+// Watch subscribes to the store's change feed. Every published index
+// version — commits, applied replication batches, compactions — wakes
+// the feed, which diffs the subscriber's last-delivered version against
+// the newest one (hash-pruned, O(changed chunks)) and delivers the
+// result as one WatchEvent. Delivery is in-order and gap-free; a
+// consumer that falls behind receives coalesced events rather than a
+// queue. See WatchOptions for starting offset, path scoping, and
+// buffering; Close the returned Watcher to release its version pins.
+//
+// Watch pins at most two index versions at a time (the last-delivered
+// one and, transiently, the one being diffed), so a parked watcher
+// retains O(changed chunks) of superseded index state, not the whole
+// history.
+func (s *Store) Watch(opts WatchOptions) (*Watcher, error) {
+	var path *query.Path
+	if opts.Path != "" {
+		p, err := query.Parse(opts.Path)
+		if err != nil {
+			return nil, fmt.Errorf("ltree: watch: %w", err)
+		}
+		path = p
+	}
+	var last *index.Version
+	var release func()
+	if opts.Since != 0 {
+		v, rel, ok := s.vers.PinAt(opts.Since)
+		if !ok {
+			return nil, fmt.Errorf("ltree: watch since version %d: %w", opts.Since, ErrVersionRetired)
+		}
+		last, release = v, rel
+	} else {
+		last, release = s.vers.Pin()
+	}
+	ch := make(chan WatchEvent, opts.Buffer)
+	w := &Watcher{C: ch, done: make(chan struct{})}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		defer close(ch)
+		defer func() { release() }()
+		for {
+			// Snapshot the broadcast channel before reading the current
+			// version: a publish between the two closes the snapshotted
+			// channel, so the wait below cannot miss it.
+			bump := s.bumpChan()
+			cur, rel := s.vers.Pin()
+			if cur.N == last.N {
+				rel()
+				select {
+				case <-w.done:
+					return
+				case <-bump:
+					continue
+				}
+			}
+			cs, err := diffPinned(last, cur)
+			if err != nil {
+				rel()
+				w.fail(err)
+				return
+			}
+			ev := WatchEvent{From: last.N, To: cur.N, Root: cs.ToRoot, Changes: cs}
+			deliver := true
+			if path != nil {
+				cs.Changes = scopeChanges(s, last, cur, path, cs.Changes)
+				cs.Stats.Changes = len(cs.Changes)
+				deliver = len(cs.Changes) > 0
+			}
+			if deliver {
+				select {
+				case <-w.done:
+					rel()
+					return
+				case ch <- ev:
+				}
+			}
+			release()
+			last, release = cur, rel
+		}
+	}()
+	return w, nil
+}
+
+// scope is the label family of one path evaluation: match begins sorted
+// ascending, with a running prefix maximum of the match ends. Interval
+// labels in one version are laminar (nested or disjoint, paper §2), so
+// "is L at or under some match" reduces to: the last match starting at
+// or before L.Begin — or one of its scope ancestors, which the prefix
+// maximum folds in — must end at or after L.End.
+type scope struct {
+	begins []uint64
+	maxEnd []uint64
+}
+
+func (sc scope) contains(l Label) bool {
+	i := sort.Search(len(sc.begins), func(i int) bool { return sc.begins[i] > l.Begin })
+	return i > 0 && sc.maxEnd[i-1] >= l.End
+}
+
+// scopeFor evaluates the path against one pinned version and builds its
+// match family. The borrowed Txn never escapes; the caller's pin keeps
+// the version alive.
+func scopeFor(s *Store, v *index.Version, p *query.Path) scope {
+	tx := &Txn{s: s, ver: v}
+	var sc scope
+	for _, l := range tx.resultsFor(p).Labeled() {
+		sc.begins = append(sc.begins, l.Begin)
+		sc.maxEnd = append(sc.maxEnd, l.End)
+	}
+	// Query results arrive in document order (begin-sorted) already;
+	// sort defensively, then fold the ends into a prefix maximum.
+	sort.Sort(&scopeSorter{sc})
+	for i := 1; i < len(sc.maxEnd); i++ {
+		if sc.maxEnd[i] < sc.maxEnd[i-1] {
+			sc.maxEnd[i] = sc.maxEnd[i-1]
+		}
+	}
+	return sc
+}
+
+type scopeSorter struct{ sc scope }
+
+func (s *scopeSorter) Len() int           { return len(s.sc.begins) }
+func (s *scopeSorter) Less(i, j int) bool { return s.sc.begins[i] < s.sc.begins[j] }
+func (s *scopeSorter) Swap(i, j int) {
+	s.sc.begins[i], s.sc.begins[j] = s.sc.begins[j], s.sc.begins[i]
+	s.sc.maxEnd[i], s.sc.maxEnd[j] = s.sc.maxEnd[j], s.sc.maxEnd[i]
+}
+
+// scopeChanges filters a change set to the subtree family matched by
+// the path: removals and the old half of relabels test against the
+// older version's matches (where the entry actually lived), additions
+// and the new half against the newer version's.
+func scopeChanges(s *Store, va, vb *index.Version, p *query.Path, in []Change) []Change {
+	scA := scopeFor(s, va, p)
+	scB := scopeFor(s, vb, p)
+	out := in[:0]
+	for _, c := range in {
+		keep := false
+		switch c.Kind {
+		case ChangeRemoved:
+			keep = scA.contains(c.Old)
+		case ChangeAdded:
+			keep = scB.contains(c.New)
+		case ChangeRelabeled:
+			keep = scA.contains(c.Old) || scB.contains(c.New)
+		}
+		if keep {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package ltree_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	ltree "github.com/ltree-db/ltree"
+)
+
+// recvEvent receives one WatchEvent or fails after the shared test
+// timeout. ok is false if C closed instead.
+func recvEvent(t *testing.T, w *ltree.Watcher) (ltree.WatchEvent, bool) {
+	t.Helper()
+	select {
+	case ev, ok := <-w.C:
+		return ev, ok
+	case <-time.After(waitTimeout):
+		t.Fatal("no watch event within timeout")
+		return ltree.WatchEvent{}, false
+	}
+}
+
+func insertUnder(t *testing.T, st *ltree.Store, parentTag, fragment string) {
+	t.Helper()
+	err := st.Update(func(b *ltree.Batch) error {
+		_, err := b.InsertXML(st.Elements(parentTag)[0], 0, fragment)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatchDeliversCommits checks the basic feed contract: every commit
+// produces an event whose endpoints chain gap-free and whose Root is
+// the content hash of the delivered version.
+func TestWatchDeliversCommits(t *testing.T) {
+	st, err := ltree.OpenString(replaySeedDoc, ltree.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.Watch(ltree.WatchOptions{Buffer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	v0 := st.IndexVersion()
+
+	insertUnder(t, st, "people", "<person>carol</person>")
+	ev, ok := recvEvent(t, w)
+	if !ok {
+		t.Fatalf("feed closed early: %v", w.Err())
+	}
+	if ev.From != v0 {
+		t.Fatalf("first event From=%d, want %d", ev.From, v0)
+	}
+	if ev.Root != ev.Changes.ToRoot {
+		t.Fatalf("event Root %x != change set ToRoot %x", ev.Root, ev.Changes.ToRoot)
+	}
+	added := false
+	for _, c := range ev.Changes.Changes {
+		if c.Kind == ltree.ChangeAdded && c.Tag == "person" {
+			added = true
+		}
+	}
+	if !added {
+		t.Fatalf("event lacks the added <person>: %+v", ev.Changes.Changes)
+	}
+
+	insertUnder(t, st, "people", "<person>dave</person>")
+	ev2, ok := recvEvent(t, w)
+	if !ok {
+		t.Fatalf("feed closed early: %v", w.Err())
+	}
+	if ev2.From != ev.To {
+		t.Fatalf("events do not chain: first To=%d, second From=%d", ev.To, ev2.From)
+	}
+	if ev2.To != st.IndexVersion() || ev2.Root != st.RootHash() {
+		t.Fatalf("second event To=%d Root=%x, store at %d %x", ev2.To, ev2.Root, st.IndexVersion(), st.RootHash())
+	}
+
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-w.C; ok {
+		t.Fatal("C still open after Close")
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("Err after clean Close: %v", err)
+	}
+}
+
+// TestWatchSince checks the backfill contract: a non-zero Since starts
+// the feed at a still-pinned older version, with the first event
+// covering Since → current; a retired Since is refused up front.
+func TestWatchSince(t *testing.T) {
+	st, err := ltree.OpenString(replaySeedDoc, ltree.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := st.SnapshotView()
+	defer pin.Close()
+	v0 := pin.Version()
+	for i := 0; i < 3; i++ {
+		insertUnder(t, st, "people", "<person>p</person>")
+	}
+
+	w, err := st.Watch(ltree.WatchOptions{Since: v0, Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	ev, ok := recvEvent(t, w)
+	if !ok {
+		t.Fatalf("feed closed early: %v", w.Err())
+	}
+	if ev.From != v0 || ev.To != st.IndexVersion() {
+		t.Fatalf("backfill event %d→%d, want %d→%d", ev.From, ev.To, v0, st.IndexVersion())
+	}
+	if got := len(ev.Changes.Changes); got < 3 {
+		t.Fatalf("backfill event carries %d changes, want >= 3", got)
+	}
+
+	// Retire v0 (drop its only pin, then move the store past it): Watch
+	// must now refuse the cursor instead of silently skipping history.
+	pin.Close()
+	insertUnder(t, st, "people", "<person>q</person>")
+	if _, err := st.Watch(ltree.WatchOptions{Since: v0}); !errors.Is(err, ltree.ErrVersionRetired) {
+		t.Fatalf("watch since retired version: got %v, want ErrVersionRetired", err)
+	}
+}
+
+// TestWatchPathScope checks subtree scoping: commits outside the scoped
+// family are suppressed entirely, and delivered events carry only
+// in-scope changes.
+func TestWatchPathScope(t *testing.T) {
+	st, err := ltree.OpenString(replaySeedDoc, ltree.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.Watch(ltree.WatchOptions{Path: "//people", Buffer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// Out of scope, then in scope. The watcher may see them as one
+	// coalesced diff or two — either way the out-of-scope change must
+	// never surface. The <extra/> is appended after <people> so its
+	// labels come from the trailing gap: an insert that relabeled the
+	// scoped subtree would itself be in scope.
+	err = st.Update(func(b *ltree.Batch) error {
+		site := st.Elements("site")[0]
+		_, err := b.InsertXML(site, site.NumChildren(), "<extra/>")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertUnder(t, st, "people", "<person>carol</person>")
+
+	ev, ok := recvEvent(t, w)
+	if !ok {
+		t.Fatalf("feed closed early: %v", w.Err())
+	}
+	if ev.To != st.IndexVersion() {
+		// The two commits arrived as separate diffs; the first must
+		// have been suppressed, so this event is the second.
+		t.Fatalf("scoped event To=%d, store at %d", ev.To, st.IndexVersion())
+	}
+	sawPerson := false
+	for _, c := range ev.Changes.Changes {
+		if c.Tag == "extra" {
+			t.Fatalf("out-of-scope change delivered: %+v", c)
+		}
+		if c.Kind == ltree.ChangeAdded && c.Tag == "person" {
+			sawPerson = true
+		}
+	}
+	if !sawPerson {
+		t.Fatalf("in-scope added <person> missing: %+v", ev.Changes.Changes)
+	}
+}
+
+// TestWatchCoalesces checks the slow-consumer contract: an unbuffered
+// watcher left unread across a burst of commits receives fewer, wider
+// events — chained gap-free from the subscription version to the final
+// one, never a queue and never a hole.
+func TestWatchCoalesces(t *testing.T) {
+	st, err := ltree.OpenString(replaySeedDoc, ltree.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.Watch(ltree.WatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	v0 := st.IndexVersion()
+
+	const commits = 6
+	for i := 0; i < commits; i++ {
+		insertUnder(t, st, "people", "<person>p</person>")
+	}
+	final := st.IndexVersion()
+
+	events := 0
+	cursor := v0
+	for cursor != final {
+		ev, ok := recvEvent(t, w)
+		if !ok {
+			t.Fatalf("feed closed at cursor %d: %v", cursor, w.Err())
+		}
+		if ev.From != cursor {
+			t.Fatalf("gap: event From=%d, cursor %d", ev.From, cursor)
+		}
+		if ev.To <= ev.From {
+			t.Fatalf("event does not advance: %d→%d", ev.From, ev.To)
+		}
+		cursor = ev.To
+		events++
+	}
+	if events > commits {
+		t.Fatalf("%d events for %d commits — feed queued instead of coalescing", events, commits)
+	}
+}
